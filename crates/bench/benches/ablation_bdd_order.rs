@@ -1,0 +1,37 @@
+//! Ablation C (DESIGN.md): BDD variable ordering. The interleaved
+//! current/next order keeps transition relations linear; the naive
+//! all-current-then-all-next order blows the frame conditions up — the
+//! effect §2.4 alludes to when noting that symbolic analysis lives or dies
+//! by the encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symbolic::{SymbolicOptions, SymbolicReachability, VariableOrder};
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bdd_order");
+    group.sample_size(10);
+    // the bad order blows up combinatorially (that is the finding); keep
+    // the instances small enough that a single iteration stays sub-second
+    for (label, net) in [
+        ("nsdp_2", models::nsdp(2)),
+        ("rw_4", models::readers_writers(4)),
+        ("over_2", models::overtake(2)),
+    ] {
+        for (name, order) in [
+            ("interleaved", VariableOrder::Interleaved),
+            ("cur_then_next", VariableOrder::CurrentThenNext),
+        ] {
+            let opts = SymbolicOptions {
+                order,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(name, label), &net, |b, net| {
+                b.iter(|| SymbolicReachability::explore_with(net, &opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

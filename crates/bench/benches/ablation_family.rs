@@ -1,0 +1,38 @@
+//! Ablation A (DESIGN.md): explicit sorted-vector families vs ZDD-backed
+//! families inside the generalized analysis. The explicit representation
+//! enumerates the valid-set product; the ZDD builds it as a join and
+//! shares sub-structure, which dominates once |r₀| explodes (NSDP rings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpo_bench::{run_gpo, RowBudgets};
+use gpo_core::Representation;
+
+fn bench_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/family");
+    group.sample_size(10);
+    for (label, net) in [
+        ("fig2_10", models::figures::fig2(10)),
+        ("nsdp_4", models::nsdp(4)),
+        ("nsdp_6", models::nsdp(6)),
+        ("rw_9", models::readers_writers(9)),
+    ] {
+        for (repr_label, repr) in [
+            ("explicit", Representation::Explicit),
+            ("zdd", Representation::Zdd),
+        ] {
+            let budgets = RowBudgets {
+                representation: repr,
+                ..RowBudgets::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(repr_label, label),
+                &net,
+                |b, net| b.iter(|| run_gpo(net, &budgets)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_family);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation B (DESIGN.md): stubborn-set seed strategies — first-enabled
+//! (cheapest), best-of-enabled (strongest classical reduction) and the
+//! paper's conflict-cluster anticipation seeding (§2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
+
+fn bench_po_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/po");
+    group.sample_size(10);
+    for (label, net) in [
+        ("nsdp_4", models::nsdp(4)),
+        ("asat_4", models::asat(4)),
+        ("over_4", models::overtake(4)),
+        ("fig2_8", models::figures::fig2(8)),
+    ] {
+        for (name, strategy) in [
+            ("first", SeedStrategy::FirstEnabled),
+            ("best", SeedStrategy::BestOfEnabled),
+            ("cluster", SeedStrategy::ConflictCluster),
+        ] {
+            let opts = ReducedOptions {
+                strategy,
+                max_states: usize::MAX,
+            };
+            group.bench_with_input(BenchmarkId::new(name, label), &net, |b, net| {
+                b.iter(|| ReducedReachability::explore_with(net, &opts).expect("safe net"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_po_strategies);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 2 sweep: the §3.1 headline claim. With N concurrently marked
+//! binary conflict places, classical partial-order reduction explores
+//! 2^(N+1) − 1 states while GPO explores 2 — this bench measures both
+//! sides of the exponential-vs-constant gap as N grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpo_bench::{run_gpo, run_po, RowBudgets};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let net = models::figures::fig2(n);
+        group.bench_with_input(BenchmarkId::new("po", n), &net, |b, net| {
+            b.iter(|| run_po(net, usize::MAX))
+        });
+        let budgets = RowBudgets::default();
+        group.bench_with_input(BenchmarkId::new("gpo", n), &net, |b, net| {
+            b.iter(|| run_gpo(net, &budgets))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

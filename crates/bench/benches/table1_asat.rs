@@ -1,0 +1,31 @@
+//! Table 1, ASAT rows: the asynchronous arbiter tree. The reproduction
+//! target is the *shape*: the full graph roughly squares per doubling of
+//! users while GPO grows by a few states per tree level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpo_bench::{run_bdd, run_full, run_gpo, run_po, RowBudgets};
+
+fn bench_asat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/asat");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        let net = models::asat(n);
+        group.bench_with_input(BenchmarkId::new("full", n), &net, |b, net| {
+            b.iter(|| run_full(net, usize::MAX))
+        });
+        group.bench_with_input(BenchmarkId::new("po", n), &net, |b, net| {
+            b.iter(|| run_po(net, usize::MAX))
+        });
+        group.bench_with_input(BenchmarkId::new("bdd", n), &net, |b, net| {
+            b.iter(|| run_bdd(net, usize::MAX))
+        });
+        let budgets = RowBudgets::default();
+        group.bench_with_input(BenchmarkId::new("gpo", n), &net, |b, net| {
+            b.iter(|| run_gpo(net, &budgets))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_asat);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 1, OVER rows: the overtake protocol. Reproduction targets: the
+//! full graph is 8^n (paper: 65, 519, 4175, 33460 ≈ 8.05^n), partial-order
+//! reduction still grows geometrically with the per-car choices, GPO stays
+//! near-constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpo_bench::{run_bdd, run_full, run_gpo, run_po, RowBudgets};
+
+fn bench_over(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/over");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        let net = models::overtake(n);
+        group.bench_with_input(BenchmarkId::new("full", n), &net, |b, net| {
+            b.iter(|| run_full(net, usize::MAX))
+        });
+        group.bench_with_input(BenchmarkId::new("po", n), &net, |b, net| {
+            b.iter(|| run_po(net, usize::MAX))
+        });
+        if n <= 4 {
+            group.bench_with_input(BenchmarkId::new("bdd", n), &net, |b, net| {
+                b.iter(|| run_bdd(net, usize::MAX))
+            });
+        }
+        let budgets = RowBudgets::default();
+        group.bench_with_input(BenchmarkId::new("gpo", n), &net, |b, net| {
+            b.iter(|| run_gpo(net, &budgets))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_over);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 1, RW rows: readers and writers. Reproduction targets: GPO
+//! collapses the whole behaviour to 2 GPN states at any size with
+//! near-linear time, while the full graph grows as 2^n + n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpo_bench::{run_bdd, run_full, run_gpo, run_po, RowBudgets};
+
+fn bench_rw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/rw");
+    group.sample_size(10);
+    for n in [6usize, 9, 12] {
+        let net = models::readers_writers(n);
+        group.bench_with_input(BenchmarkId::new("full", n), &net, |b, net| {
+            b.iter(|| run_full(net, usize::MAX))
+        });
+        group.bench_with_input(BenchmarkId::new("po", n), &net, |b, net| {
+            b.iter(|| run_po(net, usize::MAX))
+        });
+        if n <= 9 {
+            group.bench_with_input(BenchmarkId::new("bdd", n), &net, |b, net| {
+                b.iter(|| run_bdd(net, usize::MAX))
+            });
+        }
+        let budgets = RowBudgets::default();
+        group.bench_with_input(BenchmarkId::new("gpo", n), &net, |b, net| {
+            b.iter(|| run_gpo(net, &budgets))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rw);
+criterion_main!(benches);

@@ -1,0 +1,516 @@
+//! The generalized partial-order reachability algorithm (§3.3).
+//!
+//! At each explored GPN state the algorithm:
+//!
+//! 1. checks the **deadlock possibility** `⋃_t s_enabled(t,s) ≠ r`; if it
+//!    holds, the deadlock is reported (with a witness marking extracted
+//!    from a blocked history) and the state is not expanded — exactly the
+//!    `if / else if` structure of the paper's pseudocode;
+//! 2. searches for **candidate MCSs**: conflict clusters whose
+//!    multiple-enabled part is non-empty and covers every single-enabled
+//!    member; all candidates are fired *simultaneously* with the multiple
+//!    firing rule, giving a single successor. Following the paper, a
+//!    candidate must not disable any other multiple-enabled MCS or
+//!    single-enabled transition — we verify this on the actual successor
+//!    state and fall back to per-candidate firing, then to single firing,
+//!    when the check fails;
+//! 3. otherwise falls back to the **single firing semantics**, branching
+//!    over one fully-enabled maximal conflicting set if one exists, else
+//!    over every single-enabled transition.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use petri::{ConflictInfo, Marking, PetriNet, PlaceId, TransitionId};
+
+use crate::error::GpoError;
+use crate::family::{ExplicitFamily, SetFamily, ZddFamily};
+use crate::semantics::{m_enabled, multiple_update, s_enabled, single_update};
+use crate::state::GpnState;
+
+/// Which family representation backs the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Representation {
+    /// Canonical sorted vectors of transition sets.
+    #[default]
+    Explicit,
+    /// Zero-suppressed decision diagrams (shared structure).
+    Zdd,
+}
+
+/// Options for [`analyze_with`].
+#[derive(Debug, Clone)]
+pub struct GpoOptions {
+    /// Bound on the number of enumerated maximal conflict-free sets.
+    pub valid_set_limit: usize,
+    /// Bound on explored GPN states.
+    pub max_states: usize,
+    /// Family representation.
+    pub representation: Representation,
+    /// How many deadlock witness markings to materialize (0 disables).
+    pub max_witnesses: usize,
+    /// Safety query: places whose *simultaneous* marking is the bad
+    /// condition (the paper's §4 remark that safety checks reduce to this
+    /// framework). Empty disables the query. A reported hit is always a
+    /// genuinely reachable violating marking (soundness); the absence of a
+    /// hit is not a proof, because the reduction may postpone the covering
+    /// interleaving — use the exhaustive engine for proofs.
+    pub coverage_query: Vec<PlaceId>,
+}
+
+impl Default for GpoOptions {
+    fn default() -> Self {
+        GpoOptions {
+            valid_set_limit: 1 << 22,
+            max_states: usize::MAX,
+            representation: Representation::default(),
+            max_witnesses: 1,
+            coverage_query: Vec::new(),
+        }
+    }
+}
+
+/// Result of a generalized partial-order analysis.
+///
+/// # Examples
+///
+/// ```
+/// use gpo_core::analyze;
+///
+/// // the paper's Figure 2 with N = 10: classical PO reduction needs
+/// // 2^11 - 1 = 2047 states; the generalized analysis needs 2
+/// let report = analyze(&models::figures::fig2(10))?;
+/// assert_eq!(report.state_count, 2);
+/// assert!(report.deadlock_possible);
+/// # Ok::<(), gpo_core::GpoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpoReport {
+    /// Number of explored GPN states.
+    pub state_count: usize,
+    /// `true` if some explored state reported a deadlock possibility.
+    pub deadlock_possible: bool,
+    /// Dead classical markings extracted from blocked histories (up to
+    /// `max_witnesses` per reporting state).
+    pub deadlock_witnesses: Vec<Marking>,
+    /// Number of sets in the initial valid-set relation `r₀`.
+    pub valid_set_count: u64,
+    /// Largest per-state representation footprint observed.
+    pub peak_footprint: usize,
+    /// Number of simultaneous (multiple-semantics) firings.
+    pub multiple_firings: usize,
+    /// Number of single-semantics firings.
+    pub single_firings: usize,
+    /// First reachable marking covering the `coverage_query`, if the query
+    /// was set and a covering scenario was found.
+    pub coverage_hit: Option<Marking>,
+    /// Classical firing sequences leading to the corresponding
+    /// [`deadlock_witnesses`](Self::deadlock_witnesses) entries, projected
+    /// from the GPN path by restricting each fired set to the blocked
+    /// history — counterexamples without ever building the full graph.
+    pub deadlock_traces: Vec<Vec<TransitionId>>,
+    /// Wall-clock analysis time.
+    pub elapsed: Duration,
+}
+
+/// Runs the generalized analysis with default options (explicit families).
+///
+/// # Errors
+///
+/// Returns [`GpoError::ValidSetsTooLarge`] if `r₀` exceeds the default
+/// enumeration limit, or [`GpoError::StateLimit`] on state explosion.
+pub fn analyze(net: &PetriNet) -> Result<GpoReport, GpoError> {
+    analyze_with(net, &GpoOptions::default())
+}
+
+/// Runs the generalized analysis with explicit options.
+///
+/// # Errors
+///
+/// Returns [`GpoError::ValidSetsTooLarge`] or [`GpoError::StateLimit`]
+/// per the configured bounds.
+pub fn analyze_with(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, GpoError> {
+    match opts.representation {
+        Representation::Explicit => run::<ExplicitFamily>(net, opts),
+        Representation::Zdd => run::<ZddFamily>(net, opts),
+    }
+}
+
+fn run<F: SetFamily>(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, GpoError> {
+    let start = Instant::now();
+    let conflicts = ConflictInfo::new(net);
+    let ctx = F::new_context(net.transition_count());
+    let s0 =
+        GpnState::<F>::initial_with_conflicts(net, &conflicts, &ctx, opts.valid_set_limit)?;
+    let valid_set_count = s0.valid().count();
+
+    let mut states: Vec<GpnState<F>> = vec![s0.clone()];
+    let mut index: HashMap<GpnState<F>, usize> = HashMap::new();
+    index.insert(s0, 0);
+    // how each state was first reached (for counterexample projection)
+    let mut provenance: Vec<Option<(usize, Firing)>> = vec![None];
+
+    let mut report = GpoReport {
+        state_count: 0,
+        deadlock_possible: false,
+        deadlock_witnesses: Vec::new(),
+        valid_set_count,
+        peak_footprint: 0,
+        multiple_firings: 0,
+        single_firings: 0,
+        coverage_hit: None,
+        deadlock_traces: Vec::new(),
+        elapsed: Duration::ZERO,
+    };
+
+    let mut frontier = 0;
+    while frontier < states.len() {
+        let s = states[frontier].clone();
+        report.peak_footprint = report.peak_footprint.max(s.footprint());
+
+        if report.coverage_hit.is_none() && !opts.coverage_query.is_empty() {
+            report.coverage_hit = coverage_hit(net, &s, &opts.coverage_query);
+        }
+
+        let before = report.deadlock_witnesses.len();
+        let successors = expand(net, &conflicts, &s, &mut report, opts);
+        // project a classical counterexample for each fresh witness
+        for w in before..report.deadlock_witnesses.len() {
+            let v = history_of_witness(net, &s, &report.deadlock_witnesses[w]);
+            if let Some(v) = v {
+                report
+                    .deadlock_traces
+                    .push(project_trace(net, &states, &provenance, frontier, &v));
+            }
+        }
+        for (next, firing) in successors {
+            if let Entry::Vacant(e) = index.entry(next) {
+                states.push(e.key().clone());
+                provenance.push(Some((frontier, firing.clone())));
+                e.insert(states.len() - 1);
+                if states.len() > opts.max_states {
+                    return Err(GpoError::StateLimit(opts.max_states));
+                }
+            }
+        }
+        frontier += 1;
+    }
+
+    report.state_count = states.len();
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+/// How a state was produced from its parent.
+#[derive(Debug, Clone)]
+enum Firing {
+    Multiple(Vec<TransitionId>),
+    Single(TransitionId),
+}
+
+/// Recovers the blocked history that produced `witness` in state `s` (the
+/// valid set `v` with `marking_of_history(v) == witness`).
+fn history_of_witness<F: SetFamily>(
+    net: &PetriNet,
+    s: &GpnState<F>,
+    witness: &Marking,
+) -> Option<petri::BitSet> {
+    crate::semantics::blocked_histories(net, s)
+        .some_sets(64)
+        .into_iter()
+        .find(|v| &s.marking_of_history(net, v) == witness)
+}
+
+/// Walks the provenance chain back to the root and projects each fired set
+/// onto the history `v`, yielding a classical firing sequence that reaches
+/// the witness marking.
+fn project_trace<F: SetFamily>(
+    net: &PetriNet,
+    states: &[GpnState<F>],
+    provenance: &[Option<(usize, Firing)>],
+    end: usize,
+    v: &petri::BitSet,
+) -> Vec<TransitionId> {
+    let mut segments: Vec<Vec<TransitionId>> = Vec::new();
+    let mut cur = end;
+    while let Some((parent, firing)) = &provenance[cur] {
+        let parent_state = &states[*parent];
+        let fired: Vec<TransitionId> = match firing {
+            Firing::Multiple(ts) => ts
+                .iter()
+                .copied()
+                .filter(|&t| m_enabled(net, parent_state, t).contains(v))
+                .collect(),
+            Firing::Single(t) => {
+                if s_enabled(net, parent_state, *t).contains(v) {
+                    vec![*t]
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        segments.push(fired);
+        cur = *parent;
+    }
+    segments.reverse();
+    segments.into_iter().flatten().collect()
+}
+
+/// Checks whether some valid history of `s` marks every place of `query`
+/// simultaneously, and extracts the covering classical marking if so.
+fn coverage_hit<F: SetFamily>(
+    net: &PetriNet,
+    s: &GpnState<F>,
+    query: &[PlaceId],
+) -> Option<Marking> {
+    let mut acc = s.valid().clone();
+    for &p in query {
+        if acc.is_empty() {
+            return None;
+        }
+        acc = acc.intersect(s.place(p));
+    }
+    acc.some_sets(1)
+        .first()
+        .map(|v| s.marking_of_history(net, v))
+}
+
+/// Expands one state per the §3.3 algorithm, updating deadlock bookkeeping.
+fn expand<F: SetFamily>(
+    net: &PetriNet,
+    conflicts: &ConflictInfo,
+    s: &GpnState<F>,
+    report: &mut GpoReport,
+    opts: &GpoOptions,
+) -> Vec<(GpnState<F>, Firing)> {
+    let n = net.transition_count();
+    let s_en: Vec<F> = net.transitions().map(|t| s_enabled(net, s, t)).collect();
+
+    // deadlock possibility: ∪ s_enabled ≠ r
+    let live = s_en.iter().filter(|f| !f.is_empty()).fold(None::<F>, |acc, f| {
+        Some(match acc {
+            None => f.clone(),
+            Some(a) => a.union(f),
+        })
+    });
+    let blocked = match &live {
+        None => s.valid().clone(),
+        Some(l) => s.valid().difference(l),
+    };
+    if !blocked.is_empty() {
+        report.deadlock_possible = true;
+        if report.deadlock_witnesses.len() < opts.max_witnesses {
+            let budget = opts.max_witnesses - report.deadlock_witnesses.len();
+            for v in blocked.some_sets(budget) {
+                report
+                    .deadlock_witnesses
+                    .push(s.marking_of_history(net, &v));
+            }
+        }
+        return Vec::new(); // the paper's algorithm does not expand further
+    }
+
+    let m_en: Vec<F> = net.transitions().map(|t| m_enabled(net, s, t)).collect();
+
+    // candidate MCS search: per cluster, the multiple-enabled part, which
+    // must cover every single-enabled member of the cluster
+    let mut candidates: Vec<Vec<TransitionId>> = Vec::new();
+    for cluster in conflicts.clusters() {
+        let fired: Vec<TransitionId> = cluster
+            .iter()
+            .copied()
+            .filter(|t| !m_en[t.index()].is_empty())
+            .collect();
+        if fired.is_empty() {
+            continue;
+        }
+        let covered = cluster
+            .iter()
+            .all(|t| m_en[t.index()].is_empty() == s_en[t.index()].is_empty());
+        if covered {
+            candidates.push(fired);
+        }
+    }
+
+    if !candidates.is_empty() {
+        let union: Vec<TransitionId> = candidates.iter().flatten().copied().collect();
+        let next = multiple_update(net, s, &union);
+        if preserves_enabledness(net, &s_en, &m_en, &union, &next) {
+            report.multiple_firings += 1;
+            return vec![(next, Firing::Multiple(union))];
+        }
+        // union failed: try candidates one at a time, keep the first valid
+        for cand in &candidates {
+            let next = multiple_update(net, s, cand);
+            if preserves_enabledness(net, &s_en, &m_en, cand, &next) {
+                report.multiple_firings += 1;
+                return vec![(next, Firing::Multiple(cand.clone()))];
+            }
+        }
+    }
+
+    // single-firing semantics: prefer branching over one maximal
+    // conflicting set whose members are all single enabled
+    let single_enabled: Vec<TransitionId> = net
+        .transitions()
+        .filter(|t| !s_en[t.index()].is_empty())
+        .collect();
+    for cluster in conflicts.clusters() {
+        if cluster.len() > 1 && cluster.iter().all(|t| !s_en[t.index()].is_empty()) {
+            report.single_firings += cluster.len();
+            return cluster
+                .iter()
+                .map(|&t| (single_update(net, s, t), Firing::Single(t)))
+                .collect();
+        }
+    }
+    report.single_firings += single_enabled.len();
+    let _ = n;
+    single_enabled
+        .iter()
+        .map(|&t| (single_update(net, s, t), Firing::Single(t)))
+        .collect()
+}
+
+/// The paper's candidate condition, checked semantically: firing `fired`
+/// must leave every other single-enabled transition single enabled and
+/// every other multiple-enabled transition multiple enabled.
+fn preserves_enabledness<F: SetFamily>(
+    net: &PetriNet,
+    s_en: &[F],
+    m_en: &[F],
+    fired: &[TransitionId],
+    next: &GpnState<F>,
+) -> bool {
+    net.transitions().all(|u| {
+        if fired.contains(&u) {
+            return true;
+        }
+        let i = u.index();
+        if !s_en[i].is_empty() && s_enabled(net, next, u).is_empty() {
+            return false;
+        }
+        if !m_en[i].is_empty() && m_enabled(net, next, u).is_empty() {
+            return false;
+        }
+        true
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_needs_exactly_two_states() {
+        // the headline claim of §3.1: 2^(N+1) - 1 → 2
+        for n in 1..=8 {
+            let report = analyze(&models::figures::fig2(n)).unwrap();
+            assert_eq!(report.state_count, 2, "n={n}");
+            assert!(report.deadlock_possible, "terminal markings are dead");
+            assert_eq!(report.multiple_firings, 1);
+            assert_eq!(report.single_firings, 0);
+        }
+    }
+
+    #[test]
+    fn nsdp_needs_exactly_three_states() {
+        // Table 1: 3 states independent of the number of philosophers
+        for n in [2usize, 3, 4, 5] {
+            let report = analyze(&models::nsdp(n)).unwrap();
+            assert_eq!(report.state_count, 3, "NSDP({n})");
+            assert!(report.deadlock_possible);
+        }
+    }
+
+    #[test]
+    fn nsdp_witness_is_a_real_reachable_deadlock() {
+        let net = models::nsdp(3);
+        let report = analyze(&net).unwrap();
+        let witness = &report.deadlock_witnesses[0];
+        assert!(net.is_dead(witness));
+        let rg = petri::ReachabilityGraph::explore(&net).unwrap();
+        assert!(rg.contains(witness), "witness reachable classically");
+    }
+
+    #[test]
+    fn rw_needs_exactly_two_states() {
+        // Table 1: RW collapses to 2 GPN states, no deadlock
+        for n in [2usize, 4, 6] {
+            let report = analyze(&models::readers_writers(n)).unwrap();
+            assert_eq!(report.state_count, 2, "RW({n})");
+            assert!(!report.deadlock_possible);
+        }
+    }
+
+    #[test]
+    fn deadlock_free_cycle_terminates() {
+        let mut b = petri::NetBuilder::new("cycle");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("go", [p], [q]);
+        b.transition("back", [q], [p]);
+        let report = analyze(&b.build().unwrap()).unwrap();
+        assert!(!report.deadlock_possible);
+        assert!(report.state_count <= 2);
+    }
+
+    #[test]
+    fn zdd_representation_agrees_with_explicit() {
+        for net in [
+            models::figures::fig2(5),
+            models::figures::fig7(),
+            models::nsdp(3),
+            models::readers_writers(4),
+        ] {
+            let e = analyze_with(
+                &net,
+                &GpoOptions { representation: Representation::Explicit, ..Default::default() },
+            )
+            .unwrap();
+            let z = analyze_with(
+                &net,
+                &GpoOptions { representation: Representation::Zdd, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(e.state_count, z.state_count, "{}", net.name());
+            assert_eq!(e.deadlock_possible, z.deadlock_possible, "{}", net.name());
+            assert_eq!(e.valid_set_count, z.valid_set_count, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let err = analyze_with(
+            &models::nsdp(3),
+            &GpoOptions { max_states: 1, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, GpoError::StateLimit(1));
+    }
+
+    #[test]
+    fn valid_set_limit_enforced() {
+        let err = analyze_with(
+            &models::figures::fig2(8),
+            &GpoOptions { valid_set_limit: 10, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, GpoError::ValidSetsTooLarge(10));
+    }
+
+    #[test]
+    fn witness_budget_respected() {
+        let report = analyze_with(
+            &models::figures::fig2(3),
+            &GpoOptions { max_witnesses: 3, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(report.deadlock_witnesses.len(), 3);
+        let net = models::figures::fig2(3);
+        for w in &report.deadlock_witnesses {
+            assert!(net.is_dead(w));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type of the generalized analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the generalized partial-order analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GpoError {
+    /// The valid-set relation `r₀` would exceed the configured number of
+    /// explicitly enumerated sets. Raise the limit or switch to the ZDD
+    /// representation.
+    ValidSetsTooLarge(usize),
+    /// Exploration exceeded the configured state limit.
+    StateLimit(usize),
+}
+
+impl fmt::Display for GpoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpoError::ValidSetsTooLarge(limit) => write!(
+                f,
+                "valid-set relation exceeds the limit of {limit} enumerated sets"
+            ),
+            GpoError::StateLimit(n) => {
+                write!(f, "state limit of {n} GPN states exceeded during exploration")
+            }
+        }
+    }
+}
+
+impl Error for GpoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(
+            GpoError::ValidSetsTooLarge(10).to_string(),
+            "valid-set relation exceeds the limit of 10 enumerated sets"
+        );
+        assert_eq!(
+            GpoError::StateLimit(5).to_string(),
+            "state limit of 5 GPN states exceeded during exploration"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GpoError>();
+    }
+}

@@ -1,0 +1,564 @@
+//! Families of transition sets — the "colored token" payloads of a
+//! Generalized Petri Net marking (`P → 2^(2^T)`).
+//!
+//! Two interchangeable representations implement [`SetFamily`]:
+//!
+//! * [`ExplicitFamily`] — a canonical sorted vector of transition bit sets;
+//!   simple and fast at the paper's benchmark scales;
+//! * [`ZddFamily`] — a zero-suppressed decision diagram sharing structure
+//!   between sets, which keeps exponentially large valid-set relations
+//!   (e.g. products of many independent choices) polynomial in memory.
+//!
+//! The generalized analysis is generic over this trait; the `ablation_family`
+//! benchmark compares the two.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use petri::BitSet;
+use symbolic::{Zdd, ZddRef, ZDD_EMPTY, ZDD_UNIT};
+
+/// Operations a family-of-transition-sets representation must support.
+///
+/// A family is a set of transition sets over a fixed universe of `|T|`
+/// transitions. All binary operations require both operands to come from
+/// the same [context](SetFamily::Context).
+pub trait SetFamily: Clone + Eq + Hash + fmt::Debug {
+    /// Shared construction context (e.g. a decision-diagram manager).
+    type Context: Clone;
+
+    /// Creates the context for a universe of `universe` transitions.
+    fn new_context(universe: usize) -> Self::Context;
+
+    /// Builds a family from explicit sets.
+    fn from_sets(ctx: &Self::Context, universe: usize, sets: &[BitSet]) -> Self;
+
+    /// Builds the cross-union product of one pick per group:
+    /// `{ g₁ ∪ g₂ ∪ … | gᵢ ∈ groups[i] }` — the factored form of the
+    /// valid-set relation `r₀`. Shared representations build this without
+    /// enumerating the product.
+    fn from_choice_groups(ctx: &Self::Context, universe: usize, groups: &[Vec<BitSet>]) -> Self {
+        let mut acc = vec![BitSet::new(universe)];
+        for group in groups {
+            let mut next = Vec::with_capacity(acc.len() * group.len());
+            for base in &acc {
+                for pick in group {
+                    next.push(base.union(pick));
+                }
+            }
+            acc = next;
+        }
+        Self::from_sets(ctx, universe, &acc)
+    }
+
+    /// Materializes at most `k` sets — cheap even for huge families.
+    fn some_sets(&self, k: usize) -> Vec<BitSet> {
+        let mut all = self.sets();
+        all.truncate(k);
+        all
+    }
+
+    /// The empty family.
+    fn empty(ctx: &Self::Context, universe: usize) -> Self;
+
+    /// Set-of-sets union.
+    #[must_use]
+    fn union(&self, other: &Self) -> Self;
+
+    /// Set-of-sets intersection (sets present in both families).
+    #[must_use]
+    fn intersect(&self, other: &Self) -> Self;
+
+    /// Set-of-sets difference (sets of `self` not in `other`).
+    #[must_use]
+    fn difference(&self, other: &Self) -> Self;
+
+    /// The sub-family of sets containing transition index `t`.
+    #[must_use]
+    fn onset(&self, t: usize) -> Self;
+
+    /// `true` if the family has no sets.
+    fn is_empty(&self) -> bool;
+
+    /// Number of sets in the family.
+    fn count(&self) -> u64;
+
+    /// Membership test for one transition set.
+    fn contains(&self, set: &BitSet) -> bool;
+
+    /// Materializes all sets (sorted, canonical order).
+    fn sets(&self) -> Vec<BitSet>;
+
+    /// Approximate memory footprint in representation units (stored sets
+    /// for the explicit family, live nodes for the ZDD) — used by the
+    /// ablation benchmarks.
+    fn footprint(&self) -> usize;
+}
+
+/// Canonical explicit family: a sorted, deduplicated `Vec<BitSet>`.
+///
+/// # Examples
+///
+/// ```
+/// use gpo_core::{ExplicitFamily, SetFamily};
+/// use petri::BitSet;
+///
+/// let ctx = ExplicitFamily::new_context(4);
+/// let a = ExplicitFamily::from_sets(&ctx, 4, &[
+///     BitSet::from_iter_with_capacity(4, [0, 2]),
+///     BitSet::from_iter_with_capacity(4, [1]),
+/// ]);
+/// let b = a.onset(0);
+/// assert_eq!(b.count(), 1);
+/// assert!(b.contains(&BitSet::from_iter_with_capacity(4, [0, 2])));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ExplicitFamily {
+    universe: usize,
+    /// sorted + deduplicated
+    sets: Vec<BitSet>,
+}
+
+impl ExplicitFamily {
+    fn normalize(mut sets: Vec<BitSet>) -> Vec<BitSet> {
+        sets.sort();
+        sets.dedup();
+        sets
+    }
+
+    /// Iterates over the stored sets in canonical order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &BitSet> + '_ {
+        self.sets.iter()
+    }
+}
+
+impl fmt::Debug for ExplicitFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.sets.iter()).finish()
+    }
+}
+
+impl SetFamily for ExplicitFamily {
+    type Context = ();
+
+    fn new_context(_universe: usize) -> Self::Context {}
+
+    fn from_sets(_ctx: &Self::Context, universe: usize, sets: &[BitSet]) -> Self {
+        ExplicitFamily {
+            universe,
+            sets: Self::normalize(sets.to_vec()),
+        }
+    }
+
+    fn empty(_ctx: &Self::Context, universe: usize) -> Self {
+        ExplicitFamily {
+            universe,
+            sets: Vec::new(),
+        }
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        // merge two sorted sequences
+        let mut out = Vec::with_capacity(self.sets.len() + other.sets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sets.len() && j < other.sets.len() {
+            match self.sets[i].cmp(&other.sets[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.sets[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.sets[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.sets[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.sets[i..]);
+        out.extend_from_slice(&other.sets[j..]);
+        ExplicitFamily {
+            universe: self.universe,
+            sets: out,
+        }
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.sets.len() && j < other.sets.len() {
+            match self.sets[i].cmp(&other.sets[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.sets[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        ExplicitFamily {
+            universe: self.universe,
+            sets: out,
+        }
+    }
+
+    fn difference(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.sets.len() {
+            if j >= other.sets.len() {
+                out.extend_from_slice(&self.sets[i..]);
+                break;
+            }
+            match self.sets[i].cmp(&other.sets[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.sets[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        ExplicitFamily {
+            universe: self.universe,
+            sets: out,
+        }
+    }
+
+    fn onset(&self, t: usize) -> Self {
+        ExplicitFamily {
+            universe: self.universe,
+            sets: self
+                .sets
+                .iter()
+                .filter(|s| s.contains(t))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    fn count(&self) -> u64 {
+        self.sets.len() as u64
+    }
+
+    fn contains(&self, set: &BitSet) -> bool {
+        self.sets.binary_search(set).is_ok()
+    }
+
+    fn sets(&self) -> Vec<BitSet> {
+        self.sets.clone()
+    }
+
+    fn footprint(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// A family backed by a shared ZDD manager.
+///
+/// All families of one analysis share the manager, so equality and hashing
+/// reduce to node-id comparison (ZDDs are canonical).
+///
+/// # Examples
+///
+/// ```
+/// use gpo_core::{SetFamily, ZddFamily};
+/// use petri::BitSet;
+///
+/// let ctx = ZddFamily::new_context(4);
+/// let a = ZddFamily::from_sets(&ctx, 4, &[
+///     BitSet::from_iter_with_capacity(4, [0, 2]),
+///     BitSet::from_iter_with_capacity(4, [1]),
+/// ]);
+/// assert_eq!(a.onset(0).count(), 1);
+/// ```
+#[derive(Clone)]
+pub struct ZddFamily {
+    mgr: Rc<RefCell<Zdd>>,
+    node: ZddRef,
+    universe: usize,
+}
+
+impl PartialEq for ZddFamily {
+    fn eq(&self, other: &Self) -> bool {
+        debug_assert!(
+            Rc::ptr_eq(&self.mgr, &other.mgr),
+            "comparing families from different managers"
+        );
+        self.node == other.node
+    }
+}
+
+impl Eq for ZddFamily {}
+
+impl Hash for ZddFamily {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.node.hash(state);
+    }
+}
+
+impl fmt::Debug for ZddFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sets = self.sets();
+        f.debug_set().entries(sets.iter()).finish()
+    }
+}
+
+impl SetFamily for ZddFamily {
+    type Context = Rc<RefCell<Zdd>>;
+
+    fn new_context(universe: usize) -> Self::Context {
+        Rc::new(RefCell::new(Zdd::new(universe)))
+    }
+
+    fn from_sets(ctx: &Self::Context, universe: usize, sets: &[BitSet]) -> Self {
+        let mut mgr = ctx.borrow_mut();
+        let mut node = ZDD_EMPTY;
+        for s in sets {
+            let elems: Vec<usize> = s.iter().collect();
+            let one = mgr.singleton(&elems);
+            node = mgr.union(node, one);
+        }
+        drop(mgr);
+        ZddFamily {
+            mgr: Rc::clone(ctx),
+            node,
+            universe,
+        }
+    }
+
+    fn empty(ctx: &Self::Context, universe: usize) -> Self {
+        ZddFamily {
+            mgr: Rc::clone(ctx),
+            node: ZDD_EMPTY,
+            universe,
+        }
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        let node = self.mgr.borrow_mut().union(self.node, other.node);
+        self.with_node(node)
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        let node = self.mgr.borrow_mut().intersect(self.node, other.node);
+        self.with_node(node)
+    }
+
+    fn difference(&self, other: &Self) -> Self {
+        let node = self.mgr.borrow_mut().diff(self.node, other.node);
+        self.with_node(node)
+    }
+
+    fn onset(&self, t: usize) -> Self {
+        let node = self.mgr.borrow_mut().onset(self.node, t);
+        self.with_node(node)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.mgr.borrow().is_empty(self.node)
+    }
+
+    fn count(&self) -> u64 {
+        self.mgr.borrow().count(self.node) as u64
+    }
+
+    fn contains(&self, set: &BitSet) -> bool {
+        let elems: Vec<usize> = set.iter().collect();
+        self.mgr.borrow().contains_set(self.node, &elems)
+    }
+
+    fn sets(&self) -> Vec<BitSet> {
+        self.mgr
+            .borrow()
+            .sets(self.node)
+            .into_iter()
+            .map(|s| BitSet::from_iter_with_capacity(self.universe, s))
+            .collect()
+    }
+
+    fn footprint(&self) -> usize {
+        self.mgr.borrow().size(self.node)
+    }
+
+    fn from_choice_groups(ctx: &Self::Context, universe: usize, groups: &[Vec<BitSet>]) -> Self {
+        let mut mgr = ctx.borrow_mut();
+        let mut node = ZDD_UNIT;
+        for group in groups {
+            let mut alt = ZDD_EMPTY;
+            for pick in group {
+                let elems: Vec<usize> = pick.iter().collect();
+                let one = mgr.singleton(&elems);
+                alt = mgr.union(alt, one);
+            }
+            node = mgr.join(node, alt);
+        }
+        drop(mgr);
+        ZddFamily {
+            mgr: Rc::clone(ctx),
+            node,
+            universe,
+        }
+    }
+
+    fn some_sets(&self, k: usize) -> Vec<BitSet> {
+        self.mgr
+            .borrow()
+            .some_sets(self.node, k)
+            .into_iter()
+            .map(|s| BitSet::from_iter_with_capacity(self.universe, s))
+            .collect()
+    }
+}
+
+impl ZddFamily {
+    fn with_node(&self, node: ZddRef) -> Self {
+        ZddFamily {
+            mgr: Rc::clone(&self.mgr),
+            node,
+            universe: self.universe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(universe: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_iter_with_capacity(universe, elems.iter().copied())
+    }
+
+    fn sample_sets(u: usize) -> Vec<BitSet> {
+        vec![bs(u, &[0, 2]), bs(u, &[1]), bs(u, &[1, 3]), bs(u, &[])]
+    }
+
+    /// Runs the same algebra through any implementation.
+    fn exercise<F: SetFamily>() {
+        let u = 4;
+        let ctx = F::new_context(u);
+        let a = F::from_sets(&ctx, u, &sample_sets(u));
+        let b = F::from_sets(&ctx, u, &[bs(u, &[1]), bs(u, &[0, 2]), bs(u, &[2])]);
+
+        assert_eq!(a.count(), 4);
+        assert!(!a.is_empty());
+        assert!(F::empty(&ctx, u).is_empty());
+
+        let uni = a.union(&b);
+        assert_eq!(uni.count(), 5);
+        let int = a.intersect(&b);
+        assert_eq!(int.count(), 2);
+        assert!(int.contains(&bs(u, &[1])));
+        assert!(int.contains(&bs(u, &[0, 2])));
+        let dif = a.difference(&b);
+        assert_eq!(dif.count(), 2);
+        assert!(dif.contains(&bs(u, &[])));
+        assert!(dif.contains(&bs(u, &[1, 3])));
+
+        let on = a.onset(1);
+        assert_eq!(on.count(), 2);
+        assert!(on.contains(&bs(u, &[1])));
+        assert!(on.contains(&bs(u, &[1, 3])));
+        assert!(!on.contains(&bs(u, &[0, 2])));
+
+        // identities
+        assert_eq!(a.union(&a), a);
+        assert_eq!(a.intersect(&a), a);
+        assert!(a.difference(&a).is_empty());
+        let rebuilt = dif.union(&int);
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn explicit_family_algebra() {
+        exercise::<ExplicitFamily>();
+    }
+
+    #[test]
+    fn zdd_family_algebra() {
+        exercise::<ZddFamily>();
+    }
+
+    #[test]
+    fn representations_agree_on_materialized_sets() {
+        let u = 5;
+        ExplicitFamily::new_context(u);
+        let zctx = ZddFamily::new_context(u);
+        let sets = vec![bs(u, &[0, 3]), bs(u, &[2]), bs(u, &[1, 2, 4])];
+        let e = ExplicitFamily::from_sets(&(), u, &sets);
+        let z = ZddFamily::from_sets(&zctx, u, &sets);
+        // `sets()` order is representation-specific; compare as sets
+        let norm = |v: Vec<BitSet>| {
+            let mut out: Vec<Vec<usize>> = v.iter().map(|s| s.iter().collect()).collect();
+            out.sort();
+            out
+        };
+        assert_eq!(norm(e.sets()), norm(z.sets()));
+        assert_eq!(norm(e.onset(2).sets()), norm(z.onset(2).sets()));
+        assert_eq!(e.count(), z.count());
+    }
+
+    #[test]
+    fn explicit_deduplicates() {
+        let u = 3;
+        let ctx = ();
+        let a = ExplicitFamily::from_sets(&ctx, u, &[bs(u, &[1]), bs(u, &[1])]);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    #[allow(clippy::mutable_key_type)] // ZddFamily's Hash uses only the
+    // immutable node id; the shared manager never changes existing nodes
+    fn hash_consistency() {
+        use std::collections::HashSet;
+        let u = 3;
+        let ctx = ZddFamily::new_context(u);
+        let a = ZddFamily::from_sets(&ctx, u, &[bs(u, &[1]), bs(u, &[0, 2])]);
+        let b = ZddFamily::from_sets(&ctx, u, &[bs(u, &[0, 2]), bs(u, &[1])]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn zdd_footprint_beats_explicit_on_products() {
+        // 10 binary choices: 1024 sets
+        let u = 20;
+        let all: Vec<BitSet> = {
+            let mut acc = vec![bs(u, &[])];
+            for i in 0..10 {
+                let mut next = Vec::new();
+                for base in &acc {
+                    for pick in [2 * i, 2 * i + 1] {
+                        let mut s = base.clone();
+                        s.insert(pick);
+                        next.push(s);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        };
+        let e = ExplicitFamily::from_sets(&(), u, &all);
+        let zctx = ZddFamily::new_context(u);
+        let z = ZddFamily::from_sets(&zctx, u, &all);
+        assert_eq!(e.count(), 1024);
+        assert_eq!(z.count(), 1024);
+        assert_eq!(e.footprint(), 1024);
+        assert!(z.footprint() <= 20, "zdd shares structure: {}", z.footprint());
+    }
+}

@@ -1,0 +1,331 @@
+//! `julie` — the command-line verifier of this reproduction, named after
+//! the paper's 9000-line C prototype.
+//!
+//! ```text
+//! julie info  <net>                structural summary: conflicts, clusters, invariants
+//! julie check <net> [options]      deadlock verification with a chosen engine
+//! julie dot   <net> [--rg]         Graphviz output of the net (or its reachability graph)
+//! julie model <name> <n>           print a built-in benchmark as .net text
+//!
+//! options:
+//!   --engine=full|po|gpo|bdd       verification engine (default: gpo)
+//!   --zdd                          ZDD-backed families for the gpo engine
+//!   --max-states=N                 state budget (default: 10,000,000)
+//!   --witnesses=K                  deadlock witness markings to print (default: 1)
+//!   <net> is a file in the `.net` text format, or `-` for stdin
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use gpo_core::{analyze_with, GpoOptions, Representation};
+use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
+use petri::{
+    net_to_dot, parse_net, place_invariants, reachability_to_dot, to_text, ConflictInfo,
+    ExploreOptions, PetriNet, ReachabilityGraph,
+};
+use symbolic::SymbolicReachability;
+use timed::{ClassGraph, TimedNet};
+use unfolding::{UnfoldOptions, Unfolding};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("julie: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "info" => info(&load_net(args)?),
+        "check" => check(&load_net(args)?, args),
+        "dot" => dot(&load_net(args)?, args),
+        "unfold" => unfold(&load_net(args)?, args),
+        "model" => model(args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `julie help`")),
+    }
+}
+
+const USAGE: &str = "\
+julie — generalized partial order analysis for safe Petri nets
+
+usage:
+  julie info  <net>            structural summary: conflicts, clusters, invariants
+  julie check <net> [options]  deadlock verification with a chosen engine
+  julie dot   <net> [--rg]     Graphviz output of the net (or its reachability graph)
+  julie unfold <net> [--dot]   McMillan finite complete prefix (stats or Graphviz)
+  julie model <name> <n>       print a built-in benchmark as .net text
+                               (nsdp, asat, over, rw, cyclic, fig1, fig2, fig3, fig7)
+
+options:
+  --engine=full|po|gpo|bdd|unfold|classes
+                               verification engine (default: gpo)
+  --zdd                        ZDD-backed families for the gpo engine
+  --max-states=N               state budget (default: 10000000)
+  --witnesses=K                deadlock witnesses to print (default: 1)
+
+<net> is a file in the .net text format, or `-` for stdin.
+";
+
+fn positional(args: &[String]) -> Vec<&String> {
+    args.iter().skip(1).filter(|a| !a.starts_with("--")).collect()
+}
+
+fn option<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    let prefix = format!("--{key}=");
+    args.iter().find_map(|a| a.strip_prefix(&prefix))
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == &format!("--{key}"))
+}
+
+fn load_net(args: &[String]) -> Result<PetriNet, String> {
+    let pos = positional(args);
+    let path = pos
+        .first()
+        .ok_or_else(|| "missing net file (or `-` for stdin)".to_string())?;
+    let text = if path.as_str() == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+    };
+    parse_net(&text).map_err(|e| e.to_string())
+}
+
+fn info(net: &PetriNet) -> Result<(), String> {
+    println!(
+        "net `{}`: {} places, {} transitions, {} arcs",
+        net.name(),
+        net.place_count(),
+        net.transition_count(),
+        net.arc_count()
+    );
+    println!(
+        "initial marking: {}",
+        net.display_marking(net.initial_marking())
+    );
+    let conflicts = ConflictInfo::new(net);
+    let choices: Vec<String> = conflicts
+        .choice_clusters()
+        .map(|c| {
+            let names: Vec<&str> = c.iter().map(|&t| net.transition_name(t)).collect();
+            format!("{{{}}}", names.join(","))
+        })
+        .collect();
+    println!(
+        "conflict clusters with a choice: {}{}",
+        choices.len(),
+        if choices.is_empty() {
+            String::new()
+        } else {
+            format!(" — {}", choices.join(" "))
+        }
+    );
+    println!(
+        "maximal conflict-free transition sets |r0|: {}",
+        conflicts.conflict_free_set_count()
+    );
+    match petri::siphon_trap_certificate(net, 100_000) {
+        Some(true) => println!("siphon-trap certificate: deadlock-free (structural proof)"),
+        Some(false) => println!("siphon-trap certificate: inconclusive"),
+        None => println!("siphon-trap certificate: skipped (siphon enumeration too large)"),
+    }
+    let invs = place_invariants(net);
+    println!("minimal place invariants: {}", invs.len());
+    for inv in invs.iter().take(8) {
+        let terms: Vec<String> = net
+            .places()
+            .filter(|p| inv[p.index()] != 0)
+            .map(|p| {
+                let w = inv[p.index()];
+                if w == 1 {
+                    net.place_name(p).to_string()
+                } else {
+                    format!("{w}*{}", net.place_name(p))
+                }
+            })
+            .collect();
+        println!("  {} = const", terms.join(" + "));
+    }
+    if invs.len() > 8 {
+        println!("  … and {} more", invs.len() - 8);
+    }
+    Ok(())
+}
+
+fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
+    let engine = option(args, "engine").unwrap_or("gpo");
+    let max_states: usize = option(args, "max-states")
+        .map(|s| s.parse().map_err(|_| format!("bad --max-states `{s}`")))
+        .transpose()?
+        .unwrap_or(10_000_000);
+    let witnesses: usize = option(args, "witnesses")
+        .map(|s| s.parse().map_err(|_| format!("bad --witnesses `{s}`")))
+        .transpose()?
+        .unwrap_or(1);
+
+    match engine {
+        "full" => {
+            let opts = ExploreOptions {
+                max_states,
+                record_edges: true,
+            };
+            let rg = ReachabilityGraph::explore_with(net, &opts).map_err(|e| e.to_string())?;
+            println!("engine: exhaustive reachability");
+            println!("states: {}", rg.state_count());
+            report_verdict(rg.has_deadlock());
+            for &d in rg.deadlocks().iter().take(witnesses) {
+                println!("dead marking: {}", net.display_marking(rg.marking(d)));
+                if let Some(path) = rg.path_to(d) {
+                    let names: Vec<&str> =
+                        path.iter().map(|&t| net.transition_name(t)).collect();
+                    println!("witness trace: {}", names.join(" "));
+                }
+            }
+        }
+        "po" => {
+            let opts = ReducedOptions {
+                strategy: SeedStrategy::BestOfEnabled,
+                max_states,
+            };
+            let red = ReducedReachability::explore_with(net, &opts).map_err(|e| e.to_string())?;
+            println!("engine: stubborn-set partial-order reduction");
+            println!("states: {}", red.state_count());
+            report_verdict(red.has_deadlock());
+            for m in red.deadlock_markings().take(witnesses) {
+                println!("dead marking: {}", net.display_marking(m));
+            }
+        }
+        "bdd" => {
+            let sym = SymbolicReachability::explore(net);
+            println!("engine: symbolic (BDD) reachability");
+            println!("states: {}", sym.state_count());
+            println!("peak BDD nodes: {}", sym.peak_live_nodes());
+            report_verdict(sym.has_deadlock());
+        }
+        "gpo" => {
+            let opts = GpoOptions {
+                valid_set_limit: 1 << 24,
+                max_states,
+                representation: if flag(args, "zdd") {
+                    Representation::Zdd
+                } else {
+                    Representation::Explicit
+                },
+                max_witnesses: witnesses,
+                coverage_query: Vec::new(),
+            };
+            let report = analyze_with(net, &opts).map_err(|e| e.to_string())?;
+            println!("engine: generalized partial order analysis");
+            println!("GPN states: {}", report.state_count);
+            println!("valid sets |r0|: {}", report.valid_set_count);
+            report_verdict(report.deadlock_possible);
+            for (i, w) in report.deadlock_witnesses.iter().enumerate() {
+                println!("dead marking: {}", net.display_marking(w));
+                if let Some(trace) = report.deadlock_traces.get(i) {
+                    let names: Vec<&str> =
+                        trace.iter().map(|&t| net.transition_name(t)).collect();
+                    println!("witness trace: {}", names.join(" "));
+                }
+            }
+        }
+        "unfold" => {
+            let unf = Unfolding::build_with(net, &UnfoldOptions { max_events: max_states })
+                .map_err(|e| e.to_string())?;
+            println!("engine: McMillan finite complete prefix");
+            println!(
+                "prefix: {} events, {} conditions, {} cut-offs",
+                unf.prefix().event_count(),
+                unf.prefix().condition_count(),
+                unf.prefix().cutoff_count()
+            );
+            report_verdict(unf.has_deadlock(net));
+        }
+        "classes" => {
+            // untimed intervals: the class graph doubles as a reference
+            // explorer; real timing analyses use the `timed` crate API
+            let graph = ClassGraph::explore(&TimedNet::new(net.clone()))
+                .map_err(|e| e.to_string())?;
+            println!("engine: state-class graph (untimed intervals)");
+            println!("classes: {}", graph.class_count());
+            report_verdict(graph.has_deadlock());
+        }
+        other => return Err(format!("unknown engine `{other}`")),
+    }
+    Ok(())
+}
+
+fn unfold(net: &PetriNet, args: &[String]) -> Result<(), String> {
+    let unf = Unfolding::build_with(net, &UnfoldOptions::default()).map_err(|e| e.to_string())?;
+    if flag(args, "dot") {
+        print!("{}", unf.prefix().to_dot(net));
+    } else {
+        println!(
+            "prefix of `{}`: {} events, {} conditions, {} cut-offs",
+            net.name(),
+            unf.prefix().event_count(),
+            unf.prefix().condition_count(),
+            unf.prefix().cutoff_count()
+        );
+        report_verdict(unf.has_deadlock(net));
+    }
+    Ok(())
+}
+
+fn report_verdict(deadlock: bool) {
+    if deadlock {
+        println!("verdict: DEADLOCK possible");
+    } else {
+        println!("verdict: deadlock-free");
+    }
+}
+
+fn dot(net: &PetriNet, args: &[String]) -> Result<(), String> {
+    if flag(args, "rg") {
+        let rg = ReachabilityGraph::explore(net).map_err(|e| e.to_string())?;
+        print!("{}", reachability_to_dot(net, &rg));
+    } else {
+        print!("{}", net_to_dot(net));
+    }
+    Ok(())
+}
+
+fn model(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let name = pos
+        .first()
+        .ok_or_else(|| "missing model name (nsdp|asat|over|rw|cyclic|fig1|fig2|fig3|fig7)".to_string())?;
+    let n: usize = pos
+        .get(1)
+        .map(|s| s.parse().map_err(|_| format!("bad size `{s}`")))
+        .transpose()?
+        .unwrap_or(2);
+    let net = match name.as_str() {
+        "nsdp" => models::nsdp(n),
+        "asat" => models::asat(n),
+        "over" => models::overtake(n),
+        "rw" => models::readers_writers(n),
+        "cyclic" => models::scheduler(n),
+        "fig1" => models::figures::fig1(),
+        "fig2" => models::figures::fig2(n),
+        "fig3" => models::figures::fig3(),
+        "fig7" => models::figures::fig7(),
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    print!("{}", to_text(&net));
+    Ok(())
+}

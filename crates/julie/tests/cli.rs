@@ -1,0 +1,205 @@
+//! End-to-end tests of the `julie` binary: every command, every engine,
+//! and the error paths, exercised through the real executable.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn julie(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_julie"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn julie_stdin(args: &[&str], stdin: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_julie"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin written");
+    child.wait_with_output().expect("binary finishes")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const CYCLE: &str = "net cycle\npl p *\npl q\ntr go : p -> q\ntr back : q -> p\n";
+const STUCK: &str = "net stuck\npl p *\npl q\ntr go : p -> q\n";
+
+#[test]
+fn help_prints_usage() {
+    for args in [vec!["help"], vec![]] {
+        let out = julie(&args.to_vec());
+        assert!(out.status.success());
+        assert!(stdout(&out).contains("usage:"));
+    }
+}
+
+#[test]
+fn model_emits_parsable_net() {
+    let out = julie(&["model", "nsdp", "3"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("net nsdp_3"));
+    petri::parse_net(&text).expect("model output parses");
+}
+
+#[test]
+fn model_knows_all_benchmarks() {
+    for (name, n) in [("nsdp", "2"), ("asat", "4"), ("over", "3"), ("rw", "3"), ("fig2", "5")] {
+        let out = julie(&["model", name, n]);
+        assert!(out.status.success(), "{name}");
+        petri::parse_net(&stdout(&out)).expect("parses");
+    }
+    for name in ["fig1", "fig3", "fig7"] {
+        let out = julie(&["model", name]);
+        assert!(out.status.success(), "{name}");
+    }
+}
+
+#[test]
+fn model_rejects_unknown() {
+    let out = julie(&["model", "nope"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown model"));
+}
+
+#[test]
+fn info_reports_structure() {
+    let out = julie_stdin(&["info", "-"], CYCLE);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("net `cycle`: 2 places, 2 transitions, 4 arcs"));
+    assert!(text.contains("initial marking: {p}"));
+    assert!(text.contains("p + q = const"), "place invariant shown");
+}
+
+#[test]
+fn check_all_engines_agree_via_cli() {
+    for engine in ["full", "po", "bdd", "gpo"] {
+        let out = julie_stdin(&["check", "-", &format!("--engine={engine}")], STUCK);
+        assert!(out.status.success(), "{engine}: {}", stderr(&out));
+        assert!(
+            stdout(&out).contains("DEADLOCK possible"),
+            "{engine} verdict"
+        );
+        let live = julie_stdin(&["check", "-", &format!("--engine={engine}")], CYCLE);
+        assert!(stdout(&live).contains("deadlock-free"), "{engine} verdict");
+    }
+}
+
+#[test]
+fn check_full_prints_witness_trace() {
+    let out = julie_stdin(&["check", "-", "--engine=full"], STUCK);
+    let text = stdout(&out);
+    assert!(text.contains("dead marking: {q}"));
+    assert!(text.contains("witness trace: go"));
+}
+
+#[test]
+fn check_gpo_zdd_flag_works() {
+    let out = julie_stdin(&["check", "-", "--engine=gpo", "--zdd"], STUCK);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("DEADLOCK possible"));
+}
+
+#[test]
+fn check_rejects_unknown_engine() {
+    let out = julie_stdin(&["check", "-", "--engine=quantum"], CYCLE);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown engine"));
+}
+
+#[test]
+fn check_respects_max_states() {
+    let out = julie_stdin(&["check", "-", "--engine=full", "--max-states=1"], CYCLE);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("state limit"));
+}
+
+#[test]
+fn dot_outputs_graphviz() {
+    let net_dot = julie_stdin(&["dot", "-"], CYCLE);
+    assert!(stdout(&net_dot).starts_with("digraph \"cycle\""));
+    let rg_dot = julie_stdin(&["dot", "-", "--rg"], CYCLE);
+    assert!(stdout(&rg_dot).starts_with("digraph \"RG_cycle\""));
+}
+
+#[test]
+fn parse_errors_are_reported_with_line() {
+    let out = julie_stdin(&["info", "-"], "pl p\ntr broken p -> q\n");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("line 2"));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = julie(&["check", "/nonexistent/net.net"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn unknown_command_suggests_help() {
+    let out = julie(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("try `julie help`"));
+}
+
+#[test]
+fn model_pipeline_round_trips_through_check() {
+    // julie model nsdp 2 | julie check - --engine=gpo
+    let model = julie(&["model", "nsdp", "2"]);
+    let out = julie_stdin(&["check", "-", "--engine=gpo", "--witnesses=2"], &stdout(&model));
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("GPN states: 3"));
+    assert!(text.contains("DEADLOCK possible"));
+    assert_eq!(text.matches("dead marking").count(), 2);
+}
+
+#[test]
+fn unfold_command_reports_prefix() {
+    let out = julie_stdin(&["unfold", "-"], CYCLE);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("events"));
+    assert!(text.contains("cut-offs"));
+    assert!(text.contains("deadlock-free"));
+}
+
+#[test]
+fn unfold_dot_output() {
+    let out = julie_stdin(&["unfold", "-", "--dot"], CYCLE);
+    assert!(stdout(&out).starts_with("digraph prefix"));
+}
+
+#[test]
+fn unfold_and_classes_engines_in_check() {
+    for engine in ["unfold", "classes"] {
+        let out = julie_stdin(&["check", "-", &format!("--engine={engine}")], STUCK);
+        assert!(out.status.success(), "{engine}: {}", stderr(&out));
+        assert!(stdout(&out).contains("DEADLOCK possible"), "{engine}");
+    }
+}
+
+#[test]
+fn info_shows_siphon_certificate() {
+    let out = julie_stdin(&["info", "-"], CYCLE);
+    assert!(stdout(&out).contains("siphon-trap certificate: deadlock-free"));
+    let out2 = julie_stdin(&["info", "-"], STUCK);
+    assert!(stdout(&out2).contains("siphon-trap certificate: inconclusive"));
+}

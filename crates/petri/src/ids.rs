@@ -1,0 +1,110 @@
+//! Typed identifiers for places and transitions.
+//!
+//! Index-based identifiers keep the net representation dense (everything is a
+//! `Vec` lookup) while the newtypes prevent mixing a place index into a
+//! transition table and vice versa.
+//!
+//! # Examples
+//!
+//! ```
+//! use petri::{PlaceId, TransitionId};
+//!
+//! let p = PlaceId::new(3);
+//! assert_eq!(p.index(), 3);
+//! assert_eq!(p.to_string(), "p3");
+//! assert_eq!(TransitionId::new(0).to_string(), "t0");
+//! ```
+
+use std::fmt;
+
+/// Identifier of a place within a [`PetriNet`](crate::PetriNet).
+///
+/// The wrapped value is the index of the place in the net's place table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(u32);
+
+/// Identifier of a transition within a [`PetriNet`](crate::PetriNet).
+///
+/// The wrapped value is the index of the transition in the net's transition
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(u32);
+
+impl PlaceId {
+    /// Wraps a raw place index.
+    pub fn new(index: usize) -> Self {
+        PlaceId(u32::try_from(index).expect("place index fits in u32"))
+    }
+
+    /// The raw index of this place.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TransitionId {
+    /// Wraps a raw transition index.
+    pub fn new(index: usize) -> Self {
+        TransitionId(u32::try_from(index).expect("transition index fits in u32"))
+    }
+
+    /// The raw index of this transition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<PlaceId> for usize {
+    fn from(id: PlaceId) -> usize {
+        id.index()
+    }
+}
+
+impl From<TransitionId> for usize {
+    fn from(id: TransitionId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        assert_eq!(PlaceId::new(7).index(), 7);
+        assert_eq!(TransitionId::new(42).index(), 42);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(PlaceId::new(1).to_string(), "p1");
+        assert_eq!(TransitionId::new(9).to_string(), "t9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PlaceId::new(1) < PlaceId::new(2));
+        assert!(TransitionId::new(0) < TransitionId::new(1));
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let n: usize = PlaceId::new(5).into();
+        assert_eq!(n, 5);
+        let m: usize = TransitionId::new(6).into();
+        assert_eq!(m, 6);
+    }
+}

@@ -1,0 +1,276 @@
+//! Structural analysis: incidence matrix and P/T-invariants.
+//!
+//! Place invariants (`x ≥ 0`, `x·C = 0` for the incidence matrix `C`) give
+//! token-conservation laws; a net covered by place invariants is structurally
+//! bounded, and a cover by *binary* invariants with a single initial token
+//! witnesses safeness. Transition invariants (`C·y = 0`) characterize firing
+//! count vectors of cycles. Both are computed with the classical Farkas
+//! (Fourier–Motzkin style) elimination over integers.
+
+use crate::net::PetriNet;
+
+/// Dense integer incidence matrix `C[p][t] = post(p,t) − pre(p,t)`.
+///
+/// # Examples
+///
+/// ```
+/// use petri::{incidence_matrix, NetBuilder};
+///
+/// let mut b = NetBuilder::new("n");
+/// let p = b.place_marked("p");
+/// let q = b.place("q");
+/// b.transition("t", [p], [q]);
+/// let c = incidence_matrix(&b.build()?);
+/// assert_eq!(c, vec![vec![-1], vec![1]]);
+/// # Ok::<(), petri::NetError>(())
+/// ```
+pub fn incidence_matrix(net: &PetriNet) -> Vec<Vec<i64>> {
+    let mut c = vec![vec![0i64; net.transition_count()]; net.place_count()];
+    for t in net.transitions() {
+        for p in net.pre_places(t) {
+            c[p.index()][t.index()] -= 1;
+        }
+        for p in net.post_places(t) {
+            c[p.index()][t.index()] += 1;
+        }
+    }
+    c
+}
+
+/// Computes the minimal-support non-negative integer solutions of
+/// `x · M = 0` (rows of `M` indexed by the solution vector) using the Farkas
+/// algorithm. `M` is `rows × cols`.
+fn farkas(m: &[Vec<i64>], rows: usize, cols: usize) -> Vec<Vec<i64>> {
+    // Work matrix: [ M | I ]; each row tracks its combination of originals.
+    let mut work: Vec<(Vec<i64>, Vec<i64>)> = (0..rows)
+        .map(|i| {
+            let mut id = vec![0i64; rows];
+            id[i] = 1;
+            (m[i].clone(), id)
+        })
+        .collect();
+
+    for col in 0..cols {
+        let mut next: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
+        // rows already zero in this column survive
+        for row in &work {
+            if row.0[col] == 0 {
+                next.push(row.clone());
+            }
+        }
+        // combine every positive with every negative row
+        let pos: Vec<&(Vec<i64>, Vec<i64>)> =
+            work.iter().filter(|r| r.0[col] > 0).collect();
+        let neg: Vec<&(Vec<i64>, Vec<i64>)> =
+            work.iter().filter(|r| r.0[col] < 0).collect();
+        for p in &pos {
+            for n in &neg {
+                let a = p.0[col];
+                let b = -n.0[col];
+                let g = gcd(a, b);
+                let (fp, fn_) = (b / g, a / g);
+                let mut vec_part: Vec<i64> = p
+                    .0
+                    .iter()
+                    .zip(&n.0)
+                    .map(|(x, y)| fp * x + fn_ * y)
+                    .collect();
+                let mut comb: Vec<i64> = p
+                    .1
+                    .iter()
+                    .zip(&n.1)
+                    .map(|(x, y)| fp * x + fn_ * y)
+                    .collect();
+                let g2 = vec_part
+                    .iter()
+                    .chain(comb.iter())
+                    .fold(0i64, |acc, &v| gcd(acc, v.abs()));
+                if g2 > 1 {
+                    for v in vec_part.iter_mut().chain(comb.iter_mut()) {
+                        *v /= g2;
+                    }
+                }
+                next.push((vec_part, comb));
+            }
+        }
+        // prune non-minimal supports to keep the basis small
+        next = minimal_support(next);
+        work = next;
+    }
+
+    let mut out: Vec<Vec<i64>> = work
+        .into_iter()
+        .map(|(_, comb)| comb)
+        .filter(|c| c.iter().any(|&v| v != 0))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn minimal_support(rows: Vec<(Vec<i64>, Vec<i64>)>) -> Vec<(Vec<i64>, Vec<i64>)> {
+    let supports: Vec<Vec<usize>> = rows
+        .iter()
+        .map(|r| {
+            r.1.iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    let mut keep = vec![true; rows.len()];
+    for i in 0..rows.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..rows.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            // drop i if j's support is a strict subset of i's
+            if supports[j].len() < supports[i].len()
+                && supports[j].iter().all(|x| supports[i].contains(x))
+            {
+                keep[i] = false;
+                break;
+            }
+            if supports[j] == supports[i] && j < i {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    rows.into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(r, _)| r)
+        .collect()
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+/// Minimal-support place invariants: vectors `x ≥ 0` with `x · C = 0`.
+///
+/// Each returned vector has one weight per place.
+pub fn place_invariants(net: &PetriNet) -> Vec<Vec<i64>> {
+    let c = incidence_matrix(net);
+    farkas(&c, net.place_count(), net.transition_count())
+}
+
+/// Minimal-support transition invariants: vectors `y ≥ 0` with `C · y = 0`.
+///
+/// Each returned vector has one weight per transition.
+pub fn transition_invariants(net: &PetriNet) -> Vec<Vec<i64>> {
+    let c = incidence_matrix(net);
+    // transpose
+    let rows = net.transition_count();
+    let cols = net.place_count();
+    let ct: Vec<Vec<i64>> = (0..rows)
+        .map(|t| (0..cols).map(|p| c[p][t]).collect())
+        .collect();
+    farkas(&ct, rows, cols)
+}
+
+/// `true` if every place has a positive weight in some place invariant —
+/// a structural witness of boundedness.
+pub fn covered_by_place_invariants(net: &PetriNet) -> bool {
+    let invs = place_invariants(net);
+    (0..net.place_count()).all(|p| invs.iter().any(|inv| inv[p] > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    fn cycle_net() -> PetriNet {
+        let mut b = NetBuilder::new("cycle");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("go", [p], [q]);
+        b.transition("back", [q], [p]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incidence_of_cycle() {
+        let c = incidence_matrix(&cycle_net());
+        assert_eq!(c, vec![vec![-1, 1], vec![1, -1]]);
+    }
+
+    #[test]
+    fn cycle_has_token_conservation_invariant() {
+        let invs = place_invariants(&cycle_net());
+        assert_eq!(invs, vec![vec![1, 1]], "p + q is constant");
+        assert!(covered_by_place_invariants(&cycle_net()));
+    }
+
+    #[test]
+    fn cycle_has_firing_invariant() {
+        let invs = transition_invariants(&cycle_net());
+        assert_eq!(invs, vec![vec![1, 1]], "go and back fire equally often");
+    }
+
+    #[test]
+    fn acyclic_net_has_no_transition_invariant() {
+        let mut b = NetBuilder::new("line");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("t", [p], [q]);
+        let net = b.build().unwrap();
+        assert!(transition_invariants(&net).is_empty());
+        assert!(covered_by_place_invariants(&net), "p+q still conserved");
+    }
+
+    #[test]
+    fn fork_join_invariants() {
+        let mut b = NetBuilder::new("fork-join");
+        let p0 = b.place_marked("p0");
+        let p1 = b.place("p1");
+        let p2 = b.place("p2");
+        let p3 = b.place("p3");
+        let p4 = b.place("p4");
+        b.transition("split", [p0], [p1, p2]);
+        b.transition("a", [p1], [p3]);
+        b.transition("b", [p2], [p4]);
+        b.transition("join", [p3, p4], [p0]);
+        let net = b.build().unwrap();
+        let invs = place_invariants(&net);
+        // two independent conservation laws: p0+p1+p3 and p0+p2+p4
+        assert_eq!(invs.len(), 2);
+        assert!(invs.contains(&vec![1, 1, 0, 1, 0]));
+        assert!(invs.contains(&vec![1, 0, 1, 0, 1]));
+        assert!(covered_by_place_invariants(&net));
+        // the full cycle is the unique minimal T-invariant
+        assert_eq!(transition_invariants(&net), vec![vec![1, 1, 1, 1]]);
+    }
+
+    #[test]
+    fn unbounded_source_not_covered() {
+        let mut b = NetBuilder::new("src");
+        let p = b.place("p");
+        b.transition("gen", [], [p]);
+        let net = b.build().unwrap();
+        assert!(!covered_by_place_invariants(&net));
+        assert!(place_invariants(&net).is_empty());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(6, 4), 2);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(0, 0), 1);
+        assert_eq!(gcd(-6, 4), 2);
+    }
+}

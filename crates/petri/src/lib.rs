@@ -1,0 +1,77 @@
+//! # petri — safe Petri net substrate
+//!
+//! The foundational crate of the *Generalized Partial Order Analysis*
+//! reproduction (Vercauteren, Verkest, de Jong, Lin — DATE 1998). It
+//! provides classical safe Petri nets (Definitions 2.1–2.4 of the paper):
+//!
+//! * [`PetriNet`] / [`NetBuilder`] — net structure `⟨P, T, F, m₀⟩`;
+//! * [`Marking`] — bitset states of safe nets, with the classical enabling
+//!   and firing rules as methods on the net;
+//! * [`ReachabilityGraph`] — exhaustive "conventional analysis" (§2.2),
+//!   deadlock detection and witness traces;
+//! * [`ConflictInfo`] — the conflict relation, conflict clusters (maximal
+//!   conflicting sets, Definition 2.2) and the *maximal conflict-free
+//!   transition sets* that seed the generalized analysis;
+//! * structural analysis ([`place_invariants`], [`transition_invariants`]);
+//! * a textual format ([`parse_net`] / [`to_text`]) and DOT export.
+//!
+//! Higher layers build on this crate: `partial-order` implements classical
+//! stubborn-set/anticipation reduction, `gpo-core` implements the paper's
+//! Generalized Petri Nets, and `symbolic` provides a BDD-based engine.
+//!
+//! # Example: detect the dining-philosophers deadlock
+//!
+//! ```
+//! use petri::{NetBuilder, verify};
+//!
+//! // Two philosophers, two forks, left-then-right grabbing order.
+//! let mut b = NetBuilder::new("dp2");
+//! let forks: Vec<_> = (0..2).map(|i| b.place_marked(format!("fork{i}"))).collect();
+//! for i in 0..2usize {
+//!     let think = b.place_marked(format!("think{i}"));
+//!     let has_left = b.place(format!("left{i}"));
+//!     let eat = b.place(format!("eat{i}"));
+//!     b.transition(format!("takeL{i}"), [think, forks[i]], [has_left]);
+//!     b.transition(format!("takeR{i}"), [has_left, forks[(i + 1) % 2]], [eat]);
+//!     b.transition(format!("drop{i}"), [eat], [think, forks[i], forks[(i + 1) % 2]]);
+//! }
+//! let net = b.build()?;
+//! let report = verify(&net)?;
+//! assert!(report.has_deadlock, "both grabbed their left fork");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod bitset;
+mod conflict;
+mod dot;
+mod error;
+mod firing;
+mod ids;
+mod invariants;
+mod marking;
+mod net;
+mod parser;
+mod reachability;
+mod siphons;
+
+pub use analysis::{verify, verify_with, VerificationReport};
+pub use bitset::{BitSet, Iter as BitSetIter};
+pub use conflict::ConflictInfo;
+pub use dot::{net_to_dot, reachability_to_dot};
+pub use error::NetError;
+pub use ids::{PlaceId, TransitionId};
+pub use invariants::{
+    covered_by_place_invariants, incidence_matrix, place_invariants, transition_invariants,
+};
+pub use marking::Marking;
+pub use net::{NetBuilder, PetriNet};
+pub use parser::{parse_net, to_text};
+pub use reachability::{ExploreOptions, ReachabilityGraph, StateId};
+pub use siphons::{
+    empty_places_siphon, is_siphon, is_trap, max_trap_within, minimal_siphons,
+    siphon_trap_certificate,
+};

@@ -1,0 +1,265 @@
+//! A small textual net format and its parser/printer.
+//!
+//! The format is line based:
+//!
+//! ```text
+//! # dining philosopher, 1 seat
+//! net demo
+//! pl think *        # `*` marks the place initially
+//! pl fork *
+//! pl eat
+//! tr take : think fork -> eat
+//! tr done : eat -> think fork
+//! ```
+//!
+//! * `net NAME` — optional, names the net (default `unnamed`).
+//! * `pl NAME [*]` — declares a place, `*` puts a token in it initially.
+//! * `tr NAME : PRE... -> POST...` — declares a transition; both sides may
+//!   be empty.
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! # Examples
+//!
+//! ```
+//! use petri::parse_net;
+//!
+//! let net = parse_net("pl a *\npl b\ntr t : a -> b\n")?;
+//! assert_eq!(net.place_count(), 2);
+//! assert_eq!(net.transition_count(), 1);
+//! # Ok::<(), petri::NetError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::NetError;
+use crate::ids::PlaceId;
+use crate::net::{NetBuilder, PetriNet};
+
+/// Parses the textual format described in the [module docs](self).
+///
+/// # Errors
+///
+/// Returns [`NetError::Parse`] with a 1-based line number for syntax errors,
+/// [`NetError::UnknownPlace`] for arcs to undeclared places, and the builder
+/// errors ([`NetError::DuplicateName`], [`NetError::DuplicateArc`]) for
+/// semantic problems.
+pub fn parse_net(input: &str) -> Result<PetriNet, NetError> {
+    let mut name = String::from("unnamed");
+    let mut places: HashMap<String, PlaceId> = HashMap::new();
+    struct PendingTr {
+        name: String,
+        pre: Vec<String>,
+        post: Vec<String>,
+        line: usize,
+    }
+    let mut place_decls: Vec<(String, bool)> = Vec::new();
+    let mut trs: Vec<PendingTr> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("net") => {
+                name = words.next().map(str::to_string).ok_or(NetError::Parse {
+                    line: lineno,
+                    message: "expected a net name after `net`".into(),
+                })?;
+            }
+            Some("pl") => {
+                let pname = words.next().map(str::to_string).ok_or(NetError::Parse {
+                    line: lineno,
+                    message: "expected a place name after `pl`".into(),
+                })?;
+                let marked = match words.next() {
+                    None => false,
+                    Some("*") => true,
+                    Some(w) => {
+                        return Err(NetError::Parse {
+                            line: lineno,
+                            message: format!("unexpected token `{w}` (only `*` is allowed)"),
+                        })
+                    }
+                };
+                place_decls.push((pname, marked));
+            }
+            Some("tr") => {
+                let tname = words.next().map(str::to_string).ok_or(NetError::Parse {
+                    line: lineno,
+                    message: "expected a transition name after `tr`".into(),
+                })?;
+                if words.next() != Some(":") {
+                    return Err(NetError::Parse {
+                        line: lineno,
+                        message: "expected `:` after the transition name".into(),
+                    });
+                }
+                let rest: Vec<&str> = words.collect();
+                let arrow = rest.iter().position(|&w| w == "->").ok_or(NetError::Parse {
+                    line: lineno,
+                    message: "expected `->` between presets and postsets".into(),
+                })?;
+                trs.push(PendingTr {
+                    name: tname,
+                    pre: rest[..arrow].iter().map(|s| s.to_string()).collect(),
+                    post: rest[arrow + 1..].iter().map(|s| s.to_string()).collect(),
+                    line: lineno,
+                });
+            }
+            Some(other) => {
+                return Err(NetError::Parse {
+                    line: lineno,
+                    message: format!("unknown directive `{other}` (expected net/pl/tr)"),
+                })
+            }
+            None => unreachable!("blank lines skipped above"),
+        }
+    }
+
+    let mut builder = NetBuilder::new(name);
+    for (pname, marked) in place_decls {
+        let id = if marked {
+            builder.place_marked(pname.clone())
+        } else {
+            builder.place(pname.clone())
+        };
+        places.insert(pname, id);
+    }
+    for tr in trs {
+        let resolve = |names: &[String]| -> Result<Vec<PlaceId>, NetError> {
+            names
+                .iter()
+                .map(|n| {
+                    places.get(n).copied().ok_or_else(|| NetError::Parse {
+                        line: tr.line,
+                        message: format!("unknown place `{n}`"),
+                    })
+                })
+                .collect()
+        };
+        let pre = resolve(&tr.pre)?;
+        let post = resolve(&tr.post)?;
+        builder.transition(tr.name, pre, post);
+    }
+    builder.build()
+}
+
+/// Renders a net back into the textual format accepted by [`parse_net`].
+///
+/// `parse_net(&to_text(&net))` reproduces an identical net.
+pub fn to_text(net: &PetriNet) -> String {
+    let mut out = format!("net {}\n", net.name());
+    for p in net.places() {
+        if net.initial_marking().is_marked(p) {
+            out.push_str(&format!("pl {} *\n", net.place_name(p)));
+        } else {
+            out.push_str(&format!("pl {}\n", net.place_name(p)));
+        }
+    }
+    for t in net.transitions() {
+        let pre: Vec<&str> = net.pre_places(t).iter().map(|&p| net.place_name(p)).collect();
+        let post: Vec<&str> = net.post_places(t).iter().map(|&p| net.place_name(p)).collect();
+        out.push_str(&format!(
+            "tr {} : {} -> {}\n",
+            net.transition_name(t),
+            pre.join(" "),
+            post.join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a cycle
+net cycle
+pl p *
+pl q
+tr go : p -> q
+tr back : q -> p
+";
+
+    #[test]
+    fn parses_sample() {
+        let net = parse_net(SAMPLE).unwrap();
+        assert_eq!(net.name(), "cycle");
+        assert_eq!(net.place_count(), 2);
+        assert_eq!(net.transition_count(), 2);
+        assert!(net.initial_marking().is_marked(net.place_by_name("p").unwrap()));
+        assert!(!net.initial_marking().is_marked(net.place_by_name("q").unwrap()));
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let net = parse_net(SAMPLE).unwrap();
+        let text = to_text(&net);
+        let net2 = parse_net(&text).unwrap();
+        assert_eq!(to_text(&net2), text);
+        assert_eq!(net2.place_count(), net.place_count());
+        assert_eq!(net2.transition_count(), net.transition_count());
+        assert_eq!(net2.initial_marking(), net.initial_marking());
+    }
+
+    #[test]
+    fn empty_pre_and_post_allowed() {
+        let net = parse_net("pl p\ntr src : -> p\ntr sink : p ->\n").unwrap();
+        let src = net.transition_by_name("src").unwrap();
+        assert!(net.pre_places(src).is_empty());
+        assert_eq!(net.post_places(src).len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let net = parse_net("\n# hi\npl p * # trailing\n\n").unwrap();
+        assert_eq!(net.place_count(), 1);
+        assert!(net.initial_marking().is_marked(net.place_by_name("p").unwrap()));
+    }
+
+    #[test]
+    fn unknown_place_errors_with_line() {
+        let err = parse_net("pl p\ntr t : q -> p\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetError::Parse {
+                line: 2,
+                message: "unknown place `q`".into()
+            }
+        );
+    }
+
+    #[test]
+    fn missing_arrow_errors() {
+        let err = parse_net("pl p\ntr t : p p\n").unwrap_err();
+        assert!(matches!(err, NetError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_colon_errors() {
+        let err = parse_net("pl p\ntr t p -> p\n").unwrap_err();
+        assert!(matches!(err, NetError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_directive_errors() {
+        let err = parse_net("bogus x\n").unwrap_err();
+        assert!(matches!(err, NetError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_marking_token_errors() {
+        let err = parse_net("pl p **\n").unwrap_err();
+        assert!(matches!(err, NetError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_place_propagates_builder_error() {
+        let err = parse_net("pl p\npl p\n").unwrap_err();
+        assert_eq!(err, NetError::DuplicateName("p".into()));
+    }
+}

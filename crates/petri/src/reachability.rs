@@ -1,0 +1,418 @@
+//! Exhaustive reachability analysis ("conventional analysis", §2.2).
+//!
+//! Builds the full reachability graph `RG(N)` of a safe net by breadth-first
+//! exploration with hashed visited states. This is the ground truth the
+//! reduced analyses are compared against, and the "States" column of the
+//! paper's Table 1.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetError;
+use crate::ids::TransitionId;
+use crate::marking::Marking;
+use crate::net::PetriNet;
+
+/// Identifier of a state (vertex) in a [`ReachabilityGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// The raw index of this state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn new(i: usize) -> Self {
+        StateId(u32::try_from(i).expect("state index fits in u32"))
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Options controlling [`ReachabilityGraph::explore_with`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Abort with [`NetError::StateLimit`] once this many states are stored.
+    pub max_states: usize,
+    /// Record the labelled edges (needed for path queries and DOT export);
+    /// disable to save memory when only the state count matters.
+    pub record_edges: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: usize::MAX,
+            record_edges: true,
+        }
+    }
+}
+
+/// The full reachability graph of a safe Petri net.
+///
+/// # Examples
+///
+/// ```
+/// use petri::{NetBuilder, ReachabilityGraph};
+///
+/// // Three concurrent transitions: 2^3 = 8 reachable states (paper Fig. 1).
+/// let mut b = NetBuilder::new("fig1");
+/// for i in 0..3 {
+///     let p = b.place_marked(format!("in{i}"));
+///     let q = b.place(format!("out{i}"));
+///     b.transition(format!("t{i}"), [p], [q]);
+/// }
+/// let net = b.build()?;
+/// let rg = ReachabilityGraph::explore(&net)?;
+/// assert_eq!(rg.state_count(), 8);
+/// assert_eq!(rg.deadlocks().len(), 1);
+/// # Ok::<(), petri::NetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph {
+    states: Vec<Marking>,
+    /// Per-state outgoing labelled edges; empty if `record_edges` was off.
+    succ: Vec<Vec<(TransitionId, StateId)>>,
+    initial: StateId,
+    deadlocks: Vec<StateId>,
+    edge_count: usize,
+}
+
+impl ReachabilityGraph {
+    /// Explores the full state space with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotSafe`] if any firing violates safeness.
+    pub fn explore(net: &PetriNet) -> Result<Self, NetError> {
+        Self::explore_with(net, &ExploreOptions::default())
+    }
+
+    /// Explores the full state space with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotSafe`] on a safeness violation, or
+    /// [`NetError::StateLimit`] if `opts.max_states` is exceeded.
+    pub fn explore_with(net: &PetriNet, opts: &ExploreOptions) -> Result<Self, NetError> {
+        let mut states: Vec<Marking> = vec![net.initial_marking().clone()];
+        let mut index: HashMap<Marking, StateId> = HashMap::new();
+        index.insert(net.initial_marking().clone(), StateId::new(0));
+        let mut succ: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
+        let mut deadlocks = Vec::new();
+        let mut edge_count = 0;
+
+        let mut frontier = 0;
+        while frontier < states.len() {
+            let sid = StateId::new(frontier);
+            let m = states[frontier].clone();
+            let mut any = false;
+            for t in net.transitions() {
+                if !net.enabled(t, &m) {
+                    continue;
+                }
+                any = true;
+                let next = net.fire(t, &m)?;
+                let nid = match index.entry(next) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let nid = StateId::new(states.len());
+                        states.push(e.key().clone());
+                        succ.push(Vec::new());
+                        e.insert(nid);
+                        if states.len() > opts.max_states {
+                            return Err(NetError::StateLimit(opts.max_states));
+                        }
+                        nid
+                    }
+                };
+                edge_count += 1;
+                if opts.record_edges {
+                    succ[sid.index()].push((t, nid));
+                }
+            }
+            if !any {
+                deadlocks.push(sid);
+            }
+            frontier += 1;
+        }
+
+        Ok(ReachabilityGraph {
+            states,
+            succ,
+            initial: StateId::new(0),
+            deadlocks,
+            edge_count,
+        })
+    }
+
+    /// Number of reachable states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of edges (fired transitions) in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The marking of state `s`.
+    pub fn marking(&self, s: StateId) -> &Marking {
+        &self.states[s.index()]
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl ExactSizeIterator<Item = StateId> + '_ {
+        (0..self.states.len()).map(StateId::new)
+    }
+
+    /// Outgoing labelled edges of `s` (empty if edges were not recorded).
+    pub fn successors(&self, s: StateId) -> &[(TransitionId, StateId)] {
+        &self.succ[s.index()]
+    }
+
+    /// States with no enabled transition (deadlock / termination states).
+    pub fn deadlocks(&self) -> &[StateId] {
+        &self.deadlocks
+    }
+
+    /// `true` if some reachable state is dead.
+    pub fn has_deadlock(&self) -> bool {
+        !self.deadlocks.is_empty()
+    }
+
+    /// Looks up the state id of a marking, if it is reachable.
+    pub fn find(&self, m: &Marking) -> Option<StateId> {
+        // Linear scan is acceptable for test-sized graphs; exploration keeps
+        // its own hash index internally.
+        self.states
+            .iter()
+            .position(|s| s == m)
+            .map(StateId::new)
+    }
+
+    /// Checks whether a marking is reachable.
+    pub fn contains(&self, m: &Marking) -> bool {
+        self.find(m).is_some()
+    }
+
+    /// A shortest firing sequence from the initial state to `target`.
+    ///
+    /// Returns `None` if `target` is unreachable or edges were not recorded.
+    pub fn path_to(&self, target: StateId) -> Option<Vec<TransitionId>> {
+        if target == self.initial {
+            return Some(Vec::new());
+        }
+        let mut pred: Vec<Option<(StateId, TransitionId)>> = vec![None; self.states.len()];
+        let mut queue = std::collections::VecDeque::from([self.initial]);
+        let mut seen = vec![false; self.states.len()];
+        seen[self.initial.index()] = true;
+        while let Some(s) = queue.pop_front() {
+            for &(t, n) in self.successors(s) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    pred[n.index()] = Some((s, t));
+                    if n == target {
+                        let mut path = Vec::new();
+                        let mut cur = n;
+                        while let Some((p, tr)) = pred[cur.index()] {
+                            path.push(tr);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// Counts the distinct maximal firing sequences (interleavings) of an
+    /// *acyclic* reachability graph — e.g. the `3! = 6` interleavings of the
+    /// paper's Figure 1.
+    ///
+    /// Returns `None` if the graph contains a cycle (the count would be
+    /// infinite) or edges were not recorded.
+    pub fn count_maximal_paths(&self) -> Option<u128> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        fn visit(
+            rg: &ReachabilityGraph,
+            s: StateId,
+            marks: &mut [Mark],
+            memo: &mut [Option<u128>],
+        ) -> Option<u128> {
+            if let Some(v) = memo[s.index()] {
+                return Some(v);
+            }
+            if marks[s.index()] == Mark::Grey {
+                return None; // cycle
+            }
+            marks[s.index()] = Mark::Grey;
+            let succs = rg.successors(s);
+            let v = if succs.is_empty() {
+                1
+            } else {
+                let mut sum: u128 = 0;
+                for &(_, n) in succs {
+                    sum += visit(rg, n, marks, memo)?;
+                }
+                sum
+            };
+            marks[s.index()] = Mark::Black;
+            memo[s.index()] = Some(v);
+            Some(v)
+        }
+        let mut marks = vec![Mark::White; self.states.len()];
+        let mut memo = vec![None; self.states.len()];
+        visit(self, self.initial, &mut marks, &mut memo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    /// N independent place->transition->place strands, all marked.
+    fn concurrent(n: usize) -> PetriNet {
+        let mut b = NetBuilder::new("concurrent");
+        for i in 0..n {
+            let p = b.place_marked(format!("in{i}"));
+            let q = b.place(format!("out{i}"));
+            b.transition(format!("t{i}"), [p], [q]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig1_shape_eight_states_six_interleavings() {
+        let rg = ReachabilityGraph::explore(&concurrent(3)).unwrap();
+        assert_eq!(rg.state_count(), 8);
+        assert_eq!(rg.edge_count(), 12); // 3*4 edges of the cube
+        assert_eq!(rg.deadlocks().len(), 1);
+        assert_eq!(rg.count_maximal_paths(), Some(6));
+    }
+
+    #[test]
+    fn concurrency_scales_as_two_to_the_n() {
+        for n in 1..=6 {
+            let rg = ReachabilityGraph::explore(&concurrent(n)).unwrap();
+            assert_eq!(rg.state_count(), 1 << n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn cyclic_net_has_no_path_count() {
+        let mut b = NetBuilder::new("cycle");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("go", [p], [q]);
+        b.transition("back", [q], [p]);
+        let net = b.build().unwrap();
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        assert_eq!(rg.state_count(), 2);
+        assert!(!rg.has_deadlock());
+        assert_eq!(rg.count_maximal_paths(), None);
+    }
+
+    #[test]
+    fn deadlock_found_and_witnessed() {
+        // classic 2-process deadlock: each grabs one of two shared resources
+        let mut b = NetBuilder::new("deadlock");
+        let r1 = b.place_marked("r1");
+        let r2 = b.place_marked("r2");
+        let a0 = b.place_marked("a0");
+        let a1 = b.place("a1");
+        let b0 = b.place_marked("b0");
+        let b1 = b.place("b1");
+        b.transition("a_take1", [a0, r1], [a1]);
+        b.transition("a_take2", [a1, r2], [a0, r1, r2]);
+        b.transition("b_take2", [b0, r2], [b1]);
+        b.transition("b_take1", [b1, r1], [b0, r1, r2]);
+        let net = b.build().unwrap();
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        assert!(rg.has_deadlock());
+        let dead = rg.deadlocks()[0];
+        let path = rg.path_to(dead).expect("deadlock reachable");
+        // replaying the witness ends in the dead marking
+        let m = net
+            .fire_sequence(net.initial_marking(), path)
+            .unwrap()
+            .unwrap();
+        assert_eq!(&m, rg.marking(dead));
+        assert!(net.is_dead(&m));
+    }
+
+    #[test]
+    fn state_limit_respected() {
+        let net = concurrent(5);
+        let opts = ExploreOptions {
+            max_states: 10,
+            record_edges: false,
+        };
+        let err = ReachabilityGraph::explore_with(&net, &opts).unwrap_err();
+        assert_eq!(err, NetError::StateLimit(10));
+    }
+
+    #[test]
+    fn edges_can_be_skipped() {
+        let net = concurrent(3);
+        let opts = ExploreOptions {
+            max_states: usize::MAX,
+            record_edges: false,
+        };
+        let rg = ReachabilityGraph::explore_with(&net, &opts).unwrap();
+        assert_eq!(rg.state_count(), 8);
+        assert!(rg.successors(rg.initial()).is_empty());
+        assert_eq!(rg.edge_count(), 12, "edge count still tracked");
+    }
+
+    #[test]
+    fn find_and_contains() {
+        let net = concurrent(2);
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        assert!(rg.contains(net.initial_marking()));
+        assert_eq!(rg.find(net.initial_marking()), Some(rg.initial()));
+        let absent = Marking::empty(net.place_count());
+        assert!(!rg.contains(&absent));
+    }
+
+    #[test]
+    fn path_to_initial_is_empty() {
+        let net = concurrent(2);
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        assert_eq!(rg.path_to(rg.initial()), Some(vec![]));
+    }
+
+    #[test]
+    fn unsafe_net_reported() {
+        let mut b = NetBuilder::new("unsafe");
+        let p = b.place_marked("p");
+        let q = b.place_marked("q");
+        let r = b.place("r");
+        b.transition("t1", [p], [r]);
+        b.transition("t2", [q], [r]);
+        let net = b.build().unwrap();
+        // firing t1 then t2 puts two tokens in r
+        let err = ReachabilityGraph::explore(&net).unwrap_err();
+        assert!(matches!(err, NetError::NotSafe { .. }));
+    }
+}

@@ -1,0 +1,268 @@
+//! Siphons and traps: structural deadlock analysis.
+//!
+//! A **siphon** is a place set `S` with `•S ⊆ S•`: every transition that
+//! produces into `S` also consumes from it, so once `S` is empty it stays
+//! empty — and at any dead marking of an ordinary net, the empty places
+//! form a siphon. A **trap** `Q` satisfies `Q• ⊆ •Q`: once marked it stays
+//! marked. Together they yield the classical sufficient condition for
+//! deadlock freedom (Commoner): *if every minimal siphon contains an
+//! initially marked trap, no reachable marking is dead* — a purely
+//! structural certificate, no state space needed.
+
+use crate::bitset::BitSet;
+use crate::ids::PlaceId;
+use crate::marking::Marking;
+use crate::net::PetriNet;
+
+/// `true` if `set` (over place indices) is a siphon: `•S ⊆ S•`.
+pub fn is_siphon(net: &PetriNet, set: &BitSet) -> bool {
+    for p in set.iter() {
+        for &t in net.pre_transitions(PlaceId::new(p)) {
+            // t produces into S: it must also consume from S
+            if net.pre_place_set(t).is_disjoint(set) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` if `set` is a trap: `Q• ⊆ •Q`.
+pub fn is_trap(net: &PetriNet, set: &BitSet) -> bool {
+    for p in set.iter() {
+        for &t in net.post_transitions(PlaceId::new(p)) {
+            // t consumes from Q: it must also produce into Q
+            if net.post_place_set(t).is_disjoint(set) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The largest trap contained in `set` (greatest fixpoint: repeatedly drop
+/// places whose consumers do not feed the set back). May be empty.
+pub fn max_trap_within(net: &PetriNet, set: &BitSet) -> BitSet {
+    let mut q = set.clone();
+    loop {
+        let mut changed = false;
+        for p in q.clone().iter() {
+            let violates = net
+                .post_transitions(PlaceId::new(p))
+                .iter()
+                .any(|&t| net.post_place_set(t).is_disjoint(&q));
+            if violates {
+                q.remove(p);
+                changed = true;
+            }
+        }
+        if !changed {
+            return q;
+        }
+    }
+}
+
+/// Enumerates the minimal (non-empty) siphons of `net`, up to `limit`
+/// candidates explored; returns `None` if the search is cut short.
+///
+/// Minimal-siphon enumeration is exponential in the worst case; the
+/// branch-and-bound below (choose an input place for each unsatisfied
+/// producer) is fine at benchmark scales.
+pub fn minimal_siphons(net: &PetriNet, limit: usize) -> Option<Vec<BitSet>> {
+    let n = net.place_count();
+    let mut found: Vec<BitSet> = Vec::new();
+    let mut explored = 0usize;
+
+    // seed: every place alone; close into siphons by branching
+    fn closure(
+        net: &PetriNet,
+        set: &BitSet,
+        forbidden: &BitSet,
+        found: &mut Vec<BitSet>,
+        explored: &mut usize,
+        limit: usize,
+    ) -> bool {
+        *explored += 1;
+        if *explored > limit {
+            return false;
+        }
+        // find a violated producer: t ∈ •S with •t ∩ S = ∅
+        for p in set.iter() {
+            for &t in net.pre_transitions(PlaceId::new(p)) {
+                if net.pre_place_set(t).is_disjoint(set) {
+                    // branch over the input places of t
+                    for q in net.pre_place_set(t).iter() {
+                        if forbidden.contains(q) {
+                            continue;
+                        }
+                        let mut bigger = set.clone();
+                        bigger.insert(q);
+                        if !closure(net, &bigger, forbidden, found, explored, limit) {
+                            return false;
+                        }
+                    }
+                    return true; // all branches handled (or dead ends)
+                }
+            }
+        }
+        // set is a siphon: keep if no known siphon is contained in it
+        if !found.iter().any(|s| s.is_subset(set)) {
+            found.retain(|s| !set.is_subset(s));
+            found.push(set.clone());
+        }
+        true
+    }
+
+    for seed in 0..n {
+        let mut set = BitSet::new(n);
+        set.insert(seed);
+        // forbid smaller seeds: each minimal siphon is found from its
+        // smallest member only
+        let forbidden = BitSet::from_iter_with_capacity(n, 0..seed);
+        if !closure(net, &set, &forbidden, &mut found, &mut explored, limit) {
+            return None;
+        }
+    }
+    found.sort();
+    Some(found)
+}
+
+/// The Commoner-style certificate: every minimal siphon contains a trap
+/// that is marked in the initial marking.
+///
+/// Returns `Some(true)` — a **sound** deadlock-freedom proof — when the
+/// condition holds, `Some(false)` when some siphon lacks a marked trap
+/// (inconclusive: a deadlock may or may not exist), and `None` when the
+/// siphon enumeration exceeded `limit`.
+pub fn siphon_trap_certificate(net: &PetriNet, limit: usize) -> Option<bool> {
+    let siphons = minimal_siphons(net, limit)?;
+    Some(siphons.iter().all(|s| {
+        let trap = max_trap_within(net, s);
+        !trap.is_empty()
+            && trap
+                .iter()
+                .any(|p| net.initial_marking().is_marked(PlaceId::new(p)))
+    }))
+}
+
+/// The empty places of a dead marking always form a siphon — the
+/// structural witness behind deadlock detection. Exposed for tests and
+/// diagnostics.
+pub fn empty_places_siphon(net: &PetriNet, dead: &Marking) -> Option<BitSet> {
+    if !net.is_dead(dead) {
+        return None;
+    }
+    let empties = BitSet::from_iter_with_capacity(
+        net.place_count(),
+        net.places().filter(|&p| !dead.is_marked(p)).map(PlaceId::index),
+    );
+    debug_assert!(is_siphon(net, &empties));
+    Some(empties)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    fn bs(n: usize, elems: &[usize]) -> BitSet {
+        BitSet::from_iter_with_capacity(n, elems.iter().copied())
+    }
+
+    fn cycle() -> PetriNet {
+        let mut b = NetBuilder::new("cycle");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("go", [p], [q]);
+        b.transition("back", [q], [p]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cycle_places_form_siphon_and_trap() {
+        let net = cycle();
+        let both = bs(2, &[0, 1]);
+        assert!(is_siphon(&net, &both));
+        assert!(is_trap(&net, &both));
+        let single = bs(2, &[0]);
+        assert!(!is_siphon(&net, &single), "back produces into p from q");
+        assert!(!is_trap(&net, &single));
+    }
+
+    #[test]
+    fn minimal_siphons_of_cycle() {
+        let net = cycle();
+        let siphons = minimal_siphons(&net, 1000).unwrap();
+        assert_eq!(siphons, vec![bs(2, &[0, 1])]);
+    }
+
+    #[test]
+    fn cycle_gets_deadlock_freedom_certificate() {
+        assert_eq!(siphon_trap_certificate(&cycle(), 1000), Some(true));
+    }
+
+    #[test]
+    fn line_net_has_no_certificate() {
+        // p -> t -> q: {p} is a siphon with no producers; its max trap is
+        // empty, so the certificate fails — and indeed the net deadlocks
+        let mut b = NetBuilder::new("line");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("t", [p], [q]);
+        let net = b.build().unwrap();
+        assert_eq!(siphon_trap_certificate(&net, 1000), Some(false));
+    }
+
+    #[test]
+    fn max_trap_is_greatest_fixpoint() {
+        let net = cycle();
+        let all = BitSet::full(2);
+        assert_eq!(max_trap_within(&net, &all), all);
+        let mut b = NetBuilder::new("leak");
+        let p = b.place_marked("p");
+        b.transition("leak", [p], []);
+        let net2 = b.build().unwrap();
+        assert!(max_trap_within(&net2, &BitSet::full(1)).is_empty());
+    }
+
+    #[test]
+    fn dead_marking_empties_form_siphon() {
+        let mut b = NetBuilder::new("line");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        let r = b.place("r");
+        b.transition("t", [p, r], [q]);
+        let net = b.build().unwrap();
+        // initial marking is dead: r is empty
+        let siphon = empty_places_siphon(&net, net.initial_marking()).unwrap();
+        assert!(is_siphon(&net, &siphon));
+        assert!(siphon.contains(r.index()));
+        // a live marking yields no witness
+        let mut live = net.initial_marking().clone();
+        live.add_token(r);
+        assert!(empty_places_siphon(&net, &live).is_none());
+    }
+
+    #[test]
+    fn limit_cuts_enumeration_short() {
+        assert!(minimal_siphons(&cycle(), 0).is_none());
+    }
+
+    #[test]
+    fn minimality_is_enforced() {
+        // two independent cycles: two minimal siphons, not their union
+        let mut b = NetBuilder::new("two-cycles");
+        for i in 0..2 {
+            let p = b.place_marked(format!("p{i}"));
+            let q = b.place(format!("q{i}"));
+            b.transition(format!("go{i}"), [p], [q]);
+            b.transition(format!("back{i}"), [q], [p]);
+        }
+        let net = b.build().unwrap();
+        let siphons = minimal_siphons(&net, 10_000).unwrap();
+        assert_eq!(siphons.len(), 2);
+        for s in &siphons {
+            assert_eq!(s.len(), 2);
+        }
+    }
+}

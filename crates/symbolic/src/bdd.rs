@@ -1,0 +1,589 @@
+//! A from-scratch reduced ordered binary decision diagram (ROBDD) engine.
+//!
+//! Implements the classical Bryant construction [2]: hash-consed nodes in a
+//! fixed variable order, an ITE-based apply with memoization, existential
+//! quantification, the combined `and_exists` (relational product) used by
+//! image computation, monotone variable renaming, and model counting.
+//!
+//! The engine does not garbage-collect: the paper's comparison metric is
+//! *peak* BDD size, so keeping everything allocated and reporting both the
+//! high-water mark of live nodes and the total allocation is exactly what
+//! the evaluation needs.
+
+use std::collections::HashMap;
+
+/// Index of a BDD node within its [`Bdd`] manager.
+///
+/// `NodeId`s are only meaningful relative to the manager that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(u32);
+
+impl BddRef {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The constant **false** function.
+pub const BDD_FALSE: BddRef = BddRef(0);
+/// The constant **true** function.
+pub const BDD_TRUE: BddRef = BddRef(1);
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: BddRef,
+    hi: BddRef,
+}
+
+/// A BDD manager: owns the node store and all operation caches.
+///
+/// # Examples
+///
+/// ```
+/// use symbolic::{Bdd, BDD_FALSE};
+///
+/// let mut bdd = Bdd::new(4);
+/// let x0 = bdd.var(0);
+/// let x1 = bdd.var(1);
+/// let f = bdd.and(x0, x1);
+/// assert_eq!(bdd.eval(f, &[true, true, false, false]), true);
+/// assert_eq!(bdd.eval(f, &[true, false, false, false]), false);
+/// let g = bdd.not(f);
+/// assert_eq!(bdd.and(f, g), BDD_FALSE);
+/// ```
+#[derive(Debug)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, BddRef, BddRef), BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    nvars: u32,
+}
+
+impl Bdd {
+    /// Creates a manager over variables `0..nvars`.
+    pub fn new(nvars: usize) -> Self {
+        let nodes = vec![
+            Node { var: TERMINAL_VAR, lo: BDD_FALSE, hi: BDD_FALSE },
+            Node { var: TERMINAL_VAR, lo: BDD_TRUE, hi: BDD_TRUE },
+        ];
+        Bdd {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            nvars: u32::try_from(nvars).expect("variable count fits in u32"),
+        }
+    }
+
+    /// Number of variables in the order.
+    pub fn var_count(&self) -> usize {
+        self.nvars as usize
+    }
+
+    /// Total nodes ever allocated (terminals included).
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn var_of(&self, f: BddRef) -> u32 {
+        self.nodes[f.index()].var
+    }
+
+    fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> BddRef {
+        if lo == hi {
+            return lo;
+        }
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            self.nodes.push(Node { var, lo, hi });
+            BddRef(u32::try_from(self.nodes.len() - 1).expect("node count fits in u32"))
+        })
+    }
+
+    /// The single-variable function `x_v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the variable order.
+    pub fn var(&mut self, v: usize) -> BddRef {
+        assert!((v as u32) < self.nvars, "variable {v} out of order 0..{}", self.nvars);
+        self.mk(v as u32, BDD_FALSE, BDD_TRUE)
+    }
+
+    /// The negated single-variable function `¬x_v`.
+    pub fn nvar(&mut self, v: usize) -> BddRef {
+        assert!((v as u32) < self.nvars, "variable {v} out of order 0..{}", self.nvars);
+        self.mk(v as u32, BDD_TRUE, BDD_FALSE)
+    }
+
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        // terminal shortcuts
+        if f == BDD_TRUE {
+            return g;
+        }
+        if f == BDD_FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == BDD_TRUE && h == BDD_FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactors(&self, f: BddRef, var: u32) -> (BddRef, BddRef) {
+        let n = self.nodes[f.index()];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, g, BDD_FALSE)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, BDD_TRUE, g)
+    }
+
+    /// Negation `¬f`.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        self.ite(f, BDD_FALSE, BDD_TRUE)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Existential quantification of every variable in `vars` (a sorted
+    /// slice of variable indices).
+    pub fn exists(&mut self, f: BddRef, vars: &[usize]) -> BddRef {
+        let mut cache = HashMap::new();
+        self.exists_rec(f, vars, &mut cache)
+    }
+
+    fn exists_rec(
+        &mut self,
+        f: BddRef,
+        vars: &[usize],
+        cache: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        if f == BDD_FALSE || f == BDD_TRUE || vars.is_empty() {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        // skip quantified variables above the node's own variable
+        let rest: &[usize] = {
+            let mut i = 0;
+            while i < vars.len() && (vars[i] as u32) < n.var {
+                i += 1;
+            }
+            &vars[i..]
+        };
+        let r = if rest.first() == Some(&(n.var as usize)) {
+            let lo = self.exists_rec(n.lo, &rest[1..], cache);
+            let hi = self.exists_rec(n.hi, &rest[1..], cache);
+            self.or(lo, hi)
+        } else {
+            let lo = self.exists_rec(n.lo, rest, cache);
+            let hi = self.exists_rec(n.hi, rest, cache);
+            self.mk(n.var, lo, hi)
+        };
+        cache.insert(f, r);
+        r
+    }
+
+    /// The relational product `∃ vars. (f ∧ g)` computed in one pass —
+    /// the workhorse of symbolic image computation.
+    pub fn and_exists(&mut self, f: BddRef, g: BddRef, vars: &[usize]) -> BddRef {
+        let mut cache = HashMap::new();
+        self.and_exists_rec(f, g, vars, &mut cache)
+    }
+
+    fn and_exists_rec(
+        &mut self,
+        f: BddRef,
+        g: BddRef,
+        vars: &[usize],
+        cache: &mut HashMap<(BddRef, BddRef), BddRef>,
+    ) -> BddRef {
+        if f == BDD_FALSE || g == BDD_FALSE {
+            return BDD_FALSE;
+        }
+        if f == BDD_TRUE && g == BDD_TRUE {
+            return BDD_TRUE;
+        }
+        if vars.is_empty() {
+            return self.and(f, g);
+        }
+        if let Some(&r) = cache.get(&(f, g)) {
+            return r;
+        }
+        let top = self.var_of(f).min(self.var_of(g));
+        if top == TERMINAL_VAR {
+            return self.and(f, g);
+        }
+        let rest: &[usize] = {
+            let mut i = 0;
+            while i < vars.len() && (vars[i] as u32) < top {
+                i += 1;
+            }
+            &vars[i..]
+        };
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let r = if rest.first() == Some(&(top as usize)) {
+            let lo = self.and_exists_rec(f0, g0, &rest[1..], cache);
+            if lo == BDD_TRUE {
+                BDD_TRUE
+            } else {
+                let hi = self.and_exists_rec(f1, g1, &rest[1..], cache);
+                self.or(lo, hi)
+            }
+        } else {
+            let lo = self.and_exists_rec(f0, g0, rest, cache);
+            let hi = self.and_exists_rec(f1, g1, rest, cache);
+            self.mk(top, lo, hi)
+        };
+        cache.insert((f, g), r);
+        r
+    }
+
+    /// Renames variables through a **monotone** mapping `map[v] = v'`
+    /// (order-preserving on the variables actually present in `f`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the mapping is monotone along each path.
+    pub fn rename(&mut self, f: BddRef, map: &[usize]) -> BddRef {
+        let mut cache = HashMap::new();
+        self.rename_rec(f, map, &mut cache)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: BddRef,
+        map: &[usize],
+        cache: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        if f == BDD_FALSE || f == BDD_TRUE {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let lo = self.rename_rec(n.lo, map, cache);
+        let hi = self.rename_rec(n.hi, map, cache);
+        let nv = map[n.var as usize] as u32;
+        debug_assert!(
+            self.var_of(lo) > nv && self.var_of(hi) > nv,
+            "non-monotone renaming"
+        );
+        let r = self.mk(nv, lo, hi);
+        cache.insert(f, r);
+        r
+    }
+
+    /// Evaluates `f` under a full assignment (index = variable).
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == BDD_TRUE {
+                return true;
+            }
+            if cur == BDD_FALSE {
+                return false;
+            }
+            let n = self.nodes[cur.index()];
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+    }
+
+    /// Number of satisfying assignments of `f` counted over `k` relevant
+    /// variables, assuming `f` only depends on variables from that set.
+    ///
+    /// This is [`sat_count_total`](Self::sat_count_total) renormalized: a
+    /// function over the first `k` of `n` manager variables has each model
+    /// counted `2^(n−k)` times by the total count.
+    pub fn sat_count_over(&self, f: BddRef, k: usize) -> f64 {
+        let n = self.nvars as i32;
+        self.sat_count_total(f) / 2f64.powi(n - k as i32)
+    }
+
+    fn sat_count_rec(&self, f: BddRef, cache: &mut HashMap<BddRef, f64>) -> f64 {
+        if f == BDD_FALSE {
+            return 0.0;
+        }
+        if f == BDD_TRUE {
+            return 1.0;
+        }
+        if let Some(&c) = cache.get(&f) {
+            return c;
+        }
+        let n = self.nodes[f.index()];
+        let lo = self.sat_count_rec(n.lo, cache);
+        let hi = self.sat_count_rec(n.hi, cache);
+        let scale = |child: BddRef, count: f64| -> f64 {
+            let cv = self.var_of(child).min(self.nvars);
+            count * 2f64.powi((cv - n.var - 1) as i32)
+        };
+        let c = scale(n.lo, lo) + scale(n.hi, hi);
+        cache.insert(f, c);
+        c
+    }
+
+    /// Counts satisfying assignments over **all** manager variables.
+    pub fn sat_count_total(&self, f: BddRef) -> f64 {
+        if f == BDD_FALSE {
+            return 0.0;
+        }
+        let mut cache = HashMap::new();
+        let c = self.sat_count_rec(f, &mut cache);
+        let top = self.var_of(f).min(self.nvars);
+        c * 2f64.powi(top as i32)
+    }
+
+    /// Extracts one satisfying assignment as a vector indexed by variable:
+    /// `Some(true/false)` for variables on the chosen path, `None` for
+    /// don't-cares. Returns `None` when `f` is unsatisfiable.
+    pub fn some_cube(&self, f: BddRef) -> Option<Vec<Option<bool>>> {
+        if f == BDD_FALSE {
+            return None;
+        }
+        let mut cube = vec![None; self.nvars as usize];
+        let mut cur = f;
+        while cur != BDD_TRUE {
+            let n = self.nodes[cur.index()];
+            if n.lo != BDD_FALSE {
+                cube[n.var as usize] = Some(false);
+                cur = n.lo;
+            } else {
+                cube[n.var as usize] = Some(true);
+                cur = n.hi;
+            }
+        }
+        Some(cube)
+    }
+
+    /// Number of distinct nodes reachable from `f` (its BDD size),
+    /// terminals excluded.
+    pub fn size(&self, f: BddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n == BDD_TRUE || n == BDD_FALSE || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.nodes[n.index()];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_behave() {
+        let mut b = Bdd::new(2);
+        assert_eq!(b.and(BDD_TRUE, BDD_FALSE), BDD_FALSE);
+        assert_eq!(b.or(BDD_TRUE, BDD_FALSE), BDD_TRUE);
+        assert_eq!(b.not(BDD_TRUE), BDD_FALSE);
+        assert_eq!(b.not(BDD_FALSE), BDD_TRUE);
+    }
+
+    #[test]
+    fn hash_consing_canonicalizes() {
+        let mut b = Bdd::new(3);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f1 = b.and(x, y);
+        let f2 = b.and(y, x);
+        assert_eq!(f1, f2, "structural equality by construction");
+        let nx = b.not(x);
+        let back = b.not(nx);
+        assert_eq!(back, x, "double negation is identity");
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        let y = b.var(1);
+        let lhs = {
+            let a = b.and(x, y);
+            b.not(a)
+        };
+        let rhs = {
+            let nx = b.not(x);
+            let ny = b.not(y);
+            b.or(nx, ny)
+        };
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn xor_and_iff_are_complements() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        let y = b.var(1);
+        let xo = b.xor(x, y);
+        let eq = b.iff(x, y);
+        let neq = b.not(eq);
+        assert_eq!(xo, neq);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut b = Bdd::new(3);
+        let x = b.var(0);
+        let y = b.var(1);
+        let z = b.var(2);
+        let xy = b.and(x, y);
+        let f = b.or(xy, z); // (x ∧ y) ∨ z
+        for bits in 0..8u8 {
+            let a = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expected = (a[0] && a[1]) || a[2];
+            assert_eq!(b.eval(f, &a), expected, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn exists_quantifies() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        assert_eq!(b.exists(f, &[0]), y);
+        assert_eq!(b.exists(f, &[1]), x);
+        assert_eq!(b.exists(f, &[0, 1]), BDD_TRUE);
+        let none = b.exists(BDD_FALSE, &[0, 1]);
+        assert_eq!(none, BDD_FALSE);
+    }
+
+    #[test]
+    fn and_exists_equals_composed_ops() {
+        let mut b = Bdd::new(4);
+        let x0 = b.var(0);
+        let x1 = b.var(1);
+        let x2 = b.var(2);
+        let x3 = b.var(3);
+        let f = {
+            let a = b.or(x0, x2);
+            b.and(a, x3)
+        };
+        let g = {
+            let a = b.xor(x1, x2);
+            b.or(a, x0)
+        };
+        let direct = b.and_exists(f, g, &[0, 2]);
+        let composed = {
+            let fg = b.and(f, g);
+            b.exists(fg, &[0, 2])
+        };
+        assert_eq!(direct, composed);
+    }
+
+    #[test]
+    fn rename_shifts_variables() {
+        let mut b = Bdd::new(4);
+        let x1 = b.var(1);
+        let x3 = b.var(3);
+        let f = b.and(x1, x3);
+        // monotone map: 1 -> 0, 3 -> 2
+        let map = [0usize, 0, 2, 2];
+        let g = b.rename(f, &map);
+        let x0 = b.var(0);
+        let x2 = b.var(2);
+        let expected = b.and(x0, x2);
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn sat_count_total_counts() {
+        let mut b = Bdd::new(3);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.or(x, y); // 6 of 8 assignments
+        assert_eq!(b.sat_count_total(f), 6.0);
+        assert_eq!(b.sat_count_total(BDD_TRUE), 8.0);
+        assert_eq!(b.sat_count_total(BDD_FALSE), 0.0);
+        let single = {
+            let nx = b.not(x);
+            let ny = b.not(y);
+            let z = b.var(2);
+            let a = b.and(nx, ny);
+            b.and(a, z)
+        };
+        assert_eq!(b.sat_count_total(single), 1.0);
+    }
+
+    #[test]
+    fn sat_count_over_renormalizes() {
+        let mut b = Bdd::new(3);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.or(x, y); // depends only on the first two variables
+        assert_eq!(b.sat_count_over(f, 2), 3.0);
+        assert_eq!(b.sat_count_over(BDD_TRUE, 2), 4.0);
+    }
+
+    #[test]
+    fn size_counts_distinct_nodes() {
+        let mut b = Bdd::new(2);
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        assert_eq!(b.size(f), 2);
+        assert_eq!(b.size(BDD_TRUE), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn var_out_of_range_panics() {
+        let mut b = Bdd::new(2);
+        b.var(2);
+    }
+}

@@ -1,0 +1,387 @@
+//! Symbolic reachability analysis of safe Petri nets (the SMV stand-in).
+//!
+//! Each place gets a current-state variable and a next-state variable,
+//! interleaved in the order (`x_p ↦ 2p`, `x'_p ↦ 2p+1`) — the standard
+//! encoding that keeps the transition relation small. The transition
+//! relation is kept *partitioned* (one BDD per Petri net transition, each
+//! with full frame conditions); images are computed per partition with
+//! `and_exists` and united.
+//!
+//! The paper's Table 1 reports **peak BDD size** for SMV; we report the
+//! high-water mark of live nodes (reached set + frontier + relation
+//! partitions) across iterations, plus total allocation.
+
+use std::time::{Duration, Instant};
+
+use petri::{Marking, PetriNet, PlaceId};
+
+use crate::bdd::{Bdd, BddRef, BDD_FALSE, BDD_TRUE};
+
+/// How place indices map to BDD variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VariableOrder {
+    /// Current and next variables interleaved per place (`x_p = 2p`,
+    /// `x'_p = 2p+1`) — the standard, usually good order.
+    #[default]
+    Interleaved,
+    /// All current variables first, then all next variables — a known-bad
+    /// order kept for the ablation benchmark.
+    CurrentThenNext,
+}
+
+/// Options for [`SymbolicReachability::explore_with`].
+#[derive(Debug, Clone)]
+pub struct SymbolicOptions {
+    /// Variable ordering scheme.
+    pub order: VariableOrder,
+    /// Abort the fixpoint once this many BDD nodes have been allocated;
+    /// the result is then a lower bound flagged as
+    /// [`truncated`](SymbolicReachability::truncated) — the analogue of
+    /// the paper's "> 24 hours" SMV entries.
+    pub max_nodes: usize,
+}
+
+impl Default for SymbolicOptions {
+    fn default() -> Self {
+        SymbolicOptions {
+            order: VariableOrder::default(),
+            max_nodes: usize::MAX,
+        }
+    }
+}
+
+/// Result of a symbolic (BDD-based) reachability analysis.
+///
+/// # Examples
+///
+/// ```
+/// use symbolic::SymbolicReachability;
+///
+/// let net = models::figures::fig2(4);
+/// let sym = SymbolicReachability::explore(&net);
+/// assert_eq!(sym.state_count(), 81.0); // 3^4 states
+/// assert!(sym.has_deadlock());
+/// ```
+#[derive(Debug)]
+pub struct SymbolicReachability {
+    state_count: f64,
+    has_deadlock: bool,
+    deadlock_count: f64,
+    deadlock_witness: Option<Marking>,
+    peak_live_nodes: usize,
+    allocated_nodes: usize,
+    iterations: usize,
+    truncated: bool,
+    elapsed: Duration,
+}
+
+struct Encoding {
+    bdd: Bdd,
+    /// current-state variable per place
+    cur: Vec<usize>,
+    /// next-state variable per place
+    nxt: Vec<usize>,
+    /// rename map next → current
+    rename_map: Vec<usize>,
+    /// sorted list of current variables (quantified in images)
+    cur_sorted: Vec<usize>,
+}
+
+impl Encoding {
+    fn new(net: &PetriNet, order: VariableOrder) -> Self {
+        let p = net.place_count();
+        let bdd = Bdd::new(2 * p);
+        let (cur, nxt): (Vec<usize>, Vec<usize>) = match order {
+            VariableOrder::Interleaved => {
+                ((0..p).map(|i| 2 * i).collect(), (0..p).map(|i| 2 * i + 1).collect())
+            }
+            VariableOrder::CurrentThenNext => {
+                ((0..p).collect(), (0..p).map(|i| p + i).collect())
+            }
+        };
+        let mut rename_map = vec![0usize; 2 * p];
+        for i in 0..p {
+            rename_map[nxt[i]] = cur[i];
+        }
+        let mut cur_sorted = cur.clone();
+        cur_sorted.sort_unstable();
+        Encoding { bdd, cur, nxt, rename_map, cur_sorted }
+    }
+
+    fn marking_bdd(&mut self, m: &Marking, place_count: usize) -> BddRef {
+        let mut f = BDD_TRUE;
+        // conjoin from the highest variable down for linear-size build
+        let mut lits: Vec<(usize, bool)> = (0..place_count)
+            .map(|p| (self.cur[p], m.is_marked(PlaceId::new(p))))
+            .collect();
+        lits.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(v));
+        for (v, positive) in lits {
+            let lit = if positive { self.bdd.var(v) } else { self.bdd.nvar(v) };
+            f = self.bdd.and(lit, f);
+        }
+        f
+    }
+
+    /// Transition relation of one Petri net transition, with frame
+    /// conditions for untouched places.
+    fn relation(&mut self, net: &PetriNet, t: petri::TransitionId) -> BddRef {
+        let p = net.place_count();
+        let pre = net.pre_place_set(t);
+        let post = net.post_place_set(t);
+        // conjoin per-place constraints from the highest place index down —
+        // with the interleaved order this builds bottom-up, keeping
+        // intermediate BDDs small
+        let mut f = BDD_TRUE;
+        for i in (0..p).rev() {
+            let xc = self.bdd.var(self.cur[i]);
+            let xn = self.bdd.var(self.nxt[i]);
+            let in_pre = pre.contains(i);
+            let in_post = post.contains(i);
+            let g = match (in_pre, in_post) {
+                (true, true) => self.bdd.and(xc, xn), // marked and stays marked
+                (true, false) => {
+                    let nn = self.bdd.not(xn);
+                    self.bdd.and(xc, nn)
+                }
+                (false, true) => {
+                    // safeness: the target place must be empty before
+                    let nc = self.bdd.not(xc);
+                    self.bdd.and(nc, xn)
+                }
+                (false, false) => self.bdd.iff(xc, xn),
+            };
+            f = self.bdd.and(g, f);
+        }
+        f
+    }
+
+    /// Extracts one satisfying assignment of `f` over the current-state
+    /// variables and decodes it as a marking (unassigned variables default
+    /// to "empty place").
+    fn witness_marking(&mut self, f: BddRef, net: &PetriNet) -> Option<Marking> {
+        let cube = self.bdd.some_cube(f)?;
+        Some(Marking::from_places(
+            net.place_count(),
+            net.places()
+                .filter(|p| cube.get(self.cur[p.index()]).copied().flatten() == Some(true)),
+        ))
+    }
+
+    fn image(&mut self, rel: BddRef, from: BddRef) -> BddRef {
+        let cur_vars = self.cur_sorted.clone();
+        let next_only = self.bdd.and_exists(rel, from, &cur_vars);
+        self.bdd.rename(next_only, &self.rename_map)
+    }
+}
+
+impl SymbolicReachability {
+    /// Runs symbolic reachability with the default interleaved order.
+    pub fn explore(net: &PetriNet) -> Self {
+        Self::explore_with(net, &SymbolicOptions::default())
+    }
+
+    /// Runs symbolic reachability with explicit options.
+    ///
+    /// Note: unlike the explicit engines this never errors — an unsafe net
+    /// simply has its unsafe successors suppressed by the encoding (token
+    /// production requires the target place to be empty), mirroring how a
+    /// bounded model checker would encode a safe net.
+    pub fn explore_with(net: &PetriNet, opts: &SymbolicOptions) -> Self {
+        let start = Instant::now();
+        let mut enc = Encoding::new(net, opts.order);
+        let p = net.place_count();
+
+        let relations: Vec<BddRef> = net
+            .transitions()
+            .map(|t| enc.relation(net, t))
+            .collect();
+        let rel_nodes: usize = relations.iter().map(|&r| enc.bdd.size(r)).sum();
+
+        let init = enc.marking_bdd(net.initial_marking(), p);
+        let mut reached = init;
+        let mut frontier = init;
+        let mut peak = rel_nodes + enc.bdd.size(reached);
+        let mut iterations = 0;
+        let mut truncated = false;
+
+        while frontier != BDD_FALSE {
+            if enc.bdd.allocated_nodes() > opts.max_nodes {
+                truncated = true;
+                break;
+            }
+            iterations += 1;
+            let mut next = BDD_FALSE;
+            for &r in &relations {
+                let img = enc.image(r, frontier);
+                next = enc.bdd.or(next, img);
+            }
+            frontier = enc.bdd.diff(next, reached);
+            reached = enc.bdd.or(reached, frontier);
+            peak = peak.max(rel_nodes + enc.bdd.size(reached) + enc.bdd.size(frontier));
+        }
+
+        // dead states: reached ∧ no transition enabled
+        let mut no_enabled = BDD_TRUE;
+        for t in net.transitions() {
+            let mut en = BDD_TRUE;
+            for &pl in net.pre_places(t) {
+                let v = enc.bdd.var(enc.cur[pl.index()]);
+                en = enc.bdd.and(en, v);
+            }
+            let nen = enc.bdd.not(en);
+            no_enabled = enc.bdd.and(no_enabled, nen);
+        }
+        let dead = enc.bdd.and(reached, no_enabled);
+        let deadlock_witness = enc.witness_marking(dead, net);
+
+        SymbolicReachability {
+            state_count: enc.bdd.sat_count_over(reached, p),
+            has_deadlock: dead != BDD_FALSE,
+            deadlock_count: enc.bdd.sat_count_over(dead, p),
+            deadlock_witness,
+            peak_live_nodes: peak,
+            allocated_nodes: enc.bdd.allocated_nodes(),
+            iterations,
+            truncated,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Number of reachable states (exact while below 2⁵³).
+    pub fn state_count(&self) -> f64 {
+        self.state_count
+    }
+
+    /// `true` if a reachable marking enables no transition.
+    pub fn has_deadlock(&self) -> bool {
+        self.has_deadlock
+    }
+
+    /// Number of dead reachable markings.
+    pub fn deadlock_count(&self) -> f64 {
+        self.deadlock_count
+    }
+
+    /// High-water mark of live BDD nodes (relation partitions + reached +
+    /// frontier) — the analogue of the paper's "Peak BDD-size" column.
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live_nodes
+    }
+
+    /// Total nodes allocated by the manager over the whole run.
+    pub fn allocated_nodes(&self) -> usize {
+        self.allocated_nodes
+    }
+
+    /// Number of breadth-first image iterations until the fixpoint.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// `true` if the node budget was exhausted before the fixpoint; the
+    /// reported counts are then lower bounds.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// One dead reachable marking decoded from the symbolic deadlock set,
+    /// if a deadlock exists.
+    pub fn deadlock_witness(&self) -> Option<&Marking> {
+        self.deadlock_witness.as_ref()
+    }
+
+    /// Wall-clock analysis time.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petri::{NetBuilder, ReachabilityGraph};
+
+    fn strands(n: usize) -> PetriNet {
+        let mut b = NetBuilder::new("strands");
+        for i in 0..n {
+            let p = b.place_marked(format!("p{i}"));
+            let q = b.place(format!("q{i}"));
+            b.transition(format!("t{i}"), [p], [q]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_match_explicit_on_strands() {
+        for n in 1..=5 {
+            let net = strands(n);
+            let sym = SymbolicReachability::explore(&net);
+            let exp = ReachabilityGraph::explore(&net).unwrap();
+            assert_eq!(sym.state_count(), exp.state_count() as f64, "n={n}");
+            assert_eq!(sym.has_deadlock(), exp.has_deadlock());
+        }
+    }
+
+    #[test]
+    fn deadlock_count_matches_explicit() {
+        let net = strands(3);
+        let sym = SymbolicReachability::explore(&net);
+        let exp = ReachabilityGraph::explore(&net).unwrap();
+        assert_eq!(sym.deadlock_count(), exp.deadlocks().len() as f64);
+    }
+
+    #[test]
+    fn cyclic_net_has_no_deadlock() {
+        let mut b = NetBuilder::new("cycle");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("go", [p], [q]);
+        b.transition("back", [q], [p]);
+        let net = b.build().unwrap();
+        let sym = SymbolicReachability::explore(&net);
+        assert_eq!(sym.state_count(), 2.0);
+        assert!(!sym.has_deadlock());
+        assert!(sym.iterations() >= 2);
+    }
+
+    #[test]
+    fn both_orders_agree_on_counts() {
+        let net = strands(4);
+        let a = SymbolicReachability::explore_with(
+            &net,
+            &SymbolicOptions { order: VariableOrder::Interleaved, ..Default::default() },
+        );
+        let b = SymbolicReachability::explore_with(
+            &net,
+            &SymbolicOptions { order: VariableOrder::CurrentThenNext, ..Default::default() },
+        );
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.has_deadlock(), b.has_deadlock());
+    }
+
+    #[test]
+    fn deadlock_witness_is_reachable_and_dead() {
+        let net = strands(3);
+        let sym = SymbolicReachability::explore(&net);
+        let w = sym.deadlock_witness().expect("strands terminate");
+        assert!(net.is_dead(w));
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        assert!(rg.contains(w));
+        // deadlock-free nets have no witness
+        let mut b = NetBuilder::new("cycle");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("go", [p], [q]);
+        b.transition("back", [q], [p]);
+        let live = SymbolicReachability::explore(&b.build().unwrap());
+        assert!(live.deadlock_witness().is_none());
+    }
+
+    #[test]
+    fn peak_is_at_least_relation_size() {
+        let net = strands(3);
+        let sym = SymbolicReachability::explore(&net);
+        assert!(sym.peak_live_nodes() > 0);
+        assert!(sym.allocated_nodes() >= sym.peak_live_nodes() / 2);
+    }
+}

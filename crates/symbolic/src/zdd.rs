@@ -1,0 +1,562 @@
+//! A zero-suppressed decision diagram (ZDD) engine for set families.
+//!
+//! ZDDs (Minato) canonically represent *families of sets* over a fixed
+//! element universe — exactly the shape of Generalized Petri Net markings
+//! (`P → 2^(2^T)`) and valid-set relations. Where an explicit family stores
+//! each transition set separately, a ZDD shares common sub-structure, which
+//! is what makes valid-set relations with exponentially many members
+//! tractable.
+//!
+//! Terminals: ⊥ = the empty family, ⊤ = the family containing only the
+//! empty set. A node `(v, lo, hi)` represents `lo ∪ {s ∪ {v} | s ∈ hi}`
+//! with the zero-suppression rule `hi = ⊥ ⇒ node ≡ lo`.
+
+use std::collections::HashMap;
+
+/// Index of a ZDD node within its [`Zdd`] manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZddRef(u32);
+
+impl ZddRef {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The empty family `∅`.
+pub const ZDD_EMPTY: ZddRef = ZddRef(0);
+/// The family `{∅}` containing just the empty set.
+pub const ZDD_UNIT: ZddRef = ZddRef(1);
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: ZddRef,
+    hi: ZddRef,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    Union,
+    Intersect,
+    Diff,
+    Join,
+}
+
+/// A ZDD manager: owns the node store and operation caches.
+///
+/// # Examples
+///
+/// ```
+/// use symbolic::{Zdd, ZDD_UNIT};
+///
+/// let mut z = Zdd::new(3);
+/// // family {{0,1},{2}}
+/// let a = z.family(&[vec![0, 1], vec![2]]);
+/// let b = z.family(&[vec![2], vec![0]]);
+/// let u = z.union(a, b);
+/// assert_eq!(z.count(u), 3.0);
+/// let i = z.intersect(a, b);
+/// assert_eq!(z.sets(i), vec![vec![2]]);
+/// ```
+#[derive(Debug)]
+pub struct Zdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, ZddRef, ZddRef), ZddRef>,
+    op_cache: HashMap<(Op, ZddRef, ZddRef), ZddRef>,
+    nvars: u32,
+}
+
+impl Zdd {
+    /// Creates a manager over elements `0..nvars`.
+    pub fn new(nvars: usize) -> Self {
+        let nodes = vec![
+            Node { var: TERMINAL_VAR, lo: ZDD_EMPTY, hi: ZDD_EMPTY },
+            Node { var: TERMINAL_VAR, lo: ZDD_UNIT, hi: ZDD_UNIT },
+        ];
+        Zdd {
+            nodes,
+            unique: HashMap::new(),
+            op_cache: HashMap::new(),
+            nvars: u32::try_from(nvars).expect("element count fits in u32"),
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn var_count(&self) -> usize {
+        self.nvars as usize
+    }
+
+    /// Total nodes ever allocated (terminals included).
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn var_of(&self, f: ZddRef) -> u32 {
+        self.nodes[f.index()].var
+    }
+
+    fn mk(&mut self, var: u32, lo: ZddRef, hi: ZddRef) -> ZddRef {
+        if hi == ZDD_EMPTY {
+            return lo; // zero-suppression
+        }
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            self.nodes.push(Node { var, lo, hi });
+            ZddRef(u32::try_from(self.nodes.len() - 1).expect("node count fits in u32"))
+        })
+    }
+
+    /// The family containing exactly one set (given as element indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is outside the universe.
+    pub fn singleton(&mut self, set: &[usize]) -> ZddRef {
+        let mut sorted: Vec<usize> = set.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut cur = ZDD_UNIT;
+        for &e in sorted.iter().rev() {
+            assert!((e as u32) < self.nvars, "element {e} out of universe");
+            cur = self.mk(e as u32, ZDD_EMPTY, cur);
+        }
+        cur
+    }
+
+    /// The family containing each of the given sets.
+    pub fn family(&mut self, sets: &[Vec<usize>]) -> ZddRef {
+        let mut acc = ZDD_EMPTY;
+        for s in sets {
+            let one = self.singleton(s);
+            acc = self.union(acc, one);
+        }
+        acc
+    }
+
+    /// Family union `f ∪ g`.
+    pub fn union(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        if f == g || g == ZDD_EMPTY {
+            return f;
+        }
+        if f == ZDD_EMPTY {
+            return g;
+        }
+        if let Some(&r) = self.op_cache.get(&(Op::Union, f, g)) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let top = vf.min(vg);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let lo = self.union(f0, g0);
+        let hi = self.union(f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.op_cache.insert((Op::Union, f, g), r);
+        self.op_cache.insert((Op::Union, g, f), r);
+        r
+    }
+
+    /// Family intersection `f ∩ g` (sets belonging to both families).
+    pub fn intersect(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        if f == g {
+            return f;
+        }
+        if f == ZDD_EMPTY || g == ZDD_EMPTY {
+            return ZDD_EMPTY;
+        }
+        if let Some(&r) = self.op_cache.get(&(Op::Intersect, f, g)) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let r = if vf == vg {
+            let (f0, f1) = self.cofactors(f, vf);
+            let (g0, g1) = self.cofactors(g, vf);
+            let lo = self.intersect(f0, g0);
+            let hi = self.intersect(f1, g1);
+            self.mk(vf, lo, hi)
+        } else if vf < vg {
+            // sets in f containing vf cannot be in g
+            let f0 = self.nodes[f.index()].lo;
+            self.intersect(f0, g)
+        } else {
+            let g0 = self.nodes[g.index()].lo;
+            self.intersect(f, g0)
+        };
+        self.op_cache.insert((Op::Intersect, f, g), r);
+        self.op_cache.insert((Op::Intersect, g, f), r);
+        r
+    }
+
+    /// Family difference `f \ g` (sets of `f` not in `g`).
+    pub fn diff(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        if f == ZDD_EMPTY || f == g {
+            return ZDD_EMPTY;
+        }
+        if g == ZDD_EMPTY {
+            return f;
+        }
+        if let Some(&r) = self.op_cache.get(&(Op::Diff, f, g)) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let r = if vf == vg {
+            let (f0, f1) = self.cofactors(f, vf);
+            let (g0, g1) = self.cofactors(g, vf);
+            let lo = self.diff(f0, g0);
+            let hi = self.diff(f1, g1);
+            self.mk(vf, lo, hi)
+        } else if vf < vg {
+            let node = self.nodes[f.index()];
+            let lo = self.diff(node.lo, g);
+            self.mk(vf, lo, node.hi)
+        } else {
+            let g0 = self.nodes[g.index()].lo;
+            self.diff(f, g0)
+        };
+        self.op_cache.insert((Op::Diff, f, g), r);
+        r
+    }
+
+    fn cofactors(&self, f: ZddRef, var: u32) -> (ZddRef, ZddRef) {
+        let n = self.nodes[f.index()];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, ZDD_EMPTY)
+        }
+    }
+
+    /// The sub-family of sets **containing** element `e` (sets keep `e`).
+    pub fn onset(&mut self, f: ZddRef, e: usize) -> ZddRef {
+        let e = e as u32;
+        self.onset_rec(f, e)
+    }
+
+    fn onset_rec(&mut self, f: ZddRef, e: u32) -> ZddRef {
+        let v = self.var_of(f);
+        if v > e {
+            // e cannot occur below (vars increase downward)
+            return ZDD_EMPTY;
+        }
+        let n = self.nodes[f.index()];
+        if v == e {
+            return self.mk(e, ZDD_EMPTY, n.hi);
+        }
+        let lo = self.onset_rec(n.lo, e);
+        let hi = self.onset_rec(n.hi, e);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// The sub-family of sets **not containing** element `e`.
+    pub fn offset(&mut self, f: ZddRef, e: usize) -> ZddRef {
+        let e = e as u32;
+        self.offset_rec(f, e)
+    }
+
+    fn offset_rec(&mut self, f: ZddRef, e: u32) -> ZddRef {
+        let v = self.var_of(f);
+        if v > e {
+            return f;
+        }
+        let n = self.nodes[f.index()];
+        if v == e {
+            return n.lo;
+        }
+        let lo = self.offset_rec(n.lo, e);
+        let hi = self.offset_rec(n.hi, e);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// The cross-join `f ⊔ g = {a ∪ b | a ∈ f, b ∈ g}`.
+    pub fn join(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        if f == ZDD_EMPTY || g == ZDD_EMPTY {
+            return ZDD_EMPTY;
+        }
+        if f == ZDD_UNIT {
+            return g;
+        }
+        if g == ZDD_UNIT {
+            return f;
+        }
+        if let Some(&r) = self.op_cache.get(&(Op::Join, f, g)) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let top = vf.min(vg);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        // sets with `top`: f1⊔g1 ∪ f1⊔g0 ∪ f0⊔g1; without: f0⊔g0
+        let a = self.join(f1, g1);
+        let b = self.join(f1, g0);
+        let c = self.join(f0, g1);
+        let hi = {
+            let ab = self.union(a, b);
+            self.union(ab, c)
+        };
+        let lo = self.join(f0, g0);
+        let r = self.mk(top, lo, hi);
+        self.op_cache.insert((Op::Join, f, g), r);
+        self.op_cache.insert((Op::Join, g, f), r);
+        r
+    }
+
+    /// Number of sets in the family.
+    pub fn count(&self, f: ZddRef) -> f64 {
+        let mut cache: HashMap<ZddRef, f64> = HashMap::new();
+        self.count_rec(f, &mut cache)
+    }
+
+    fn count_rec(&self, f: ZddRef, cache: &mut HashMap<ZddRef, f64>) -> f64 {
+        if f == ZDD_EMPTY {
+            return 0.0;
+        }
+        if f == ZDD_UNIT {
+            return 1.0;
+        }
+        if let Some(&c) = cache.get(&f) {
+            return c;
+        }
+        let n = self.nodes[f.index()];
+        let c = self.count_rec(n.lo, cache) + self.count_rec(n.hi, cache);
+        cache.insert(f, c);
+        c
+    }
+
+    /// `true` if `f` is the empty family.
+    pub fn is_empty(&self, f: ZddRef) -> bool {
+        f == ZDD_EMPTY
+    }
+
+    /// Membership test: is `set` one of the family's sets?
+    pub fn contains_set(&self, f: ZddRef, set: &[usize]) -> bool {
+        let mut sorted: Vec<u32> = set.iter().map(|&e| e as u32).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut cur = f;
+        let mut i = 0;
+        loop {
+            if cur == ZDD_EMPTY {
+                return false;
+            }
+            if cur == ZDD_UNIT {
+                return i == sorted.len();
+            }
+            let n = self.nodes[cur.index()];
+            if i < sorted.len() && sorted[i] == n.var {
+                cur = n.hi;
+                i += 1;
+            } else if i < sorted.len() && sorted[i] < n.var {
+                return false; // required element cannot occur anymore
+            } else {
+                cur = n.lo;
+            }
+        }
+    }
+
+    /// Materializes every set of the family, each sorted ascending; the
+    /// family itself is returned in lexicographic order.
+    pub fn sets(&self, f: ZddRef) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.sets_rec(f, &mut prefix, &mut out);
+        out.sort();
+        out
+    }
+
+    fn sets_rec(&self, f: ZddRef, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if f == ZDD_EMPTY {
+            return;
+        }
+        if f == ZDD_UNIT {
+            out.push(prefix.clone());
+            return;
+        }
+        let n = self.nodes[f.index()];
+        self.sets_rec(n.lo, prefix, out);
+        prefix.push(n.var as usize);
+        self.sets_rec(n.hi, prefix, out);
+        prefix.pop();
+    }
+
+    /// Materializes at most `k` sets of the family (depth-first order) —
+    /// cheap even when the family is astronomically large.
+    pub fn some_sets(&self, f: ZddRef, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.some_sets_rec(f, k, &mut prefix, &mut out);
+        out
+    }
+
+    fn some_sets_rec(
+        &self,
+        f: ZddRef,
+        k: usize,
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if out.len() >= k || f == ZDD_EMPTY {
+            return;
+        }
+        if f == ZDD_UNIT {
+            out.push(prefix.clone());
+            return;
+        }
+        let n = self.nodes[f.index()];
+        self.some_sets_rec(n.lo, k, prefix, out);
+        if out.len() >= k {
+            return;
+        }
+        prefix.push(n.var as usize);
+        self.some_sets_rec(n.hi, k, prefix, out);
+        prefix.pop();
+    }
+
+    /// Number of distinct nodes reachable from `f` (terminals excluded).
+    pub fn size(&self, f: ZddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n == ZDD_EMPTY || n == ZDD_UNIT || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.nodes[n.index()];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_distinct() {
+        let z = Zdd::new(2);
+        assert!(z.is_empty(ZDD_EMPTY));
+        assert!(!z.is_empty(ZDD_UNIT));
+        assert_eq!(z.count(ZDD_EMPTY), 0.0);
+        assert_eq!(z.count(ZDD_UNIT), 1.0);
+        assert!(z.contains_set(ZDD_UNIT, &[]));
+        assert!(!z.contains_set(ZDD_EMPTY, &[]));
+    }
+
+    #[test]
+    fn singleton_round_trips() {
+        let mut z = Zdd::new(5);
+        let s = z.singleton(&[3, 1]);
+        assert_eq!(z.count(s), 1.0);
+        assert!(z.contains_set(s, &[1, 3]));
+        assert!(!z.contains_set(s, &[1]));
+        assert_eq!(z.sets(s), vec![vec![1, 3]]);
+    }
+
+    #[test]
+    fn duplicate_elements_collapse() {
+        let mut z = Zdd::new(4);
+        let a = z.singleton(&[2, 2, 0]);
+        let b = z.singleton(&[0, 2]);
+        assert_eq!(a, b, "canonical form ignores duplicates and order");
+    }
+
+    #[test]
+    fn union_intersect_diff_algebra() {
+        let mut z = Zdd::new(4);
+        let f = z.family(&[vec![0], vec![1, 2], vec![3]]);
+        let g = z.family(&[vec![1, 2], vec![0, 3]]);
+        let u = z.union(f, g);
+        assert_eq!(z.count(u), 4.0);
+        let i = z.intersect(f, g);
+        assert_eq!(z.sets(i), vec![vec![1, 2]]);
+        let d = z.diff(f, g);
+        assert_eq!(z.sets(d), vec![vec![0], vec![3]]);
+        // f \ g ∪ (f ∩ g) == f
+        let back = z.union(d, i);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn union_is_idempotent_and_commutative() {
+        let mut z = Zdd::new(3);
+        let f = z.family(&[vec![0], vec![1]]);
+        let g = z.family(&[vec![1], vec![2]]);
+        assert_eq!(z.union(f, f), f);
+        let fg = z.union(f, g);
+        let gf = z.union(g, f);
+        assert_eq!(fg, gf);
+    }
+
+    #[test]
+    fn onset_and_offset_partition() {
+        let mut z = Zdd::new(4);
+        let f = z.family(&[vec![0, 1], vec![1, 2], vec![3], vec![]]);
+        let on = z.onset(f, 1);
+        assert_eq!(z.sets(on), vec![vec![0, 1], vec![1, 2]]);
+        let off = z.offset(f, 1);
+        assert_eq!(z.sets(off), vec![vec![], vec![3]]);
+        let whole = z.union(on, off);
+        assert_eq!(whole, f, "onset ∪ offset == original");
+    }
+
+    #[test]
+    fn join_is_cross_union() {
+        let mut z = Zdd::new(4);
+        let f = z.family(&[vec![0], vec![1]]);
+        let g = z.family(&[vec![2], vec![3]]);
+        let j = z.join(f, g);
+        assert_eq!(
+            z.sets(j),
+            vec![vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3]]
+        );
+        assert_eq!(z.join(f, ZDD_UNIT), f);
+        assert_eq!(z.join(f, ZDD_EMPTY), ZDD_EMPTY);
+    }
+
+    #[test]
+    fn join_merges_overlapping_sets() {
+        let mut z = Zdd::new(3);
+        let f = z.family(&[vec![0, 1]]);
+        let g = z.family(&[vec![1, 2]]);
+        let j = z.join(f, g);
+        assert_eq!(z.sets(j), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn canonical_equal_families_share_node() {
+        let mut z = Zdd::new(4);
+        let f = z.family(&[vec![0, 2], vec![1]]);
+        let g = {
+            let a = z.singleton(&[1]);
+            let b = z.singleton(&[2, 0]);
+            z.union(a, b)
+        };
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn sharing_beats_explicit_on_products() {
+        // product family {a0|b0} x {a1|b1} x ... has 2^n sets but O(n) nodes
+        let mut z = Zdd::new(16);
+        let mut f = ZDD_UNIT;
+        for i in 0..8 {
+            let pair = z.family(&[vec![2 * i], vec![2 * i + 1]]);
+            f = z.join(f, pair);
+        }
+        assert_eq!(z.count(f), 256.0);
+        assert!(z.size(f) <= 16, "ZDD stays linear: {} nodes", z.size(f));
+    }
+
+    #[test]
+    fn contains_set_rejects_subsets_and_supersets() {
+        let mut z = Zdd::new(4);
+        let f = z.family(&[vec![0, 1, 2]]);
+        assert!(z.contains_set(f, &[0, 1, 2]));
+        assert!(!z.contains_set(f, &[0, 1]));
+        assert!(!z.contains_set(f, &[0, 1, 2, 3]));
+    }
+}

@@ -1,0 +1,278 @@
+//! Difference bound matrices (DBMs) for firing domains.
+//!
+//! A firing domain constrains the remaining delays `θᵢ` of the enabled
+//! transitions of a state class: `aᵢ ≤ θᵢ ≤ bᵢ` together with relational
+//! bounds `θᵢ − θⱼ ≤ cᵢⱼ`. The DBM stores, for variables `x₀ = 0` (the
+//! reference) and `x₁..xₙ = θ₁..θₙ`, the tightest upper bounds
+//! `d[i][j] ≥ xᵢ − xⱼ`, canonicalized by all-pairs shortest paths — which
+//! makes equality of domains a plain matrix comparison.
+
+use std::fmt;
+
+/// The "no bound" sentinel (∞). Large enough to never overflow when two
+/// bounds are added.
+pub const INF: i64 = i64::MAX / 4;
+
+/// A canonical difference bound matrix over `dim` variables
+/// (variable 0 is the constant reference).
+///
+/// # Examples
+///
+/// ```
+/// use timed::Dbm;
+///
+/// // one clock constrained to [2, 5]
+/// let mut d = Dbm::unconstrained(2);
+/// d.bound_above(1, 5); // θ₁ ≤ 5
+/// d.bound_below(1, 2); // θ₁ ≥ 2
+/// assert!(d.close());
+/// assert_eq!(d.upper(1), 5);
+/// assert_eq!(d.lower(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Dbm {
+    dim: usize,
+    /// row-major `dim × dim`; `d[i*dim + j]` bounds `xᵢ − xⱼ`.
+    d: Vec<i64>,
+}
+
+impl Dbm {
+    /// A domain with no constraints except `xᵢ − xᵢ ≤ 0` and `θᵢ ≥ 0`.
+    pub fn unconstrained(dim: usize) -> Self {
+        assert!(dim >= 1, "the reference variable is always present");
+        let mut d = vec![INF; dim * dim];
+        for i in 0..dim {
+            d[i * dim + i] = 0;
+        }
+        // θᵢ ≥ 0 ⟺ x₀ − xᵢ ≤ 0
+        for j in 1..dim {
+            d[j] = 0; // row 0, column j
+        }
+        Dbm { dim, d }
+    }
+
+    /// Number of variables including the reference.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn at(&self, i: usize, j: usize) -> i64 {
+        self.d[i * self.dim + j]
+    }
+
+    fn set(&mut self, i: usize, j: usize, v: i64) {
+        let cur = &mut self.d[i * self.dim + j];
+        if v < *cur {
+            *cur = v;
+        }
+    }
+
+    /// Adds `θᵢ ≤ b` (i.e. `xᵢ − x₀ ≤ b`).
+    pub fn bound_above(&mut self, i: usize, b: i64) {
+        self.set(i, 0, b);
+    }
+
+    /// Adds `θᵢ ≥ b` (i.e. `x₀ − xᵢ ≤ −b`).
+    pub fn bound_below(&mut self, i: usize, b: i64) {
+        self.set(0, i, -b);
+    }
+
+    /// Adds `xᵢ − xⱼ ≤ c`.
+    pub fn constrain(&mut self, i: usize, j: usize, c: i64) {
+        self.set(i, j, c);
+    }
+
+    /// The tightest upper bound on `θᵢ` (or [`INF`]).
+    pub fn upper(&self, i: usize) -> i64 {
+        self.at(i, 0)
+    }
+
+    /// The tightest lower bound on `θᵢ`.
+    pub fn lower(&self, i: usize) -> i64 {
+        -self.at(0, i)
+    }
+
+    /// The tightest upper bound on `xᵢ − xⱼ`.
+    pub fn diff_upper(&self, i: usize, j: usize) -> i64 {
+        self.at(i, j)
+    }
+
+    /// Canonicalizes by Floyd–Warshall closure. Returns `false` when the
+    /// constraint system is inconsistent (empty domain).
+    #[must_use]
+    pub fn close(&mut self) -> bool {
+        let n = self.dim;
+        for k in 0..n {
+            for i in 0..n {
+                let dik = self.at(i, k);
+                if dik >= INF {
+                    continue;
+                }
+                for j in 0..n {
+                    let dkj = self.at(k, j);
+                    if dkj >= INF {
+                        continue;
+                    }
+                    let via = dik + dkj;
+                    if via < self.at(i, j) {
+                        self.d[i * n + j] = via;
+                    }
+                }
+            }
+        }
+        (0..n).all(|i| self.at(i, i) >= 0)
+    }
+
+    /// Builds the successor domain after firing variable `f`: persistent
+    /// variables (listed by their old indices, in the order they will take
+    /// in the new domain) are shifted by `−θ_f`; the result must be closed
+    /// and extended with the newly enabled variables by the caller.
+    ///
+    /// Requires `self` to be closed and already constrained by
+    /// `θ_f ≤ θ_j` for every enabled `j`.
+    pub fn after_firing(&self, f: usize, persistent: &[usize]) -> Dbm {
+        let n = persistent.len() + 1;
+        let mut out = Dbm::unconstrained(n);
+        for (a, &i) in persistent.iter().enumerate() {
+            let ai = a + 1;
+            // θ'ᵢ ≤ max(θᵢ − θ_f) = d[i][f]
+            out.set(ai, 0, self.at(i, f));
+            // θ'ᵢ ≥ −d[f][i], but never below 0 (already seeded)
+            out.set(0, ai, self.at(f, i));
+            for (b, &j) in persistent.iter().enumerate() {
+                if i != j {
+                    out.set(ai, b + 1, self.at(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Grows the domain with `extra` fresh variables, each constrained to
+    /// `[eft, lft]` (pass [`INF`] for an unbounded latest firing time).
+    pub fn extend(&self, bounds: &[(i64, i64)]) -> Dbm {
+        let n = self.dim + bounds.len();
+        let mut out = Dbm::unconstrained(n);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i != j {
+                    out.set(i, j, self.at(i, j));
+                }
+            }
+        }
+        for (k, &(eft, lft)) in bounds.iter().enumerate() {
+            let v = self.dim + k;
+            out.bound_above(v, lft);
+            out.bound_below(v, eft);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 1..self.dim {
+            if i > 1 {
+                write!(f, ", ")?;
+            }
+            let up = self.upper(i);
+            if up >= INF {
+                write!(f, "{} <= t{i}", self.lower(i))?;
+            } else {
+                write!(f, "{} <= t{i} <= {}", self.lower(i), up)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_is_consistent() {
+        let mut d = Dbm::unconstrained(3);
+        assert!(d.close());
+        assert_eq!(d.lower(1), 0);
+        assert_eq!(d.upper(1), INF);
+    }
+
+    #[test]
+    fn interval_bounds_round_trip() {
+        let mut d = Dbm::unconstrained(2);
+        d.bound_above(1, 7);
+        d.bound_below(1, 3);
+        assert!(d.close());
+        assert_eq!(d.lower(1), 3);
+        assert_eq!(d.upper(1), 7);
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        let mut d = Dbm::unconstrained(2);
+        d.bound_above(1, 2);
+        d.bound_below(1, 5);
+        assert!(!d.close(), "5 <= θ <= 2 is empty");
+    }
+
+    #[test]
+    fn closure_tightens_through_differences() {
+        // θ1 ≤ 4, θ2 − θ1 ≤ 1 ⟹ θ2 ≤ 5
+        let mut d = Dbm::unconstrained(3);
+        d.bound_above(1, 4);
+        d.constrain(2, 1, 1);
+        assert!(d.close());
+        assert_eq!(d.upper(2), 5);
+    }
+
+    #[test]
+    fn firing_shift_is_relative() {
+        // θ1 ∈ [1,3], θ2 ∈ [2,5]; fire 1 (θ1 ≤ θ2): θ'2 = θ2 − θ1
+        let mut d = Dbm::unconstrained(3);
+        d.bound_below(1, 1);
+        d.bound_above(1, 3);
+        d.bound_below(2, 2);
+        d.bound_above(2, 5);
+        d.constrain(1, 2, 0); // θ1 ≤ θ2
+        assert!(d.close());
+        let mut after = d.after_firing(1, &[2]);
+        assert!(after.close());
+        // θ'2 ∈ [max(0, 2-3), 5-1] = [0, 4]
+        assert_eq!(after.lower(1), 0);
+        assert_eq!(after.upper(1), 4);
+    }
+
+    #[test]
+    fn extend_adds_fresh_intervals() {
+        let mut d = Dbm::unconstrained(1);
+        assert!(d.close());
+        let mut e = d.extend(&[(2, 6), (0, INF)]);
+        assert!(e.close());
+        assert_eq!(e.lower(1), 2);
+        assert_eq!(e.upper(1), 6);
+        assert_eq!(e.lower(2), 0);
+        assert_eq!(e.upper(2), INF);
+    }
+
+    #[test]
+    fn canonical_form_makes_equality_semantic() {
+        let mut a = Dbm::unconstrained(2);
+        a.bound_above(1, 5);
+        a.bound_above(1, 9); // redundant
+        assert!(a.close());
+        let mut b = Dbm::unconstrained(2);
+        b.bound_above(1, 5);
+        assert!(b.close());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_shows_intervals() {
+        let mut d = Dbm::unconstrained(2);
+        d.bound_below(1, 1);
+        d.bound_above(1, 4);
+        assert!(d.close());
+        assert_eq!(d.to_string(), "1 <= t1 <= 4");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type of the timed analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while exploring a state-class graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimedError {
+    /// The underlying net is not safe.
+    NotSafe(String),
+    /// Exploration exceeded the configured class budget.
+    ClassLimit(usize),
+}
+
+impl TimedError {
+    pub(crate) fn from_net(err: petri::NetError) -> Self {
+        TimedError::NotSafe(err.to_string())
+    }
+}
+
+impl fmt::Display for TimedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimedError::NotSafe(msg) => write!(f, "{msg}"),
+            TimedError::ClassLimit(n) => {
+                write!(f, "state-class limit of {n} exceeded during exploration")
+            }
+        }
+    }
+}
+
+impl Error for TimedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert_eq!(
+            TimedError::ClassLimit(3).to_string(),
+            "state-class limit of 3 exceeded during exploration"
+        );
+        assert!(TimedError::NotSafe("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<TimedError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Time Petri nets: a safe net whose transitions carry static firing
+//! intervals (Merlin's model).
+
+use petri::{PetriNet, TransitionId};
+
+use crate::dbm::INF;
+
+/// A static firing interval `[eft, lft]`: a transition must be enabled for
+/// at least `eft` time units before it may fire, and cannot stay enabled
+/// beyond `lft` without firing (strong semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Earliest firing time.
+    pub eft: i64,
+    /// Latest firing time; [`unbounded`](Interval::unbounded) for ∞.
+    pub lft: i64,
+}
+
+impl Interval {
+    /// The interval `[eft, lft]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eft < 0` or `lft < eft`.
+    pub fn new(eft: i64, lft: i64) -> Self {
+        assert!(eft >= 0, "earliest firing time must be non-negative");
+        assert!(lft >= eft, "interval is empty: [{eft}, {lft}]");
+        Interval { eft, lft }
+    }
+
+    /// The interval `[eft, ∞)`.
+    pub fn at_least(eft: i64) -> Self {
+        assert!(eft >= 0, "earliest firing time must be non-negative");
+        Interval { eft, lft: INF }
+    }
+
+    /// The untimed interval `[0, ∞)` — a transition with no timing
+    /// constraint at all.
+    pub fn any() -> Self {
+        Interval { eft: 0, lft: INF }
+    }
+
+    /// `true` if the latest firing time is unbounded.
+    pub fn unbounded(&self) -> bool {
+        self.lft >= INF
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::any()
+    }
+}
+
+/// A Time Petri net: a safe [`PetriNet`] plus one [`Interval`] per
+/// transition.
+///
+/// # Examples
+///
+/// ```
+/// use petri::NetBuilder;
+/// use timed::{Interval, TimedNet};
+///
+/// let mut b = NetBuilder::new("race");
+/// let p = b.place_marked("p");
+/// let fast = b.transition("fast", [p], []);
+/// let slow = b.transition("slow", [p], []);
+/// let net = b.build()?;
+/// let timed = TimedNet::new(net)
+///     .with_interval(fast, Interval::new(0, 1))
+///     .with_interval(slow, Interval::new(5, 9));
+/// assert_eq!(timed.interval(slow).eft, 5);
+/// # Ok::<(), petri::NetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimedNet {
+    net: PetriNet,
+    intervals: Vec<Interval>,
+}
+
+impl TimedNet {
+    /// Wraps a net with every transition unconstrained (`[0, ∞)`).
+    pub fn new(net: PetriNet) -> Self {
+        let intervals = vec![Interval::any(); net.transition_count()];
+        TimedNet { net, intervals }
+    }
+
+    /// Sets the interval of one transition (builder style).
+    #[must_use]
+    pub fn with_interval(mut self, t: TransitionId, interval: Interval) -> Self {
+        self.intervals[t.index()] = interval;
+        self
+    }
+
+    /// Sets the same interval on every transition.
+    #[must_use]
+    pub fn with_uniform_interval(mut self, interval: Interval) -> Self {
+        self.intervals.fill(interval);
+        self
+    }
+
+    /// The underlying untimed net.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// The firing interval of `t`.
+    pub fn interval(&self, t: TransitionId) -> Interval {
+        self.intervals[t.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petri::NetBuilder;
+
+    fn simple() -> PetriNet {
+        let mut b = NetBuilder::new("n");
+        let p = b.place_marked("p");
+        b.transition("t", [p], []);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_intervals_are_untimed() {
+        let timed = TimedNet::new(simple());
+        let t = TransitionId::new(0);
+        assert_eq!(timed.interval(t), Interval::any());
+        assert!(timed.interval(t).unbounded());
+    }
+
+    #[test]
+    fn with_interval_overrides() {
+        let t = TransitionId::new(0);
+        let timed = TimedNet::new(simple()).with_interval(t, Interval::new(2, 4));
+        assert_eq!(timed.interval(t).eft, 2);
+        assert_eq!(timed.interval(t).lft, 4);
+        assert!(!timed.interval(t).unbounded());
+    }
+
+    #[test]
+    fn uniform_interval_applies_everywhere() {
+        let mut b = NetBuilder::new("n");
+        let p = b.place_marked("p");
+        let q = b.place_marked("q");
+        b.transition("a", [p], []);
+        b.transition("b", [q], []);
+        let timed = TimedNet::new(b.build().unwrap())
+            .with_uniform_interval(Interval::new(1, 1));
+        for t in timed.net().transitions() {
+            assert_eq!(timed.interval(t), Interval::new(1, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interval is empty")]
+    fn empty_interval_rejected() {
+        Interval::new(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_eft_rejected() {
+        Interval::at_least(-1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Branching processes: the conditions and events of an unfolding.
+//!
+//! A *branching process* of a safe net is an acyclic occurrence net whose
+//! **conditions** are instances of places and whose **events** are
+//! instances of transitions; conflicts are never resolved (both branches
+//! of a choice coexist, in *conflict*), and concurrency is explicit
+//! (conditions that can coexist in a reachable cut are *concurrent*).
+
+use petri::{BitSet, Marking, PetriNet, PlaceId, TransitionId};
+
+/// Identifier of a condition (place instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConditionId(pub(crate) u32);
+
+/// Identifier of an event (transition instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u32);
+
+impl ConditionId {
+    /// The raw index of this condition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EventId {
+    /// The raw index of this event.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Condition {
+    pub place: PlaceId,
+    /// Event that produced this condition; `None` for initial conditions.
+    pub producer: Option<EventId>,
+    /// Events consuming this condition (grows as the prefix grows).
+    pub consumers: Vec<EventId>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Event {
+    pub transition: TransitionId,
+    pub preset: Vec<ConditionId>,
+    pub postset: Vec<ConditionId>,
+    /// The local configuration `[e]` as an event bit set (includes `e`).
+    pub local_config: BitSet,
+    /// `|[e]|` — the McMillan adequate order key.
+    pub depth: usize,
+    /// Marking reached by the local configuration, `Mark([e])`.
+    pub mark: Marking,
+    /// `true` if the event was declared a cut-off (not extended beyond).
+    pub cutoff: bool,
+}
+
+/// Read-only view of a built branching process / finite prefix.
+///
+/// Construct one with [`Unfolding::build`](crate::Unfolding::build).
+#[derive(Debug, Clone)]
+pub struct Prefix {
+    pub(crate) conditions: Vec<Condition>,
+    pub(crate) events: Vec<Event>,
+    pub(crate) initial_cut: Vec<ConditionId>,
+}
+
+impl Prefix {
+    /// Number of conditions (place instances), initial cut included.
+    pub fn condition_count(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Number of events (transition instances).
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of cut-off events.
+    pub fn cutoff_count(&self) -> usize {
+        self.events.iter().filter(|e| e.cutoff).count()
+    }
+
+    /// The place a condition instantiates.
+    pub fn place_of(&self, b: ConditionId) -> PlaceId {
+        self.conditions[b.index()].place
+    }
+
+    /// The transition an event instantiates.
+    pub fn transition_of(&self, e: EventId) -> TransitionId {
+        self.events[e.index()].transition
+    }
+
+    /// `true` if event `e` was declared a cut-off.
+    pub fn is_cutoff(&self, e: EventId) -> bool {
+        self.events[e.index()].cutoff
+    }
+
+    /// The marking reached by the local configuration `[e]`.
+    pub fn mark_of(&self, e: EventId) -> &Marking {
+        &self.events[e.index()].mark
+    }
+
+    /// `|[e]|` — the size of the local configuration.
+    pub fn depth_of(&self, e: EventId) -> usize {
+        self.events[e.index()].depth
+    }
+
+    /// Iterates over all event ids.
+    pub fn events(&self) -> impl ExactSizeIterator<Item = EventId> + '_ {
+        (0..self.events.len()).map(|i| EventId(i as u32))
+    }
+
+    /// Iterates over all condition ids.
+    pub fn conditions(&self) -> impl ExactSizeIterator<Item = ConditionId> + '_ {
+        (0..self.conditions.len()).map(|i| ConditionId(i as u32))
+    }
+
+    /// The conditions of the initial cut (instances of initially marked
+    /// places).
+    pub fn initial_cut(&self) -> &[ConditionId] {
+        &self.initial_cut
+    }
+
+    /// The marking corresponding to a *cut* given as the conditions left
+    /// after running a configuration.
+    pub(crate) fn marking_of_cut(&self, cut: &[ConditionId], net: &PetriNet) -> Marking {
+        Marking::from_places(net.place_count(), cut.iter().map(|&b| self.place_of(b)))
+    }
+
+    /// Renders the prefix as a Graphviz digraph (conditions as circles,
+    /// events as boxes, cut-offs dashed).
+    pub fn to_dot(&self, net: &PetriNet) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph prefix {\n  rankdir=TB;\n");
+        for b in self.conditions() {
+            let _ = writeln!(
+                out,
+                "  c{} [shape=circle, label=\"{}\"];",
+                b.index(),
+                net.place_name(self.place_of(b))
+            );
+        }
+        for e in self.events() {
+            let style = if self.is_cutoff(e) { ", style=dashed" } else { "" };
+            let _ = writeln!(
+                out,
+                "  e{} [shape=box, label=\"{}\"{}];",
+                e.index(),
+                net.transition_name(self.transition_of(e)),
+                style
+            );
+        }
+        for e in self.events() {
+            for &b in &self.events[e.index()].preset {
+                let _ = writeln!(out, "  c{} -> e{};", b.index(), e.index());
+            }
+            for &b in &self.events[e.index()].postset {
+                let _ = writeln!(out, "  e{} -> c{};", e.index(), b.index());
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type of the prefix construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building a finite prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UnfoldError {
+    /// The prefix exceeded the configured event budget.
+    EventLimit(usize),
+}
+
+impl fmt::Display for UnfoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnfoldError::EventLimit(n) => {
+                write!(f, "prefix exceeded the budget of {n} events")
+            }
+        }
+    }
+}
+
+impl Error for UnfoldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_informative() {
+        assert_eq!(
+            UnfoldError::EventLimit(7).to_string(),
+            "prefix exceeded the budget of 7 events"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<UnfoldError>();
+    }
+}

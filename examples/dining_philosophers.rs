@@ -1,0 +1,58 @@
+//! The paper's flagship benchmark: non-serialized dining philosophers.
+//!
+//! Reproduces the NSDP rows of Table 1 — the full state space grows as the
+//! Lucas numbers `L₃ₙ` while the generalized analysis needs **3 GPN states
+//! regardless of the number of philosophers** — and prints the deadlock
+//! witness it finds (everyone holding one fork).
+//!
+//! Run with: `cargo run --release --example dining_philosophers [-- n]`
+
+use gpo_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(6);
+
+    println!("non-serialized dining philosophers, n = 2..={n}\n");
+    println!(
+        "{:>3} | {:>12} | {:>10} | {:>10} | deadlock",
+        "n", "full states", "PO states", "GPN states"
+    );
+    for k in (2..=n).step_by(2) {
+        let net = models::nsdp(k);
+        let full = ReachabilityGraph::explore(&net)?;
+        let po = ReducedReachability::explore(&net)?;
+        let gpo = analyze_with(
+            &net,
+            &GpoOptions {
+                valid_set_limit: 1 << 24,
+                max_witnesses: 2,
+                ..Default::default()
+            },
+        )?;
+        println!(
+            "{k:>3} | {:>12} | {:>10} | {:>10} | {}",
+            full.state_count(),
+            po.state_count(),
+            gpo.state_count,
+            gpo.deadlock_possible
+        );
+        assert_eq!(gpo.state_count, 3, "the paper's headline: 3 states, any n");
+
+        if k == 2 {
+            println!("\n  witnesses extracted by the generalized analysis at n = 2:");
+            for w in &gpo.deadlock_witnesses {
+                println!("    {}", net.display_marking(w));
+            }
+            println!("  (every philosopher holds one fork — the circular wait)\n");
+        }
+    }
+
+    println!("\nthe generalized analysis detects the circular-wait deadlock in");
+    println!("3 GPN states independent of n, versus a Lucas-number-sized full");
+    println!("state space (18, 322, 5778, 103682, ... = L(3n)).");
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: the textual format, the CLI-style pipeline
+//! (parse → analyze → witness replay), and property tests that tie the
+//! layers together on random nets.
+
+use gpo_suite::prelude::*;
+use proptest::prelude::*;
+
+/// Serialize every benchmark to the `.net` format and re-verify the parse:
+/// all analyses must be invariant under the round trip.
+#[test]
+fn text_round_trip_preserves_analyses() {
+    for net in [
+        models::nsdp(3),
+        models::asat(2),
+        models::overtake(2),
+        models::readers_writers(3),
+        models::figures::fig7(),
+    ] {
+        let reparsed = parse_net(&to_text(&net)).unwrap();
+        let a = ReachabilityGraph::explore(&net).unwrap();
+        let b = ReachabilityGraph::explore(&reparsed).unwrap();
+        assert_eq!(a.state_count(), b.state_count(), "{}", net.name());
+        assert_eq!(a.has_deadlock(), b.has_deadlock());
+        let ga = analyze(&net).unwrap();
+        let gb = analyze(&reparsed).unwrap();
+        assert_eq!(ga.state_count, gb.state_count);
+        assert_eq!(ga.deadlock_possible, gb.deadlock_possible);
+    }
+}
+
+/// The witness pipeline: GPO reports a dead marking; replaying a shortest
+/// path to it in the exhaustive graph confirms it end to end.
+#[test]
+fn witnesses_replay_end_to_end() {
+    let net = models::nsdp(4);
+    let report = analyze_with(
+        &net,
+        &GpoOptions {
+            valid_set_limit: 1 << 24,
+            max_witnesses: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.deadlock_possible);
+    let rg = ReachabilityGraph::explore(&net).unwrap();
+    for w in &report.deadlock_witnesses {
+        let sid = rg.find(w).expect("witness reachable");
+        let path = rg.path_to(sid).expect("path exists");
+        let replayed = net
+            .fire_sequence(net.initial_marking(), path)
+            .unwrap()
+            .expect("path replays");
+        assert_eq!(&replayed, w);
+        assert!(net.is_dead(&replayed));
+    }
+}
+
+/// DOT output of nets and reachability graphs stays well-formed across the
+/// benchmark suite (sanity for tooling users).
+#[test]
+fn dot_outputs_are_well_formed() {
+    for net in [models::nsdp(2), models::figures::fig3()] {
+        let d = petri::net_to_dot(&net);
+        assert!(d.starts_with("digraph"));
+        assert!(d.ends_with("}\n"));
+        assert_eq!(d.matches("->").count(), net.arc_count());
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        let rd = petri::reachability_to_dot(&net, &rg);
+        assert!(rd.starts_with("digraph"));
+        assert!(rd.contains("penwidth=2"), "initial highlighted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full four-way engine agreement on random safe nets — the strongest
+    /// integration property the repository offers.
+    #[test]
+    fn four_engines_agree_on_random_nets(seed in 0u64..100_000) {
+        let cfg = models::random::RandomNetConfig {
+            components: 3,
+            places_per_component: 3,
+            resources: 1,
+            resource_use_prob: 0.4,
+            choice_prob: 0.5,
+            max_states: 3_000,
+        };
+        let Some(net) = models::random::random_safe_net(seed, &cfg) else { return Ok(()); };
+        let full = ReachabilityGraph::explore(&net).expect("validated safe");
+        let po = ReducedReachability::explore(&net).expect("validated safe");
+        let bdd = SymbolicReachability::explore(&net);
+        let Ok(gpo) = analyze_with(&net, &GpoOptions {
+            valid_set_limit: 1 << 14,
+            ..Default::default()
+        }) else { return Ok(()); };
+        prop_assert_eq!(po.has_deadlock(), full.has_deadlock(), "po\n{}", to_text(&net));
+        prop_assert_eq!(bdd.has_deadlock(), full.has_deadlock(), "bdd\n{}", to_text(&net));
+        prop_assert_eq!(gpo.deadlock_possible, full.has_deadlock(), "gpo\n{}", to_text(&net));
+        prop_assert_eq!(bdd.state_count(), full.state_count() as f64, "bdd count");
+        prop_assert!(po.state_count() <= full.state_count());
+    }
+
+    /// Round-tripping random nets through the text format preserves the
+    /// exact structure.
+    #[test]
+    fn random_net_text_round_trip(seed in 0u64..100_000) {
+        let cfg = models::random::RandomNetConfig::default();
+        let net = models::random::random_net(seed, &cfg);
+        let text = to_text(&net);
+        let reparsed = parse_net(&text).expect("own output parses");
+        prop_assert_eq!(to_text(&reparsed), text);
+    }
+}
