@@ -1,0 +1,238 @@
+//! Offline std-only stand-in for the criterion API subset used by this
+//! workspace.
+//!
+//! The build environment has no registry access, so — like the sibling
+//! `rand` and `proptest` stand-ins under `vendor/` — this crate implements
+//! just enough of criterion's surface for the `gpo-bench` benchmark
+//! binaries to compile and produce useful wall-clock numbers: warmup plus
+//! `sample_size` timed samples per benchmark, with mean / min / max
+//! reported on stdout in a criterion-like format.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+///
+/// Uses the `read_volatile` trick (criterion's own pre-`std::hint` fallback)
+/// so benchmark bodies are not optimized away.
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Identifier of one benchmark within a group: `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warmup, then `samples` timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warmup, also primes caches/allocator
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.recorded.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (criterion's default
+    /// is 100; the stand-in default is 10 to keep `cargo bench` quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `routine` against one `input`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::with_capacity(self.sample_size),
+        };
+        routine(&mut b, input);
+        self.report(&id, &b.recorded);
+        self
+    }
+
+    /// Times `routine` with no input.
+    pub fn bench_function<R>(&mut self, id: BenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::with_capacity(self.sample_size),
+        };
+        routine(&mut b);
+        self.report(&id, &b.recorded);
+        self
+    }
+
+    /// Ends the group (accounting only; required by the criterion API).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &BenchmarkId, samples: &[Duration]) {
+        self.criterion.benchmarks_run += 1;
+        if samples.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().expect("non-empty");
+        let max = samples.iter().max().expect("non-empty");
+        println!(
+            "{}/{id}: time [{} {} {}] ({} samples)",
+            self.name,
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max),
+            samples.len(),
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Prints the run summary; called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!("completed {} benchmarks", self.benchmarks_run);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running each group, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 4, "1 warmup + 3 samples");
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("full", 6).to_string(), "full/6");
+        assert_eq!(BenchmarkId::from_parameter(6).to_string(), "6");
+    }
+
+    #[test]
+    fn macros_compose() {
+        fn bench_a(c: &mut Criterion) {
+            let mut g = c.benchmark_group("a");
+            g.sample_size(1);
+            g.bench_function(BenchmarkId::from_parameter(0), |b| b.iter(|| 1 + 1));
+            g.finish();
+        }
+        criterion_group!(benches, bench_a);
+        let mut c = Criterion::default();
+        benches(&mut c);
+        assert_eq!(c.benchmarks_run, 1);
+    }
+}

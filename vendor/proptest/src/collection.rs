@@ -1,0 +1,72 @@
+//! Collection strategies: the [`btree_set`] generator used by the
+//! workspace's family/ZDD property tests.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `BTreeSet`s of `element` values with a size drawn from the
+/// half-open `size` range. Duplicates collapse, so like upstream the
+/// resulting set may be smaller than the drawn size.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// The strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = if self.size.start >= self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_elements_in_range() {
+        let mut rng = TestRng::for_case("collection-tests", 0);
+        let s = btree_set(0usize..6, 0..4);
+        for _ in 0..200 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 4);
+            assert!(set.iter().all(|&e| e < 6));
+        }
+    }
+
+    #[test]
+    fn nested_sets_compose() {
+        let mut rng = TestRng::for_case("collection-tests", 1);
+        let s = btree_set(
+            btree_set(0usize..6, 0..4).prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+            0..3,
+        );
+        let outer = s.generate(&mut rng);
+        assert!(outer.len() < 3);
+    }
+}

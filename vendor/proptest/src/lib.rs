@@ -1,0 +1,243 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of proptest it actually uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (with optional format args);
+//! * strategies: half-open integer ranges, `any::<bool>()`, tuples,
+//!   [`Strategy::prop_map`], [`Strategy::prop_recursive`], [`prop_oneof!`],
+//!   and [`collection::btree_set`].
+//!
+//! Semantics are the same *kind* as upstream — seeded pseudo-random case
+//! generation with failure messages carrying the failing inputs — but there
+//! is **no shrinking** and the byte-level value streams differ from
+//! upstream. Test-case generation is fully deterministic: case `i` of test
+//! `name` derives its RNG from `hash(name) ⊕ i`, so failures are stable
+//! across runs and `.proptest-regressions` files are unnecessary (and
+//! ignored).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+/// Drives one property test: generates `config.cases` inputs and runs the
+/// body closure; panics (failing the `#[test]`) on the first `Err`.
+///
+/// Used by the expansion of [`proptest!`]; not part of the public API.
+pub fn run_property_test<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng, &mut Vec<String>) -> TestCaseResult,
+{
+    for i in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(name, i);
+        let mut inputs = Vec::new();
+        if let Err(e) = case(&mut rng, &mut inputs) {
+            panic!(
+                "proptest case failed: {name} (case {i}/{cases})\n  inputs: {inputs}\n  {msg}",
+                cases = config.cases,
+                inputs = inputs.join(", "),
+                msg = e,
+            );
+        }
+    }
+}
+
+/// The property-test macro. Mirrors upstream's surface for the patterns in
+/// this workspace: an optional config header, then `#[test]` functions
+/// whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!({ $config } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            { $crate::test_runner::ProptestConfig::default() } $($rest)*
+        );
+    };
+}
+
+/// Internal: expands each `fn` item of a [`proptest!`] invocation.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ({ $config:expr }) => {};
+    ({ $config:expr }
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_property_test(&config, stringify!($name), |rng, inputs| {
+                $(
+                    let $arg = $crate::Strategy::generate(&($strat), rng);
+                    inputs.push(format!(
+                        "{} = {:?}", stringify!($arg), &$arg
+                    ));
+                )+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_items!({ $config } $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`: returns a
+/// [`TestCaseError`] instead of panicking so the runner can report inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format args.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional trailing format args.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Weighted-less union of heterogeneous strategies with a common value
+/// type; each arm is boxed and one is picked uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 0usize..10, b in -4i64..4) {
+            prop_assert!(a < 10);
+            prop_assert!((-4..4).contains(&b), "b = {}", b);
+        }
+
+        #[test]
+        fn early_return_ok_works(a in 0u64..100) {
+            if a % 2 == 0 { return Ok(()); }
+            prop_assert_eq!(a % 2, 1);
+        }
+
+        #[test]
+        fn maps_and_tuples(pair in (0usize..5, 0usize..5).prop_map(|(x, y)| x + y)) {
+            prop_assert!(pair <= 8);
+        }
+
+        #[test]
+        fn oneof_and_bool(v in prop_oneof![Just(0usize), 1usize..3], f in any::<bool>()) {
+            prop_assert!(v < 3);
+            prop_assert!(f || !f);
+        }
+
+        #[test]
+        fn btree_sets_sized(s in crate::collection::btree_set(0usize..6, 0..4)) {
+            prop_assert!(s.len() < 4);
+            prop_assert!(s.iter().all(|&e| e < 6));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_case_panics_with_inputs() {
+        proptest! {
+            #[test]
+            fn inner(v in 5usize..6) {
+                prop_assert_eq!(v, 0, "v should never be {}", v);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum E {
+            Leaf(usize),
+            Pair(Box<E>, Box<E>),
+        }
+        fn depth(e: &E) -> usize {
+            match e {
+                E::Leaf(_) => 1,
+                E::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0usize..4).prop_map(E::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| E::Pair(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::for_case("recursive", 0);
+        for _ in 0..200 {
+            let e = strat.generate(&mut rng);
+            assert!(depth(&e) <= 4);
+        }
+    }
+}

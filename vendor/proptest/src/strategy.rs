@@ -1,0 +1,278 @@
+//! Value-generation strategies: the subset of proptest's combinator
+//! algebra used by this workspace.
+//!
+//! A [`Strategy`] is just a deterministic function from a [`TestRng`] to a
+//! value — there is no shrinking tree. Combinators compose by value, and
+//! [`BoxedStrategy`] erases the concrete type behind an `Rc` so strategies
+//! stay cheaply cloneable (test bodies run single-threaded).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+use rand::{Rng, SampleUniform};
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+
+    /// Builds recursive values: `self` is the leaf case and `recurse` wraps
+    /// an inner strategy one level deeper. Nesting is capped at `depth`
+    /// levels (each level flips a fair coin between leaf and recursion, so
+    /// expected sizes stay small); the `desired_size` / `expected_branch`
+    /// hints of upstream are accepted but unused.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![self.clone().boxed(), deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between type-erased arms (the [`prop_oneof!`] macro).
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given arms; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! of zero strategies");
+        Union { arms }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Half-open integer ranges are strategies: `0usize..10`, `-4i64..4`, …
+impl<T: SampleUniform + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+}
+
+/// Types with a canonical whole-domain strategy (the [`any`] function).
+pub trait Arbitrary: Sized {
+    /// Samples a value from the full domain of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Any")
+    }
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`: `any::<bool>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_sample_uniformly_in_bounds() {
+        let mut rng = rng();
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[(0usize..10).generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = rng();
+        let s = (0usize..5, 0usize..5).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) <= 8);
+        }
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut rng = rng();
+        assert_eq!(Just(41usize).generate(&mut rng), 41);
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut rng = rng();
+        let u = Union::new(vec![Just(0usize).boxed(), Just(1usize).boxed()]);
+        let picks: Vec<usize> = (0..100).map(|_| u.generate(&mut rng)).collect();
+        assert!(picks.contains(&0) && picks.contains(&1));
+    }
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let mut rng = rng();
+        let s = any::<bool>();
+        let vals: Vec<bool> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.contains(&true) && vals.contains(&false));
+    }
+}

@@ -1,0 +1,114 @@
+//! Configuration, RNG, and failure types for the property-test runner.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only the case count is honoured by the stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // upstream's default
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-case generator: case `i` of test `name` derives its
+/// seed from `hash(name) ⊕ i`, so failures are stable across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The generator for case number `case` of the named test.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        TestRng {
+            inner: StdRng::seed_from_u64(h.finish() ^ u64::from(case)),
+        }
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Why a single test case failed. The stand-in has no rejection/filtering,
+/// so this is always a plain failure message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_stream() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_cases_differ() {
+        let mut a = TestRng::for_case("t", 0);
+        let mut b = TestRng::for_case("t", 1);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn config_carries_cases() {
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+
+    #[test]
+    fn error_displays_message() {
+        let e = TestCaseError::fail("boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+}
