@@ -24,11 +24,9 @@ fn bench_family(c: &mut Criterion) {
                 representation: repr,
                 ..RowBudgets::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(repr_label, label),
-                &net,
-                |b, net| b.iter(|| run_gpo(net, &budgets)),
-            );
+            group.bench_with_input(BenchmarkId::new(repr_label, label), &net, |b, net| {
+                b.iter(|| run_gpo(net, &budgets))
+            });
         }
     }
     group.finish();

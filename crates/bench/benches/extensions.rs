@@ -50,7 +50,10 @@ fn bench_unfolding(c: &mut Criterion) {
 fn bench_timed(c: &mut Criterion) {
     let mut group = c.benchmark_group("extension/timed");
     group.sample_size(10);
-    for (label, net) in [("fig2_5", models::figures::fig2(5)), ("nsdp_2", models::nsdp(2))] {
+    for (label, net) in [
+        ("fig2_5", models::figures::fig2(5)),
+        ("nsdp_2", models::nsdp(2)),
+    ] {
         let timed = TimedNet::new(net);
         group.bench_with_input(BenchmarkId::new("classes", label), &timed, |b, timed| {
             b.iter(|| ClassGraph::explore(timed).expect("within budget"))

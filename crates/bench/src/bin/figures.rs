@@ -35,7 +35,11 @@ fn family_to_string(net: &PetriNet, f: &ExplicitFamily) -> String {
 fn show_state(net: &PetriNet, s: &GpnState<ExplicitFamily>) {
     for p in net.places() {
         if !s.place(p).is_empty() {
-            println!("    m({}) = {}", net.place_name(p), family_to_string(net, s.place(p)));
+            println!(
+                "    m({}) = {}",
+                net.place_name(p),
+                family_to_string(net, s.place(p))
+            );
         }
     }
     println!("    r = {}", family_to_string(net, s.valid()));
@@ -61,7 +65,10 @@ fn fig1() {
 
 fn fig2() {
     println!("Figure 2 — conflict-place explosion: PO vs GPO");
-    println!("  {:>3} | {:>10} | {:>12} | {:>4}", "N", "full (3^N)", "PO (2^^N+1-1)", "GPO");
+    println!(
+        "  {:>3} | {:>10} | {:>12} | {:>4}",
+        "N", "full (3^N)", "PO (2^^N+1-1)", "GPO"
+    );
     for n in 1..=12usize {
         let net = models::figures::fig2(n);
         let full = if n <= 10 {

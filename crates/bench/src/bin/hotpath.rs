@@ -1,0 +1,86 @@
+//! Hot-path timing table for EXPERIMENTS.md: exploration wall time and
+//! throughput for the large (≥10⁵-state) model instances, plus the
+//! generalized analysis' enabling-reuse counters.
+//!
+//! Run: `cargo run --release -p gpo-bench --bin hotpath [-- --threads=N]`
+//!
+//! Times are medians of three runs. With `--threads=1` (the default on a
+//! single-core container) the numbers isolate the serial hot-path work
+//! (clone elimination, enabling-family reuse); larger `--threads` values
+//! exercise the parallel frontier engine.
+
+use std::time::Duration;
+
+use gpo_core::analyze;
+use partial_order::{ReducedOptions, ReducedReachability};
+use petri::{ExploreOptions, PetriNet, ReachabilityGraph};
+
+fn median_of_3(mut f: impl FnMut() -> Duration) -> Duration {
+    let mut samples = [f(), f(), f()];
+    samples.sort();
+    samples[1]
+}
+
+fn main() {
+    let threads = std::env::args()
+        .find_map(|a| a.strip_prefix("--threads=").map(str::to_owned))
+        .map(|v| v.parse().expect("--threads=N"))
+        .unwrap_or_else(petri::parallel::default_threads);
+
+    println!("exploration hot path (threads = {threads}; median of 3 runs)");
+    println!("| model | full states | full time | states/s | reduced states | reduced time |");
+    println!("|---|---|---|---|---|---|");
+    let instances: Vec<(&str, PetriNet)> = vec![
+        ("NSDP(8)", models::nsdp(8)),
+        ("ASAT(8)", models::asat(8)),
+        ("OVER(6)", models::overtake(6)),
+    ];
+    for (label, net) in &instances {
+        let opts = ExploreOptions {
+            threads,
+            record_edges: false,
+            ..Default::default()
+        };
+        let mut states = 0usize;
+        let full = median_of_3(|| {
+            let rg = ReachabilityGraph::explore_with(net, &opts).expect("safe");
+            states = rg.state_count();
+            rg.elapsed()
+        });
+        let red_opts = ReducedOptions {
+            threads,
+            ..Default::default()
+        };
+        let mut red_states = 0usize;
+        let red = median_of_3(|| {
+            let red = ReducedReachability::explore_with(net, &red_opts).expect("safe");
+            red_states = red.state_count();
+            red.elapsed()
+        });
+        println!(
+            "| {label} | {states} | {:.1} ms | {:.0}k | {red_states} | {:.1} ms |",
+            full.as_secs_f64() * 1e3,
+            states as f64 / full.as_secs_f64() / 1e3,
+            red.as_secs_f64() * 1e3,
+        );
+    }
+
+    println!();
+    println!("generalized analysis: enabling-family evaluations");
+    println!("| model | computed | reused (avoided) | seed would compute | time |");
+    println!("|---|---|---|---|---|");
+    for (label, net) in [
+        ("fig2(8)", models::figures::fig2(8)),
+        ("NSDP(6)", models::nsdp(6)),
+        ("RW(12)", models::readers_writers(12)),
+    ] {
+        let report = analyze(&net).expect("within budgets");
+        println!(
+            "| {label} | {} | {} | {} | {:.1} ms |",
+            report.enabling_computed,
+            report.enabling_reused,
+            report.enabling_computed + report.enabling_reused,
+            report.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+}

@@ -34,7 +34,11 @@ fn specs(quick: bool) -> Vec<Spec> {
                 // of fork conflicts: use the ZDD representation from n = 8,
                 // and give the BDD engine a budget it will exhaust on the
                 // big rings (the paper's SMV row reports "> 24 hours" there)
-                representation: if n >= 8 { Representation::Zdd } else { Representation::Explicit },
+                representation: if n >= 8 {
+                    Representation::Zdd
+                } else {
+                    Representation::Explicit
+                },
                 skip_bdd: n >= 10,
                 max_bdd_nodes: 20_000_000,
                 ..RowBudgets::default()

@@ -136,6 +136,7 @@ pub fn run_full(net: &PetriNet, max_states: usize) -> EngineResult {
     let opts = ExploreOptions {
         max_states,
         record_edges: false,
+        ..Default::default()
     };
     match ReachabilityGraph::explore_with(net, &opts) {
         Ok(rg) => EngineResult {
@@ -155,6 +156,7 @@ pub fn run_po(net: &PetriNet, max_states: usize) -> EngineResult {
     let opts = ReducedOptions {
         strategy: SeedStrategy::BestOfEnabled,
         max_states,
+        ..Default::default()
     };
     match ReducedReachability::explore_with(net, &opts) {
         Ok(rg) => EngineResult {

@@ -26,7 +26,9 @@ use petri::{ConflictInfo, Marking, PetriNet, PlaceId, TransitionId};
 
 use crate::error::GpoError;
 use crate::family::{ExplicitFamily, SetFamily, ZddFamily};
-use crate::semantics::{m_enabled, multiple_update, s_enabled, single_update};
+use crate::semantics::{
+    m_enabled, m_enabled_all, multiple_update_with, s_enabled, s_enabled_all, single_update_with,
+};
 use crate::state::GpnState;
 
 /// Which family representation backs the analysis.
@@ -112,6 +114,25 @@ pub struct GpoReport {
     pub deadlock_traces: Vec<Vec<TransitionId>>,
     /// Wall-clock analysis time.
     pub elapsed: Duration,
+    /// Enabling-family evaluations (`s_enabled` / `m_enabled`) actually
+    /// performed during the analysis.
+    pub enabling_computed: usize,
+    /// Enabling-family evaluations *avoided* by handing the families the
+    /// expansion step already computed down into the firing rules, instead
+    /// of recomputing them inside `single_update` / `multiple_update`.
+    pub enabling_reused: usize,
+}
+
+impl GpoReport {
+    /// Analysis throughput in GPN states per second.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.state_count as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 /// Runs the generalized analysis with default options (explicit families).
@@ -141,8 +162,7 @@ fn run<F: SetFamily>(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, Gpo
     let start = Instant::now();
     let conflicts = ConflictInfo::new(net);
     let ctx = F::new_context(net.transition_count());
-    let s0 =
-        GpnState::<F>::initial_with_conflicts(net, &conflicts, &ctx, opts.valid_set_limit)?;
+    let s0 = GpnState::<F>::initial_with_conflicts(net, &conflicts, &ctx, opts.valid_set_limit)?;
     let valid_set_count = s0.valid().count();
 
     let mut states: Vec<GpnState<F>> = vec![s0.clone()];
@@ -162,11 +182,18 @@ fn run<F: SetFamily>(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, Gpo
         coverage_hit: None,
         deadlock_traces: Vec::new(),
         elapsed: Duration::ZERO,
+        enabling_computed: 0,
+        enabling_reused: 0,
     };
 
     let mut frontier = 0;
     while frontier < states.len() {
-        let s = states[frontier].clone();
+        // take the state out instead of cloning it; the index still holds
+        // an equal key, so the dedup lookups during expansion are unaffected
+        let s = std::mem::replace(
+            &mut states[frontier],
+            GpnState::from_parts(Vec::new(), F::empty(&ctx, net.transition_count())),
+        );
         report.peak_footprint = report.peak_footprint.max(s.footprint());
 
         if report.coverage_hit.is_none() && !opts.coverage_query.is_empty() {
@@ -194,6 +221,7 @@ fn run<F: SetFamily>(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, Gpo
                 }
             }
         }
+        states[frontier] = s;
         frontier += 1;
     }
 
@@ -285,15 +313,19 @@ fn expand<F: SetFamily>(
     opts: &GpoOptions,
 ) -> Vec<(GpnState<F>, Firing)> {
     let n = net.transition_count();
-    let s_en: Vec<F> = net.transitions().map(|t| s_enabled(net, s, t)).collect();
+    let s_en: Vec<F> = s_enabled_all(net, conflicts, s);
+    report.enabling_computed += n;
 
     // deadlock possibility: ∪ s_enabled ≠ r
-    let live = s_en.iter().filter(|f| !f.is_empty()).fold(None::<F>, |acc, f| {
-        Some(match acc {
-            None => f.clone(),
-            Some(a) => a.union(f),
-        })
-    });
+    let live = s_en
+        .iter()
+        .filter(|f| !f.is_empty())
+        .fold(None::<F>, |acc, f| {
+            Some(match acc {
+                None => f.clone(),
+                Some(a) => a.union(f),
+            })
+        });
     let blocked = match &live {
         None => s.valid().clone(),
         Some(l) => s.valid().difference(l),
@@ -311,7 +343,8 @@ fn expand<F: SetFamily>(
         return Vec::new(); // the paper's algorithm does not expand further
     }
 
-    let m_en: Vec<F> = net.transitions().map(|t| m_enabled(net, s, t)).collect();
+    let m_en: Vec<F> = m_enabled_all(net, conflicts, s);
+    report.enabling_computed += n;
 
     // candidate MCS search: per cluster, the multiple-enabled part, which
     // must cover every single-enabled member of the cluster
@@ -335,15 +368,19 @@ fn expand<F: SetFamily>(
 
     if !candidates.is_empty() {
         let union: Vec<TransitionId> = candidates.iter().flatten().copied().collect();
-        let next = multiple_update(net, s, &union);
-        if preserves_enabledness(net, &s_en, &m_en, &union, &next) {
+        // the seed recomputed every enabling family inside multiple_update;
+        // passing s_en/m_en down saves those n evaluations per call
+        let next = multiple_update_with(net, s, &union, &s_en, &m_en);
+        report.enabling_reused += n;
+        if preserves_enabledness(net, &s_en, &m_en, &union, &next, report) {
             report.multiple_firings += 1;
             return vec![(next, Firing::Multiple(union))];
         }
         // union failed: try candidates one at a time, keep the first valid
         for cand in &candidates {
-            let next = multiple_update(net, s, cand);
-            if preserves_enabledness(net, &s_en, &m_en, cand, &next) {
+            let next = multiple_update_with(net, s, cand, &s_en, &m_en);
+            report.enabling_reused += n;
+            if preserves_enabledness(net, &s_en, &m_en, cand, &next, report) {
                 report.multiple_firings += 1;
                 return vec![(next, Firing::Multiple(cand.clone()))];
             }
@@ -359,40 +396,60 @@ fn expand<F: SetFamily>(
     for cluster in conflicts.clusters() {
         if cluster.len() > 1 && cluster.iter().all(|t| !s_en[t.index()].is_empty()) {
             report.single_firings += cluster.len();
+            report.enabling_reused += cluster.len();
             return cluster
                 .iter()
-                .map(|&t| (single_update(net, s, t), Firing::Single(t)))
+                .map(|&t| {
+                    (
+                        single_update_with(net, s, t, &s_en[t.index()]),
+                        Firing::Single(t),
+                    )
+                })
                 .collect();
         }
     }
     report.single_firings += single_enabled.len();
-    let _ = n;
+    report.enabling_reused += single_enabled.len();
     single_enabled
         .iter()
-        .map(|&t| (single_update(net, s, t), Firing::Single(t)))
+        .map(|&t| {
+            (
+                single_update_with(net, s, t, &s_en[t.index()]),
+                Firing::Single(t),
+            )
+        })
         .collect()
 }
 
 /// The paper's candidate condition, checked semantically: firing `fired`
 /// must leave every other single-enabled transition single enabled and
-/// every other multiple-enabled transition multiple enabled.
+/// every other multiple-enabled transition multiple enabled. The families
+/// on `next` are genuinely new work (the successor has not been expanded
+/// yet), so they count towards `enabling_computed`.
 fn preserves_enabledness<F: SetFamily>(
     net: &PetriNet,
     s_en: &[F],
     m_en: &[F],
     fired: &[TransitionId],
     next: &GpnState<F>,
+    report: &mut GpoReport,
 ) -> bool {
     net.transitions().all(|u| {
         if fired.contains(&u) {
             return true;
         }
         let i = u.index();
-        if !s_en[i].is_empty() && s_enabled(net, next, u).is_empty() {
-            return false;
+        if !s_en[i].is_empty() {
+            report.enabling_computed += 1;
+            if s_enabled(net, next, u).is_empty() {
+                return false;
+            }
         }
-        if !m_en[i].is_empty() && m_enabled(net, next, u).is_empty() {
-            return false;
+        if !m_en[i].is_empty() {
+            report.enabling_computed += 1;
+            if m_enabled(net, next, u).is_empty() {
+                return false;
+            }
         }
         true
     })
@@ -466,12 +523,18 @@ mod tests {
         ] {
             let e = analyze_with(
                 &net,
-                &GpoOptions { representation: Representation::Explicit, ..Default::default() },
+                &GpoOptions {
+                    representation: Representation::Explicit,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let z = analyze_with(
                 &net,
-                &GpoOptions { representation: Representation::Zdd, ..Default::default() },
+                &GpoOptions {
+                    representation: Representation::Zdd,
+                    ..Default::default()
+                },
             )
             .unwrap();
             assert_eq!(e.state_count, z.state_count, "{}", net.name());
@@ -484,7 +547,10 @@ mod tests {
     fn state_limit_enforced() {
         let err = analyze_with(
             &models::nsdp(3),
-            &GpoOptions { max_states: 1, ..Default::default() },
+            &GpoOptions {
+                max_states: 1,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert_eq!(err, GpoError::StateLimit(1));
@@ -494,17 +560,45 @@ mod tests {
     fn valid_set_limit_enforced() {
         let err = analyze_with(
             &models::figures::fig2(8),
-            &GpoOptions { valid_set_limit: 10, ..Default::default() },
+            &GpoOptions {
+                valid_set_limit: 10,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert_eq!(err, GpoError::ValidSetsTooLarge(10));
     }
 
     #[test]
+    fn enabling_families_are_reused_not_recomputed() {
+        // the acceptance criterion for the hot-path optimisation: the
+        // update rules consume the families expand() already computed, so
+        // every analysis that fires anything must report avoided work
+        for net in [models::figures::fig2(6), models::nsdp(4)] {
+            let report = analyze(&net).unwrap();
+            assert!(
+                report.enabling_reused > 0,
+                "{}: no enabling evaluations were reused",
+                net.name()
+            );
+            assert!(report.enabling_computed > 0, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn throughput_counter_populated() {
+        let report = analyze(&models::nsdp(3)).unwrap();
+        assert!(report.states_per_sec() > 0.0);
+    }
+
+    #[test]
     fn witness_budget_respected() {
         let report = analyze_with(
             &models::figures::fig2(3),
-            &GpoOptions { max_witnesses: 3, ..Default::default() },
+            &GpoOptions {
+                max_witnesses: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(report.deadlock_witnesses.len(), 3);

@@ -23,7 +23,10 @@ impl fmt::Display for GpoError {
                 "valid-set relation exceeds the limit of {limit} enumerated sets"
             ),
             GpoError::StateLimit(n) => {
-                write!(f, "state limit of {n} GPN states exceeded during exploration")
+                write!(
+                    f,
+                    "state limit of {n} GPN states exceeded during exploration"
+                )
             }
         }
     }

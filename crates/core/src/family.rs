@@ -521,7 +521,7 @@ mod tests {
 
     #[test]
     #[allow(clippy::mutable_key_type)] // ZddFamily's Hash uses only the
-    // immutable node id; the shared manager never changes existing nodes
+                                       // immutable node id; the shared manager never changes existing nodes
     fn hash_consistency() {
         use std::collections::HashSet;
         let u = 3;
@@ -559,6 +559,10 @@ mod tests {
         assert_eq!(e.count(), 1024);
         assert_eq!(z.count(), 1024);
         assert_eq!(e.footprint(), 1024);
-        assert!(z.footprint() <= 20, "zdd shares structure: {}", z.footprint());
+        assert!(
+            z.footprint() <= 20,
+            "zdd shares structure: {}",
+            z.footprint()
+        );
     }
 }

@@ -52,6 +52,7 @@ pub use analysis::{analyze, analyze_with, GpoOptions, GpoReport, Representation}
 pub use error::GpoError;
 pub use family::{ExplicitFamily, SetFamily, ZddFamily};
 pub use semantics::{
-    blocked_histories, deadlock_possible, m_enabled, multiple_update, s_enabled, single_update,
+    blocked_histories, deadlock_possible, m_enabled, m_enabled_all, multiple_update,
+    multiple_update_with, s_enabled, s_enabled_all, single_update, single_update_with,
 };
 pub use state::GpnState;

@@ -9,7 +9,7 @@
 //!   their distinguishing colors, and the valid-set relation is tightened
 //!   to the histories that stay realizable.
 
-use petri::{PetriNet, TransitionId};
+use petri::{ConflictInfo, PetriNet, TransitionId};
 
 use crate::family::SetFamily;
 use crate::state::GpnState;
@@ -56,6 +56,109 @@ pub fn m_enabled<F: SetFamily>(net: &PetriNet, s: &GpnState<F>, t: TransitionId)
     }
 }
 
+/// Batch [`s_enabled`] over every transition, sharing work inside conflict
+/// clusters: the intersection `r ∩ ⋂_{p ∈ C} m(p)` over the places `C`
+/// common to *all* members of a cluster is computed once and reused as the
+/// prefix of each member's own intersection chain. Intersection is
+/// commutative and both family representations are canonical, so the
+/// result is element-for-element identical to calling [`s_enabled`] per
+/// transition.
+pub fn s_enabled_all<F: SetFamily>(
+    net: &PetriNet,
+    conflicts: &ConflictInfo,
+    s: &GpnState<F>,
+) -> Vec<F> {
+    let mut out: Vec<Option<F>> = vec![None; net.transition_count()];
+    for cluster in conflicts.clusters() {
+        let common = common_pre_places(net, cluster);
+        let mut prefix = s.valid().clone();
+        for p in common.iter() {
+            if prefix.is_empty() {
+                break;
+            }
+            prefix = prefix.intersect(s.place(petri::PlaceId::new(p)));
+        }
+        for &t in cluster {
+            let mut acc = prefix.clone();
+            for &p in net.pre_places(t) {
+                if acc.is_empty() {
+                    break;
+                }
+                if !common.contains(p.index()) {
+                    acc = acc.intersect(s.place(p));
+                }
+            }
+            out[t.index()] = Some(acc);
+        }
+    }
+    out.into_iter()
+        .map(|f| f.expect("every transition belongs to a cluster"))
+        .collect()
+}
+
+/// Batch [`m_enabled`] over every transition, with the same conflict-
+/// cluster prefix sharing as [`s_enabled_all`] (minus the leading `∩ r`,
+/// which the multiple-enabling family does not have).
+pub fn m_enabled_all<F: SetFamily>(
+    net: &PetriNet,
+    conflicts: &ConflictInfo,
+    s: &GpnState<F>,
+) -> Vec<F> {
+    let mut out: Vec<Option<F>> = vec![None; net.transition_count()];
+    for cluster in conflicts.clusters() {
+        let common = common_pre_places(net, cluster);
+        let mut prefix: Option<F> = None;
+        for p in common.iter() {
+            prefix = Some(match prefix {
+                None => s.place(petri::PlaceId::new(p)).clone(),
+                Some(a) => {
+                    if a.is_empty() {
+                        a
+                    } else {
+                        a.intersect(s.place(petri::PlaceId::new(p)))
+                    }
+                }
+            });
+        }
+        for &t in cluster {
+            let mut acc = prefix.clone();
+            for &p in net.pre_places(t) {
+                if common.contains(p.index()) {
+                    continue;
+                }
+                acc = Some(match acc {
+                    None => s.place(p).clone(),
+                    Some(a) => {
+                        if a.is_empty() {
+                            a
+                        } else {
+                            a.intersect(s.place(p))
+                        }
+                    }
+                });
+            }
+            out[t.index()] = Some(match acc {
+                None => s.valid().onset(t.index()),
+                Some(a) => a.onset(t.index()),
+            });
+        }
+    }
+    out.into_iter()
+        .map(|f| f.expect("every transition belongs to a cluster"))
+        .collect()
+}
+
+/// The places shared by the presets of *every* member of `cluster`.
+fn common_pre_places(net: &PetriNet, cluster: &[TransitionId]) -> petri::BitSet {
+    let mut members = cluster.iter();
+    let first = members.next().expect("clusters are non-empty");
+    let mut common = net.pre_place_set(*first).clone();
+    for &t in members {
+        common.intersect_with(net.pre_place_set(t));
+    }
+    common
+}
+
 /// Definition 3.3 — the single firing rule `s_update`.
 ///
 /// Removes the common histories from `•t \ t•`, adds them to `t• \ •t`;
@@ -70,18 +173,38 @@ pub fn single_update<F: SetFamily>(
     t: TransitionId,
 ) -> GpnState<F> {
     let moved = s_enabled(net, s, t);
+    single_update_with(net, s, t, &moved)
+}
+
+/// [`single_update`] with the single-enabling family `moved` supplied by
+/// the caller — the hot path of the analysis already has it from its
+/// deadlock check and must not recompute it.
+///
+/// # Panics
+///
+/// Debug-asserts that `moved` is non-empty (i.e. `t` is single enabled).
+pub fn single_update_with<F: SetFamily>(
+    net: &PetriNet,
+    s: &GpnState<F>,
+    t: TransitionId,
+    moved: &F,
+) -> GpnState<F> {
     debug_assert!(!moved.is_empty(), "single-fired a disabled transition");
+    debug_assert!(
+        *moved == s_enabled(net, s, t),
+        "caller-supplied family disagrees with s_enabled"
+    );
     let pre = net.pre_place_set(t);
     let post = net.post_place_set(t);
     let mut marking: Vec<F> = s.marking().to_vec();
     for &p in net.pre_places(t) {
         if !post.contains(p.index()) {
-            marking[p.index()] = marking[p.index()].difference(&moved);
+            marking[p.index()] = marking[p.index()].difference(moved);
         }
     }
     for &p in net.post_places(t) {
         if !pre.contains(p.index()) {
-            marking[p.index()] = marking[p.index()].union(&moved);
+            marking[p.index()] = marking[p.index()].union(moved);
         }
     }
     GpnState::from_parts(marking, s.valid().clone())
@@ -105,16 +228,37 @@ pub fn multiple_update<F: SetFamily>(
     s: &GpnState<F>,
     fired: &[TransitionId],
 ) -> GpnState<F> {
-    let enabled: Vec<F> = fired.iter().map(|&t| m_enabled(net, s, t)).collect();
+    let s_en: Vec<F> = net.transitions().map(|t| s_enabled(net, s, t)).collect();
+    let m_en: Vec<F> = net.transitions().map(|t| m_enabled(net, s, t)).collect();
+    multiple_update_with(net, s, fired, &s_en, &m_en)
+}
+
+/// [`multiple_update`] with the enabling families supplied by the caller.
+/// `s_en` / `m_en` are indexed by transition index and must equal
+/// [`s_enabled`] / [`m_enabled`] of every transition on `s` — the analysis
+/// loop computes both families for the whole net anyway (deadlock check,
+/// firing-mode choice) and must not recompute them per update.
+///
+/// # Panics
+///
+/// Debug-asserts that every member of `fired` is multiple enabled.
+pub fn multiple_update_with<F: SetFamily>(
+    net: &PetriNet,
+    s: &GpnState<F>,
+    fired: &[TransitionId],
+    s_en: &[F],
+    m_en: &[F],
+) -> GpnState<F> {
     debug_assert!(
-        enabled.iter().all(|e| !e.is_empty()),
+        fired.iter().all(|t| !m_en[t.index()].is_empty()),
         "multiple-fired a transition that is not multiple enabled"
     );
 
     // r' = ∪_{t ∉ T'} s_enabled(t, s) ∪ ∪_{t ∈ T'} m_enabled(t, s)
-    let mut valid = enabled
+    let mut valid = fired
         .iter()
-        .fold(None::<F>, |acc, e| {
+        .fold(None::<F>, |acc, t| {
+            let e = &m_en[t.index()];
             Some(match acc {
                 None => e.clone(),
                 Some(a) => a.union(e),
@@ -123,24 +267,24 @@ pub fn multiple_update<F: SetFamily>(
         .expect("fired set is non-empty");
     for t in net.transitions() {
         if !fired.contains(&t) {
-            let se = s_enabled(net, s, t);
+            let se = &s_en[t.index()];
             if !se.is_empty() {
-                valid = valid.union(&se);
+                valid = valid.union(se);
             }
         }
     }
 
     let mut marking: Vec<F> = s.marking().to_vec();
     // removals from the presets of fired transitions
-    for (i, &t) in fired.iter().enumerate() {
+    for &t in fired {
         for &p in net.pre_places(t) {
-            marking[p.index()] = marking[p.index()].difference(&enabled[i]);
+            marking[p.index()] = marking[p.index()].difference(&m_en[t.index()]);
         }
     }
     // additions to the postsets of fired transitions
-    for (i, &t) in fired.iter().enumerate() {
+    for &t in fired {
         for &p in net.post_places(t) {
-            marking[p.index()] = marking[p.index()].union(&enabled[i]);
+            marking[p.index()] = marking[p.index()].union(&m_en[t.index()]);
         }
     }
     // conditioning by the new valid-set relation
@@ -231,11 +375,20 @@ mod tests {
         let ai = a.index();
         let bi = net.transition_by_name("B").unwrap().index();
         // {{A}} removed from p0 and p1, added to p3
-        assert_eq!(s1.place(net.place_by_name("p0").unwrap()).sets(), vec![bs(u, &[bi])]);
+        assert_eq!(
+            s1.place(net.place_by_name("p0").unwrap()).sets(),
+            vec![bs(u, &[bi])]
+        );
         assert!(s1.place(net.place_by_name("p1").unwrap()).is_empty());
-        assert_eq!(s1.place(net.place_by_name("p3").unwrap()).sets(), vec![bs(u, &[ai])]);
+        assert_eq!(
+            s1.place(net.place_by_name("p3").unwrap()).sets(),
+            vec![bs(u, &[ai])]
+        );
         // p2 untouched, r unchanged
-        assert_eq!(s1.place(net.place_by_name("p2").unwrap()).sets(), vec![bs(u, &[bi])]);
+        assert_eq!(
+            s1.place(net.place_by_name("p2").unwrap()).sets(),
+            vec![bs(u, &[bi])]
+        );
         assert_eq!(s1.valid(), s.valid());
     }
 
@@ -275,10 +428,20 @@ mod tests {
         assert_eq!(s1.valid(), s0.valid(), "r1 = r0 (paper)");
         let p1 = net.place_by_name("p1").unwrap();
         let p2 = net.place_by_name("p2").unwrap();
-        assert_eq!(s1.place(p1).sets(), vec![bs(u, &[ai, ci]), bs(u, &[ai, di])]);
-        assert_eq!(s1.place(p2).sets(), vec![bs(u, &[bi, ci]), bs(u, &[bi, di])]);
+        assert_eq!(
+            s1.place(p1).sets(),
+            vec![bs(u, &[ai, ci]), bs(u, &[ai, di])]
+        );
+        assert_eq!(
+            s1.place(p2).sets(),
+            vec![bs(u, &[bi, ci]), bs(u, &[bi, di])]
+        );
         // mapping(m1, r1) = {{p1,p3},{p2,p3}}
-        let names: Vec<String> = s1.mapping(&net).iter().map(|m| net.display_marking(m)).collect();
+        let names: Vec<String> = s1
+            .mapping(&net)
+            .iter()
+            .map(|m| net.display_marking(m))
+            .collect();
         assert_eq!(names, vec!["{p1, p3}", "{p2, p3}"]);
 
         // m_enabled(C, s1) = {{A,C}}, m_enabled(D, s1) = {{B,D}}
@@ -289,9 +452,16 @@ mod tests {
         let s2 = multiple_update(&net, &s1, &[c, d]);
         assert_eq!(s2.valid().sets(), vec![bs(u, &[ai, ci]), bs(u, &[bi, di])]);
         let p5 = net.place_by_name("p5").unwrap();
-        assert_eq!(s2.place(p5).sets(), vec![bs(u, &[ai, ci]), bs(u, &[bi, di])]);
+        assert_eq!(
+            s2.place(p5).sets(),
+            vec![bs(u, &[ai, ci]), bs(u, &[bi, di])]
+        );
         // every other place is empty; mapping = {{p5}}
-        let names2: Vec<String> = s2.mapping(&net).iter().map(|m| net.display_marking(m)).collect();
+        let names2: Vec<String> = s2
+            .mapping(&net)
+            .iter()
+            .map(|m| net.display_marking(m))
+            .collect();
         assert_eq!(names2, vec!["{p5}"]);
     }
 
@@ -364,5 +534,79 @@ mod tests {
         let s1 = multiple_update(&net, &s0, &fired);
         assert!(deadlock_possible(&net, &s1), "all histories are terminal");
         assert_eq!(blocked_histories(&net, &s1), s1.valid().clone());
+    }
+
+    #[test]
+    fn batch_enabling_agrees_with_per_transition() {
+        // the cluster-prefix-sharing batch versions must be observationally
+        // identical to calling s_enabled / m_enabled per transition, on the
+        // initial state and on successors reached by both firing rules
+        for net in [
+            models::figures::fig2(3),
+            models::figures::fig3(),
+            models::figures::fig4(),
+            models::figures::fig5(),
+            models::figures::fig7(),
+            models::nsdp(3),
+            models::readers_writers(3),
+        ] {
+            let conflicts = petri::ConflictInfo::new(&net);
+            F::new_context(net.transition_count());
+            let s0 = GpnState::<F>::initial(&net, &(), 10_000).unwrap();
+            let mut probe = vec![s0.clone()];
+            let fired: Vec<_> = net
+                .transitions()
+                .filter(|&t| !m_enabled(&net, &s0, t).is_empty())
+                .collect();
+            if !fired.is_empty() {
+                probe.push(multiple_update(&net, &s0, &fired));
+            }
+            if let Some(t) = net
+                .transitions()
+                .find(|&t| !s_enabled(&net, &s0, t).is_empty())
+            {
+                probe.push(single_update(&net, &s0, t));
+            }
+            for s in &probe {
+                let s_all = s_enabled_all(&net, &conflicts, s);
+                let m_all = m_enabled_all(&net, &conflicts, s);
+                for t in net.transitions() {
+                    assert_eq!(
+                        s_all[t.index()],
+                        s_enabled(&net, s, t),
+                        "s_enabled({}) on {}",
+                        net.transition_name(t),
+                        net.name()
+                    );
+                    assert_eq!(
+                        m_all[t.index()],
+                        m_enabled(&net, s, t),
+                        "m_enabled({}) on {}",
+                        net.transition_name(t),
+                        net.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_with_agrees_with_plain_updates() {
+        let net = models::figures::fig7();
+        F::new_context(net.transition_count());
+        let s0 = GpnState::<F>::initial(&net, &(), 100).unwrap();
+        let conflicts = petri::ConflictInfo::new(&net);
+        let s_en = s_enabled_all(&net, &conflicts, &s0);
+        let m_en = m_enabled_all(&net, &conflicts, &s0);
+        let a = net.transition_by_name("A").unwrap();
+        let b = net.transition_by_name("B").unwrap();
+        assert_eq!(
+            multiple_update(&net, &s0, &[a, b]),
+            multiple_update_with(&net, &s0, &[a, b], &s_en, &m_en)
+        );
+        assert_eq!(
+            single_update(&net, &s0, a),
+            single_update_with(&net, &s0, a, &s_en[a.index()])
+        );
     }
 }

@@ -134,7 +134,9 @@ fn gpo_reduces_on_paper_workloads() {
 /// identical.)
 #[test]
 fn mapping_consistency_on_models() {
-    use gpo_core::{multiple_update, s_enabled, single_update, ExplicitFamily, GpnState, SetFamily};
+    use gpo_core::{
+        multiple_update, s_enabled, single_update, ExplicitFamily, GpnState, SetFamily,
+    };
     use petri::TransitionId;
 
     for net in [

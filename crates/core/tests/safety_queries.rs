@@ -46,8 +46,8 @@ fn rw_two_writers_never_coexist() {
 #[test]
 fn rw_concurrent_readers_found() {
     let net = models::readers_writers(4);
-    let hit = query(&net, places(&net, &["reading0", "reading1", "reading2"]))
-        .expect("readers share");
+    let hit =
+        query(&net, places(&net, &["reading0", "reading1", "reading2"])).expect("readers share");
     let rg = ReachabilityGraph::explore(&net).unwrap();
     assert!(rg.contains(&hit), "hit is classically reachable");
     for p in places(&net, &["reading0", "reading1", "reading2"]) {
@@ -62,7 +62,10 @@ fn nsdp_circular_wait_found_as_coverage() {
     let hit = query(&net, q.clone()).expect("the circular wait is reachable");
     let rg = ReachabilityGraph::explore(&net).unwrap();
     assert!(rg.contains(&hit));
-    assert!(net.is_dead(&hit), "this particular coverage is the deadlock");
+    assert!(
+        net.is_dead(&hit),
+        "this particular coverage is the deadlock"
+    );
     for p in q {
         assert!(hit.is_marked(p));
     }

@@ -15,12 +15,21 @@ fn replay_check(net: &petri::PetriNet, opts: &GpoOptions) {
         "{}: one trace per witness",
         net.name()
     );
-    for (trace, witness) in report.deadlock_traces.iter().zip(&report.deadlock_witnesses) {
+    for (trace, witness) in report
+        .deadlock_traces
+        .iter()
+        .zip(&report.deadlock_witnesses)
+    {
         let reached = net
             .fire_sequence(net.initial_marking(), trace.iter().copied())
             .expect("safe")
             .unwrap_or_else(|| panic!("{}: trace not fireable", net.name()));
-        assert_eq!(&reached, witness, "{}: trace misses its witness", net.name());
+        assert_eq!(
+            &reached,
+            witness,
+            "{}: trace misses its witness",
+            net.name()
+        );
         assert!(net.is_dead(&reached));
     }
 }
@@ -54,10 +63,16 @@ fn nsdp_trace_is_the_circular_wait() {
     // 3 getHungry + 3 same-side grabs
     assert_eq!(trace.len(), 6);
     let names: Vec<&str> = trace.iter().map(|&t| net.transition_name(t)).collect();
-    assert_eq!(names.iter().filter(|n| n.starts_with("getHungry")).count(), 3);
+    assert_eq!(
+        names.iter().filter(|n| n.starts_with("getHungry")).count(),
+        3
+    );
     let lefts = names.iter().filter(|n| n.starts_with("takeLfirst")).count();
     let rights = names.iter().filter(|n| n.starts_with("takeRfirst")).count();
-    assert!(lefts == 3 || rights == 3, "everyone grabbed the same side: {names:?}");
+    assert!(
+        lefts == 3 || rights == 3,
+        "everyone grabbed the same side: {names:?}"
+    );
 }
 
 #[test]

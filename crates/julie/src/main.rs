@@ -12,6 +12,7 @@
 //!   --zdd                          ZDD-backed families for the gpo engine
 //!   --max-states=N                 state budget (default: 10,000,000)
 //!   --witnesses=K                  deadlock witness markings to print (default: 1)
+//!   --threads=N                    worker threads for the full/po engines
 //!   <net> is a file in the `.net` text format, or `-` for stdin
 //! ```
 
@@ -72,12 +73,17 @@ options:
   --zdd                        ZDD-backed families for the gpo engine
   --max-states=N               state budget (default: 10000000)
   --witnesses=K                deadlock witnesses to print (default: 1)
+  --threads=N                  worker threads for the full/po engines
+                               (default: available parallelism)
 
 <net> is a file in the .net text format, or `-` for stdin.
 ";
 
 fn positional(args: &[String]) -> Vec<&String> {
-    args.iter().skip(1).filter(|a| !a.starts_with("--")).collect()
+    args.iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect()
 }
 
 fn option<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
@@ -177,12 +183,17 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad --witnesses `{s}`")))
         .transpose()?
         .unwrap_or(1);
+    let threads: usize = option(args, "threads")
+        .map(|s| s.parse().map_err(|_| format!("bad --threads `{s}`")))
+        .transpose()?
+        .unwrap_or_else(petri::parallel::default_threads);
 
     match engine {
         "full" => {
             let opts = ExploreOptions {
                 max_states,
                 record_edges: true,
+                threads,
             };
             let rg = ReachabilityGraph::explore_with(net, &opts).map_err(|e| e.to_string())?;
             println!("engine: exhaustive reachability");
@@ -191,8 +202,7 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
             for &d in rg.deadlocks().iter().take(witnesses) {
                 println!("dead marking: {}", net.display_marking(rg.marking(d)));
                 if let Some(path) = rg.path_to(d) {
-                    let names: Vec<&str> =
-                        path.iter().map(|&t| net.transition_name(t)).collect();
+                    let names: Vec<&str> = path.iter().map(|&t| net.transition_name(t)).collect();
                     println!("witness trace: {}", names.join(" "));
                 }
             }
@@ -201,6 +211,7 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
             let opts = ReducedOptions {
                 strategy: SeedStrategy::BestOfEnabled,
                 max_states,
+                threads,
             };
             let red = ReducedReachability::explore_with(net, &opts).map_err(|e| e.to_string())?;
             println!("engine: stubborn-set partial-order reduction");
@@ -237,15 +248,19 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
             for (i, w) in report.deadlock_witnesses.iter().enumerate() {
                 println!("dead marking: {}", net.display_marking(w));
                 if let Some(trace) = report.deadlock_traces.get(i) {
-                    let names: Vec<&str> =
-                        trace.iter().map(|&t| net.transition_name(t)).collect();
+                    let names: Vec<&str> = trace.iter().map(|&t| net.transition_name(t)).collect();
                     println!("witness trace: {}", names.join(" "));
                 }
             }
         }
         "unfold" => {
-            let unf = Unfolding::build_with(net, &UnfoldOptions { max_events: max_states })
-                .map_err(|e| e.to_string())?;
+            let unf = Unfolding::build_with(
+                net,
+                &UnfoldOptions {
+                    max_events: max_states,
+                },
+            )
+            .map_err(|e| e.to_string())?;
             println!("engine: McMillan finite complete prefix");
             println!(
                 "prefix: {} events, {} conditions, {} cut-offs",
@@ -258,8 +273,8 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
         "classes" => {
             // untimed intervals: the class graph doubles as a reference
             // explorer; real timing analyses use the `timed` crate API
-            let graph = ClassGraph::explore(&TimedNet::new(net.clone()))
-                .map_err(|e| e.to_string())?;
+            let graph =
+                ClassGraph::explore(&TimedNet::new(net.clone())).map_err(|e| e.to_string())?;
             println!("engine: state-class graph (untimed intervals)");
             println!("classes: {}", graph.class_count());
             report_verdict(graph.has_deadlock());
@@ -306,9 +321,9 @@ fn dot(net: &PetriNet, args: &[String]) -> Result<(), String> {
 
 fn model(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
-    let name = pos
-        .first()
-        .ok_or_else(|| "missing model name (nsdp|asat|over|rw|cyclic|fig1|fig2|fig3|fig7)".to_string())?;
+    let name = pos.first().ok_or_else(|| {
+        "missing model name (nsdp|asat|over|rw|cyclic|fig1|fig2|fig3|fig7)".to_string()
+    })?;
     let n: usize = pos
         .get(1)
         .map(|s| s.parse().map_err(|_| format!("bad size `{s}`")))

@@ -59,7 +59,13 @@ fn model_emits_parsable_net() {
 
 #[test]
 fn model_knows_all_benchmarks() {
-    for (name, n) in [("nsdp", "2"), ("asat", "4"), ("over", "3"), ("rw", "3"), ("fig2", "5")] {
+    for (name, n) in [
+        ("nsdp", "2"),
+        ("asat", "4"),
+        ("over", "3"),
+        ("rw", "3"),
+        ("fig2", "5"),
+    ] {
         let out = julie(&["model", name, n]);
         assert!(out.status.success(), "{name}");
         petri::parse_net(&stdout(&out)).expect("parses");
@@ -163,7 +169,10 @@ fn unknown_command_suggests_help() {
 fn model_pipeline_round_trips_through_check() {
     // julie model nsdp 2 | julie check - --engine=gpo
     let model = julie(&["model", "nsdp", "2"]);
-    let out = julie_stdin(&["check", "-", "--engine=gpo", "--witnesses=2"], &stdout(&model));
+    let out = julie_stdin(
+        &["check", "-", "--engine=gpo", "--witnesses=2"],
+        &stdout(&model),
+    );
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("GPN states: 3"));

@@ -128,6 +128,9 @@ pub fn random_safe_net(seed: u64, cfg: &RandomNetConfig) -> Option<PetriNet> {
     let opts = ExploreOptions {
         max_states: cfg.max_states,
         record_edges: false,
+        // random candidates are tiny and filtered in a hot loop: the
+        // serial path avoids per-candidate thread spawns
+        threads: 1,
     };
     match ReachabilityGraph::explore_with(&net, &opts) {
         Ok(_) => Some(net),
@@ -158,7 +161,9 @@ mod tests {
     #[test]
     fn most_candidates_are_safe() {
         let cfg = RandomNetConfig::default();
-        let kept = (0..50).filter(|&s| random_safe_net(s, &cfg).is_some()).count();
+        let kept = (0..50)
+            .filter(|&s| random_safe_net(s, &cfg).is_some())
+            .count();
         assert!(kept >= 25, "only {kept}/50 safe nets — generator too wild");
     }
 

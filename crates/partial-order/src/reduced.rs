@@ -9,6 +9,7 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use petri::parallel::{default_threads, explore_frontier, FrontierOptions};
 use petri::{Marking, NetError, PetriNet, TransitionId};
 
 use crate::stubborn::{SeedStrategy, StubbornSets};
@@ -20,6 +21,11 @@ pub struct ReducedOptions {
     pub strategy: SeedStrategy,
     /// Abort with [`NetError::StateLimit`] once this many states are stored.
     pub max_states: usize,
+    /// Worker threads for the frontier exploration (see
+    /// [`petri::ExploreOptions::threads`] for the determinism contract).
+    /// The stubborn set of a marking is a pure function of that marking,
+    /// so the reduced graph is the same graph for every thread count.
+    pub threads: usize,
 }
 
 impl Default for ReducedOptions {
@@ -27,6 +33,7 @@ impl Default for ReducedOptions {
         ReducedOptions {
             strategy: SeedStrategy::default(),
             max_states: usize::MAX,
+            threads: default_threads(),
         }
     }
 }
@@ -64,6 +71,7 @@ pub struct ReducedReachability {
     deadlocks: Vec<usize>,
     edge_count: usize,
     elapsed: Duration,
+    threads_used: usize,
 }
 
 impl ReducedReachability {
@@ -86,6 +94,30 @@ impl ReducedReachability {
         let start = Instant::now();
         let stubborn = StubbornSets::new(net, opts.strategy);
 
+        if opts.threads.max(1) > 1 {
+            let result = explore_frontier(
+                net.initial_marking().clone(),
+                &FrontierOptions {
+                    threads: opts.threads,
+                    max_states: opts.max_states,
+                    record_edges: false,
+                },
+                |m, out| {
+                    for t in stubborn.enabled_stubborn(m) {
+                        out.push((t, net.fire(t, m)?));
+                    }
+                    Ok(())
+                },
+            )?;
+            return Ok(ReducedReachability {
+                states: result.states,
+                deadlocks: result.deadlocks.into_iter().map(|i| i as usize).collect(),
+                edge_count: result.edge_count,
+                elapsed: start.elapsed(),
+                threads_used: opts.threads,
+            });
+        }
+
         let mut states: Vec<Marking> = vec![net.initial_marking().clone()];
         let mut index: HashMap<Marking, usize> = HashMap::new();
         index.insert(net.initial_marking().clone(), 0);
@@ -94,7 +126,9 @@ impl ReducedReachability {
 
         let mut frontier = 0;
         while frontier < states.len() {
-            let m = states[frontier].clone();
+            // take the marking out instead of cloning it; the index still
+            // holds an equal key, so lookups during expansion are unaffected
+            let m = std::mem::replace(&mut states[frontier], Marking::empty(0));
             let fire = stubborn.enabled_stubborn(&m);
             if fire.is_empty() {
                 deadlocks.push(frontier);
@@ -110,6 +144,7 @@ impl ReducedReachability {
                     }
                 }
             }
+            states[frontier] = m;
             frontier += 1;
         }
 
@@ -118,6 +153,7 @@ impl ReducedReachability {
             deadlocks,
             edge_count,
             elapsed: start.elapsed(),
+            threads_used: 1,
         })
     }
 
@@ -150,6 +186,21 @@ impl ReducedReachability {
     /// Wall-clock exploration time.
     pub fn elapsed(&self) -> Duration {
         self.elapsed
+    }
+
+    /// Exploration throughput in states per second.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// How many worker threads the exploration ran on.
+    pub fn threads_used(&self) -> usize {
+        self.threads_used
     }
 
     /// Every transition fired at least once during the reduced exploration.
@@ -195,6 +246,7 @@ mod tests {
                 &ReducedOptions {
                     strategy: SeedStrategy::ConflictCluster,
                     max_states: usize::MAX,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -235,6 +287,7 @@ mod tests {
                 &ReducedOptions {
                     strategy,
                     max_states: usize::MAX,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -263,6 +316,7 @@ mod tests {
             &ReducedOptions {
                 strategy: SeedStrategy::BestOfEnabled,
                 max_states: 3,
+                ..Default::default()
             },
         )
         .unwrap_err();
@@ -284,6 +338,10 @@ mod tests {
         let net = fig2(2);
         let red = ReducedReachability::explore(&net).unwrap();
         let fired = red.fired_transitions(&net);
-        assert_eq!(fired.len(), net.transition_count(), "every branch fired somewhere");
+        assert_eq!(
+            fired.len(),
+            net.transition_count(),
+            "every branch fired somewhere"
+        );
     }
 }

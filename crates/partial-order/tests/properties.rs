@@ -35,7 +35,7 @@ proptest! {
         for strategy in STRATEGIES {
             let red = ReducedReachability::explore_with(
                 &net,
-                &ReducedOptions { strategy, max_states: usize::MAX },
+                &ReducedOptions { strategy, max_states: usize::MAX, ..Default::default() },
             ).expect("validated safe");
             prop_assert_eq!(
                 red.has_deadlock(),
@@ -56,7 +56,7 @@ proptest! {
         for strategy in STRATEGIES {
             let red = ReducedReachability::explore_with(
                 &net,
-                &ReducedOptions { strategy, max_states: usize::MAX },
+                &ReducedOptions { strategy, max_states: usize::MAX, ..Default::default() },
             ).expect("validated safe");
             prop_assert!(red.state_count() <= full.state_count(), "{:?}", strategy);
             for m in red.markings() {

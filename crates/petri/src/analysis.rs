@@ -94,10 +94,8 @@ pub fn verify_with(net: &PetriNet, opts: &ExploreOptions) -> Result<Verification
             }
         }
     }
-    let dead_transitions: Vec<TransitionId> = net
-        .transitions()
-        .filter(|t| !fired[t.index()])
-        .collect();
+    let dead_transitions: Vec<TransitionId> =
+        net.transitions().filter(|t| !fired[t.index()]).collect();
 
     let deadlock_witness = rg.deadlocks().first().and_then(|&d| rg.path_to(d));
     let deadlock_marking = rg.deadlocks().first().map(|&d| rg.marking(d).clone());
@@ -159,7 +157,10 @@ mod tests {
         assert!(report.has_deadlock);
         let w = report.deadlock_witness.unwrap();
         assert_eq!(w.len(), 2);
-        let m = net.fire_sequence(net.initial_marking(), w).unwrap().unwrap();
+        let m = net
+            .fire_sequence(net.initial_marking(), w)
+            .unwrap()
+            .unwrap();
         assert_eq!(Some(m), report.deadlock_marking);
     }
 
@@ -183,6 +184,7 @@ mod tests {
         let opts = ExploreOptions {
             max_states: usize::MAX,
             record_edges: false,
+            ..Default::default()
         };
         let report = verify_with(&b.build().unwrap(), &opts).unwrap();
         assert_eq!(report.state_count, 2);

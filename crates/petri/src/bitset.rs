@@ -58,7 +58,10 @@ impl BitSet {
     /// # Panics
     ///
     /// Panics if any element is `>= capacity`.
-    pub fn from_iter_with_capacity<I: IntoIterator<Item = usize>>(capacity: usize, iter: I) -> Self {
+    pub fn from_iter_with_capacity<I: IntoIterator<Item = usize>>(
+        capacity: usize,
+        iter: I,
+    ) -> Self {
         let mut s = BitSet::new(capacity);
         for e in iter {
             s.insert(e);
@@ -86,7 +89,11 @@ impl BitSet {
     ///
     /// Panics if `elem >= capacity`.
     pub fn insert(&mut self, elem: usize) -> bool {
-        assert!(elem < self.capacity, "element {elem} out of universe 0..{}", self.capacity);
+        assert!(
+            elem < self.capacity,
+            "element {elem} out of universe 0..{}",
+            self.capacity
+        );
         let (blk, bit) = (elem / BITS, elem % BITS);
         let was = self.blocks[blk] & (1 << bit) != 0;
         self.blocks[blk] |= 1 << bit;
@@ -184,13 +191,19 @@ impl BitSet {
     /// `true` if every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.check_compat(other);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `true` if `self` and `other` share no element.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         self.check_compat(other);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// `true` if `self` and `other` share at least one element.
@@ -340,7 +353,10 @@ mod tests {
     fn set_algebra() {
         let a = BitSet::from_iter_with_capacity(100, [1, 2, 3, 70]);
         let b = BitSet::from_iter_with_capacity(100, [2, 3, 4, 71]);
-        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70, 71]);
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 70, 71]
+        );
         assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2, 3]);
         assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![1, 70]);
     }

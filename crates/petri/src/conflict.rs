@@ -129,11 +129,10 @@ impl ConflictInfo {
     /// not.
     pub fn clusters_are_cliques(&self) -> bool {
         self.clusters.iter().all(|members| {
-            members.iter().enumerate().all(|(i, &t)| {
-                members[i + 1..]
-                    .iter()
-                    .all(|&u| self.in_conflict(t, u))
-            })
+            members
+                .iter()
+                .enumerate()
+                .all(|(i, &t)| members[i + 1..].iter().all(|&u| self.in_conflict(t, u)))
         })
     }
 
@@ -202,8 +201,7 @@ impl ConflictInfo {
     /// (Bron–Kerbosch with pivoting on the complement relation).
     fn cluster_mis(&self, members: &[TransitionId]) -> Vec<BitSet> {
         let n = self.adjacency.len();
-        let member_set =
-            BitSet::from_iter_with_capacity(n, members.iter().map(|t| t.index()));
+        let member_set = BitSet::from_iter_with_capacity(n, members.iter().map(|t| t.index()));
         // Independent sets in the conflict graph = cliques in its complement.
         // neighbours[v] = non-conflicting other members of the cluster.
         let neighbour = |v: usize| -> BitSet {
@@ -237,7 +235,13 @@ impl ConflictInfo {
                 let nv = neighbour(v);
                 let mut r2 = r.clone();
                 r2.insert(v);
-                bron_kerbosch(&r2, &p.intersection(&nv), &x.intersection(&nv), neighbour, out);
+                bron_kerbosch(
+                    &r2,
+                    &p.intersection(&nv),
+                    &x.intersection(&nv),
+                    neighbour,
+                    out,
+                );
                 p.remove(v);
                 x.insert(v);
             }

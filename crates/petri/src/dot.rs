@@ -32,7 +32,11 @@ pub fn net_to_dot(net: &PetriNet) -> String {
             out,
             "  \"{}\" [shape=circle{}];",
             net.place_name(p),
-            if marked { ", peripheries=2, label=\"●\", xlabel=\"".to_string() + net.place_name(p) + "\"" } else { String::new() }
+            if marked {
+                ", peripheries=2, label=\"●\", xlabel=\"".to_string() + net.place_name(p) + "\""
+            } else {
+                String::new()
+            }
         );
     }
     for t in net.transitions() {

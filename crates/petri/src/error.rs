@@ -80,18 +80,33 @@ mod tests {
     fn messages_are_lowercase_and_informative() {
         let cases: Vec<(NetError, &str)> = vec![
             (NetError::UnknownPlace("x".into()), "unknown place `x`"),
-            (NetError::UnknownTransition("y".into()), "unknown transition `y`"),
             (
-                NetError::DuplicateArc { from: "a".into(), to: "b".into() },
+                NetError::UnknownTransition("y".into()),
+                "unknown transition `y`",
+            ),
+            (
+                NetError::DuplicateArc {
+                    from: "a".into(),
+                    to: "b".into(),
+                },
                 "duplicate arc `a` -> `b`",
             ),
-            (NetError::StateLimit(10), "state limit of 10 states exceeded during exploration"),
             (
-                NetError::NotSafe { place: "p".into(), transition: "t".into() },
+                NetError::StateLimit(10),
+                "state limit of 10 states exceeded during exploration",
+            ),
+            (
+                NetError::NotSafe {
+                    place: "p".into(),
+                    transition: "t".into(),
+                },
                 "net is not safe: firing `t` puts a second token in `p`",
             ),
             (
-                NetError::Parse { line: 3, message: "expected `->`".into() },
+                NetError::Parse {
+                    line: 3,
+                    message: "expected `->`".into(),
+                },
                 "parse error at line 3: expected `->`",
             ),
         ];

@@ -147,9 +147,7 @@ mod tests {
     #[test]
     fn fire_sequence_reports_disabled() {
         let (net, ts) = fork_join();
-        let res = net
-            .fire_sequence(net.initial_marking(), [ts[1]])
-            .unwrap();
+        let res = net.fire_sequence(net.initial_marking(), [ts[1]]).unwrap();
         assert!(res.is_none());
     }
 

@@ -59,28 +59,24 @@ fn farkas(m: &[Vec<i64>], rows: usize, cols: usize) -> Vec<Vec<i64>> {
             }
         }
         // combine every positive with every negative row
-        let pos: Vec<&(Vec<i64>, Vec<i64>)> =
-            work.iter().filter(|r| r.0[col] > 0).collect();
-        let neg: Vec<&(Vec<i64>, Vec<i64>)> =
-            work.iter().filter(|r| r.0[col] < 0).collect();
+        let pos: Vec<&(Vec<i64>, Vec<i64>)> = work.iter().filter(|r| r.0[col] > 0).collect();
+        let neg: Vec<&(Vec<i64>, Vec<i64>)> = work.iter().filter(|r| r.0[col] < 0).collect();
         for p in &pos {
             for n in &neg {
                 let a = p.0[col];
                 let b = -n.0[col];
                 let g = gcd(a, b);
                 let (fp, fn_) = (b / g, a / g);
-                let mut vec_part: Vec<i64> = p
-                    .0
-                    .iter()
-                    .zip(&n.0)
-                    .map(|(x, y)| fp * x + fn_ * y)
-                    .collect();
-                let mut comb: Vec<i64> = p
-                    .1
-                    .iter()
-                    .zip(&n.1)
-                    .map(|(x, y)| fp * x + fn_ * y)
-                    .collect();
+                let mut vec_part: Vec<i64> =
+                    p.0.iter()
+                        .zip(&n.0)
+                        .map(|(x, y)| fp * x + fn_ * y)
+                        .collect();
+                let mut comb: Vec<i64> =
+                    p.1.iter()
+                        .zip(&n.1)
+                        .map(|(x, y)| fp * x + fn_ * y)
+                        .collect();
                 let g2 = vec_part
                     .iter()
                     .chain(comb.iter())

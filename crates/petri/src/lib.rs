@@ -54,6 +54,7 @@ mod ids;
 mod invariants;
 mod marking;
 mod net;
+pub mod parallel;
 mod parser;
 mod reachability;
 mod siphons;

@@ -190,8 +190,16 @@ impl fmt::Display for PetriNet {
             self.arc_count()
         )?;
         for t in self.transitions() {
-            let pre: Vec<&str> = self.pre_places(t).iter().map(|&p| self.place_name(p)).collect();
-            let post: Vec<&str> = self.post_places(t).iter().map(|&p| self.place_name(p)).collect();
+            let pre: Vec<&str> = self
+                .pre_places(t)
+                .iter()
+                .map(|&p| self.place_name(p))
+                .collect();
+            let post: Vec<&str> = self
+                .post_places(t)
+                .iter()
+                .map(|&p| self.place_name(p))
+                .collect();
             writeln!(
                 f,
                 "  tr {} : {} -> {}",

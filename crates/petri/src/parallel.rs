@@ -1,0 +1,403 @@
+//! Shared parallel frontier-exploration driver.
+//!
+//! Both the exhaustive [`ReachabilityGraph`](crate::ReachabilityGraph) and
+//! the stubborn-set-reduced engine of the `partial-order` crate are
+//! breadth-first fixed-point loops over a hashed set of visited markings.
+//! This module factors that loop into a reusable engine that scales across
+//! cores using only the standard library:
+//!
+//! * a **sharded state index** — `2^k` mutex-guarded `HashMap<Marking, u32>`
+//!   shards keyed by marking hash, so concurrent inserts rarely contend;
+//! * a **shared work queue** (mutex + condvar) of `(id, marking)` items,
+//!   with quiescence detection via an in-flight counter: a state counts as
+//!   pending from enqueue until its expansion has been folded back in, and
+//!   the exploration is complete exactly when the counter hits zero;
+//! * **worker-local result buffers** (discovered states, labelled edges,
+//!   deadlocks) merged after `std::thread::scope` joins, so the hot loop
+//!   never serializes on a global result vector.
+//!
+//! # Determinism contract
+//!
+//! For a fixed model, the reachable state *set*, the deadlock marking
+//! *set*, and the *number* of edges are identical for every thread count;
+//! state **ids may permute** between runs because discovery order races.
+//! Callers that need reproducible ids use one thread (the engines run
+//! their exact historical serial loop in that case).
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::error::NetError;
+use crate::ids::TransitionId;
+use crate::marking::Marking;
+
+/// Number of worker threads to use when a caller asks for "all of them":
+/// the system's available parallelism, or 1 if that cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Tuning knobs of [`explore_frontier`].
+#[derive(Debug, Clone)]
+pub struct FrontierOptions {
+    /// Worker count; values below 2 are rounded up to 2 (callers run their
+    /// serial loop instead of this engine for one thread).
+    pub threads: usize,
+    /// Abort with [`NetError::StateLimit`] once this many states are stored.
+    pub max_states: usize,
+    /// Collect the labelled `(source, transition, target)` edges.
+    pub record_edges: bool,
+}
+
+/// What a parallel exploration produced. Ids are dense `0..states.len()`
+/// with the initial marking at id 0.
+#[derive(Debug)]
+pub struct FrontierResult {
+    /// Every reachable marking, indexed by state id.
+    pub states: Vec<Marking>,
+    /// Labelled outgoing edges per state id; empty unless
+    /// [`FrontierOptions::record_edges`] was set.
+    pub succ: Vec<Vec<(TransitionId, u32)>>,
+    /// Ids of states with no successors, in increasing id order.
+    pub deadlocks: Vec<u32>,
+    /// Total number of fired transitions (edges), recorded or not.
+    pub edge_count: usize,
+}
+
+/// Explores the frontier fixed point of `successors` from `initial` using
+/// `opts.threads` workers.
+///
+/// `successors` receives a marking and pushes every `(label, successor)`
+/// pair into the scratch vector; pushing nothing marks the state as a
+/// deadlock. The callback must be a pure function of the marking — the
+/// engine calls it exactly once per distinct reachable marking, from an
+/// unspecified thread.
+///
+/// # Errors
+///
+/// Propagates the first callback error and returns
+/// [`NetError::StateLimit`] if more than `opts.max_states` states are
+/// discovered. Because workers race, a limited run may have expanded a
+/// few states beyond the limit before stopping; the error itself is
+/// identical to the serial engines'.
+pub fn explore_frontier<S>(
+    initial: Marking,
+    opts: &FrontierOptions,
+    successors: S,
+) -> Result<FrontierResult, NetError>
+where
+    S: Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync,
+{
+    let threads = opts.threads.max(2);
+    let shard_count = (threads * 8).next_power_of_two();
+
+    let shards: Vec<Mutex<HashMap<Marking, u32>>> = (0..shard_count)
+        .map(|_| Mutex::new(HashMap::new()))
+        .collect();
+    shards[shard_of(&initial, shard_count - 1)]
+        .lock()
+        .expect("shard lock")
+        .insert(initial.clone(), 0);
+
+    let shared = Shared {
+        successors: &successors,
+        shards,
+        shard_mask: shard_count - 1,
+        next_id: AtomicU32::new(1),
+        stored: AtomicUsize::new(1),
+        max_states: opts.max_states,
+        record_edges: opts.record_edges,
+        queue: Mutex::new(QueueState {
+            queue: VecDeque::from([(0u32, initial)]),
+            pending: 1,
+            error: None,
+        }),
+        cv: Condvar::new(),
+    };
+    if opts.max_states == 0 {
+        return Err(NetError::StateLimit(0));
+    }
+
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(|| worker(&shared)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("exploration worker panicked"))
+            .collect()
+    });
+
+    if let Some(e) = shared.queue.into_inner().expect("queue lock").error {
+        return Err(e);
+    }
+
+    let state_count = shared.next_id.load(Ordering::Relaxed) as usize;
+    let mut states = vec![Marking::empty(0); state_count];
+    let mut succ = vec![Vec::new(); state_count];
+    let mut deadlocks = Vec::new();
+    let mut edge_count = 0;
+    for out in outs {
+        for (id, m) in out.discovered {
+            states[id as usize] = m;
+        }
+        for (src, t, dst) in out.edges {
+            succ[src as usize].push((t, dst));
+        }
+        deadlocks.extend(out.deadlocks);
+        edge_count += out.edge_count;
+    }
+    deadlocks.sort_unstable();
+    Ok(FrontierResult {
+        states,
+        succ,
+        deadlocks,
+        edge_count,
+    })
+}
+
+struct QueueState {
+    queue: VecDeque<(u32, Marking)>,
+    /// States enqueued or currently being expanded; zero means complete.
+    pending: usize,
+    error: Option<NetError>,
+}
+
+struct Shared<'a, S> {
+    successors: &'a S,
+    shards: Vec<Mutex<HashMap<Marking, u32>>>,
+    shard_mask: usize,
+    next_id: AtomicU32,
+    stored: AtomicUsize,
+    max_states: usize,
+    record_edges: bool,
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct WorkerOut {
+    discovered: Vec<(u32, Marking)>,
+    edges: Vec<(u32, TransitionId, u32)>,
+    deadlocks: Vec<u32>,
+    edge_count: usize,
+}
+
+fn shard_of(m: &Marking, mask: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    m.hash(&mut h);
+    (h.finish() as usize) & mask
+}
+
+fn worker<S>(shared: &Shared<'_, S>) -> WorkerOut
+where
+    S: Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync,
+{
+    let mut out = WorkerOut::default();
+    let mut succs: Vec<(TransitionId, Marking)> = Vec::new();
+    let mut newly: Vec<(u32, Marking)> = Vec::new();
+    loop {
+        let (sid, marking) = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if q.error.is_some() || q.pending == 0 {
+                    return out;
+                }
+                if let Some(item) = q.queue.pop_front() {
+                    break item;
+                }
+                q = shared.cv.wait(q).expect("queue lock");
+            }
+        };
+
+        succs.clear();
+        if let Err(e) = (shared.successors)(&marking, &mut succs) {
+            let mut q = shared.queue.lock().expect("queue lock");
+            if q.error.is_none() {
+                q.error = Some(e);
+            }
+            shared.cv.notify_all();
+            return out;
+        }
+        if succs.is_empty() {
+            out.deadlocks.push(sid);
+        }
+
+        let mut limit_hit = false;
+        for (t, next) in succs.drain(..) {
+            let shard = &shared.shards[shard_of(&next, shared.shard_mask)];
+            let mut fresh = false;
+            let nid = match shard.lock().expect("shard lock").entry(next) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let nid = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                    fresh = true;
+                    newly.push((nid, e.key().clone()));
+                    e.insert(nid);
+                    nid
+                }
+            };
+            if fresh && shared.stored.fetch_add(1, Ordering::Relaxed) + 1 > shared.max_states {
+                limit_hit = true;
+            }
+            out.edge_count += 1;
+            if shared.record_edges {
+                out.edges.push((sid, t, nid));
+            }
+        }
+        out.discovered.push((sid, marking));
+
+        let mut q = shared.queue.lock().expect("queue lock");
+        if limit_hit && q.error.is_none() {
+            q.error = Some(NetError::StateLimit(shared.max_states));
+        }
+        let grew = !newly.is_empty();
+        for item in newly.drain(..) {
+            q.queue.push_back(item);
+            q.pending += 1;
+        }
+        q.pending -= 1;
+        if grew || q.pending == 0 || q.error.is_some() {
+            shared.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, PetriNet};
+
+    fn concurrent(n: usize) -> PetriNet {
+        let mut b = NetBuilder::new("concurrent");
+        for i in 0..n {
+            let p = b.place_marked(format!("in{i}"));
+            let q = b.place(format!("out{i}"));
+            b.transition(format!("t{i}"), [p], [q]);
+        }
+        b.build().unwrap()
+    }
+
+    fn net_successors(
+        net: &PetriNet,
+    ) -> impl Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync + '_
+    {
+        move |m, out| {
+            for t in net.transitions() {
+                if net.enabled(t, m) {
+                    out.push((t, net.fire(t, m)?));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn opts(threads: usize) -> FrontierOptions {
+        FrontierOptions {
+            threads,
+            max_states: usize::MAX,
+            record_edges: true,
+        }
+    }
+
+    #[test]
+    fn hypercube_explored_completely() {
+        let net = concurrent(4);
+        for threads in [2, 3, 8] {
+            let r = explore_frontier(
+                net.initial_marking().clone(),
+                &opts(threads),
+                net_successors(&net),
+            )
+            .unwrap();
+            assert_eq!(r.states.len(), 16, "threads={threads}");
+            assert_eq!(r.edge_count, 32, "threads={threads}");
+            assert_eq!(r.deadlocks.len(), 1, "threads={threads}");
+            // initial marking keeps id 0; the deadlock is the all-out marking
+            assert_eq!(&r.states[0], net.initial_marking());
+            assert_eq!(
+                r.states[r.deadlocks[0] as usize].token_count(),
+                4,
+                "all strands finished"
+            );
+        }
+    }
+
+    #[test]
+    fn state_set_is_thread_count_invariant() {
+        use std::collections::BTreeSet;
+        let net = concurrent(5);
+        let sets: Vec<BTreeSet<Marking>> = [2usize, 4, 16]
+            .iter()
+            .map(|&threads| {
+                explore_frontier(
+                    net.initial_marking().clone(),
+                    &opts(threads),
+                    net_successors(&net),
+                )
+                .unwrap()
+                .states
+                .into_iter()
+                .collect()
+            })
+            .collect();
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
+        assert_eq!(sets[0].len(), 32);
+    }
+
+    #[test]
+    fn state_limit_aborts() {
+        let net = concurrent(6);
+        let err = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 4,
+                max_states: 10,
+                record_edges: false,
+            },
+            net_successors(&net),
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::StateLimit(10));
+    }
+
+    #[test]
+    fn callback_error_propagates() {
+        let net = concurrent(3);
+        let err = explore_frontier(
+            net.initial_marking().clone(),
+            &opts(2),
+            |_m: &Marking, _out: &mut Vec<(TransitionId, Marking)>| Err(NetError::StateLimit(777)),
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::StateLimit(777));
+        let _ = net;
+    }
+
+    #[test]
+    fn recorded_edges_form_the_reachability_graph() {
+        let net = concurrent(3);
+        let r = explore_frontier(
+            net.initial_marking().clone(),
+            &opts(4),
+            net_successors(&net),
+        )
+        .unwrap();
+        // every recorded edge replays: fire(t, states[src]) == states[dst]
+        let mut total = 0;
+        for (src, edges) in r.succ.iter().enumerate() {
+            for &(t, dst) in edges {
+                let fired = net.fire(t, &r.states[src]).unwrap();
+                assert_eq!(fired, r.states[dst as usize]);
+                total += 1;
+            }
+        }
+        assert_eq!(total, r.edge_count);
+    }
+}

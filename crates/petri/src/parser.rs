@@ -98,10 +98,13 @@ pub fn parse_net(input: &str) -> Result<PetriNet, NetError> {
                     });
                 }
                 let rest: Vec<&str> = words.collect();
-                let arrow = rest.iter().position(|&w| w == "->").ok_or(NetError::Parse {
-                    line: lineno,
-                    message: "expected `->` between presets and postsets".into(),
-                })?;
+                let arrow = rest
+                    .iter()
+                    .position(|&w| w == "->")
+                    .ok_or(NetError::Parse {
+                        line: lineno,
+                        message: "expected `->` between presets and postsets".into(),
+                    })?;
                 trs.push(PendingTr {
                     name: tname,
                     pre: rest[..arrow].iter().map(|s| s.to_string()).collect(),
@@ -160,8 +163,16 @@ pub fn to_text(net: &PetriNet) -> String {
         }
     }
     for t in net.transitions() {
-        let pre: Vec<&str> = net.pre_places(t).iter().map(|&p| net.place_name(p)).collect();
-        let post: Vec<&str> = net.post_places(t).iter().map(|&p| net.place_name(p)).collect();
+        let pre: Vec<&str> = net
+            .pre_places(t)
+            .iter()
+            .map(|&p| net.place_name(p))
+            .collect();
+        let post: Vec<&str> = net
+            .post_places(t)
+            .iter()
+            .map(|&p| net.place_name(p))
+            .collect();
         out.push_str(&format!(
             "tr {} : {} -> {}\n",
             net.transition_name(t),
@@ -191,8 +202,12 @@ tr back : q -> p
         assert_eq!(net.name(), "cycle");
         assert_eq!(net.place_count(), 2);
         assert_eq!(net.transition_count(), 2);
-        assert!(net.initial_marking().is_marked(net.place_by_name("p").unwrap()));
-        assert!(!net.initial_marking().is_marked(net.place_by_name("q").unwrap()));
+        assert!(net
+            .initial_marking()
+            .is_marked(net.place_by_name("p").unwrap()));
+        assert!(!net
+            .initial_marking()
+            .is_marked(net.place_by_name("q").unwrap()));
     }
 
     #[test]
@@ -218,7 +233,9 @@ tr back : q -> p
     fn comments_and_blanks_ignored() {
         let net = parse_net("\n# hi\npl p * # trailing\n\n").unwrap();
         assert_eq!(net.place_count(), 1);
-        assert!(net.initial_marking().is_marked(net.place_by_name("p").unwrap()));
+        assert!(net
+            .initial_marking()
+            .is_marked(net.place_by_name("p").unwrap()));
     }
 
     #[test]

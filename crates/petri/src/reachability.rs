@@ -8,11 +8,13 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use crate::error::NetError;
 use crate::ids::TransitionId;
 use crate::marking::Marking;
 use crate::net::PetriNet;
+use crate::parallel::{default_threads, explore_frontier, FrontierOptions};
 
 /// Identifier of a state (vertex) in a [`ReachabilityGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,6 +45,12 @@ pub struct ExploreOptions {
     /// Record the labelled edges (needed for path queries and DOT export);
     /// disable to save memory when only the state count matters.
     pub record_edges: bool,
+    /// Worker threads for the frontier exploration. The default is the
+    /// machine's available parallelism; `1` runs the exact historical
+    /// serial loop (fully deterministic state ids). For any thread count
+    /// the reachable state set, deadlock set, and edge count are
+    /// identical; ids may permute when `threads > 1`.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
@@ -50,6 +58,7 @@ impl Default for ExploreOptions {
         ExploreOptions {
             max_states: usize::MAX,
             record_edges: true,
+            threads: default_threads(),
         }
     }
 }
@@ -82,6 +91,8 @@ pub struct ReachabilityGraph {
     initial: StateId,
     deadlocks: Vec<StateId>,
     edge_count: usize,
+    elapsed: Duration,
+    threads_used: usize,
 }
 
 impl ReachabilityGraph {
@@ -101,6 +112,10 @@ impl ReachabilityGraph {
     /// Returns [`NetError::NotSafe`] on a safeness violation, or
     /// [`NetError::StateLimit`] if `opts.max_states` is exceeded.
     pub fn explore_with(net: &PetriNet, opts: &ExploreOptions) -> Result<Self, NetError> {
+        if opts.threads.max(1) > 1 {
+            return Self::explore_parallel(net, opts);
+        }
+        let start = Instant::now();
         let mut states: Vec<Marking> = vec![net.initial_marking().clone()];
         let mut index: HashMap<Marking, StateId> = HashMap::new();
         index.insert(net.initial_marking().clone(), StateId::new(0));
@@ -111,7 +126,9 @@ impl ReachabilityGraph {
         let mut frontier = 0;
         while frontier < states.len() {
             let sid = StateId::new(frontier);
-            let m = states[frontier].clone();
+            // take the marking out instead of cloning it; the index still
+            // holds an equal key, so lookups during expansion are unaffected
+            let m = std::mem::replace(&mut states[frontier], Marking::empty(0));
             let mut any = false;
             for t in net.transitions() {
                 if !net.enabled(t, &m) {
@@ -137,6 +154,7 @@ impl ReachabilityGraph {
                     succ[sid.index()].push((t, nid));
                 }
             }
+            states[frontier] = m;
             if !any {
                 deadlocks.push(sid);
             }
@@ -149,6 +167,53 @@ impl ReachabilityGraph {
             initial: StateId::new(0),
             deadlocks,
             edge_count,
+            elapsed: start.elapsed(),
+            threads_used: 1,
+        })
+    }
+
+    /// The multi-threaded path of [`explore_with`](Self::explore_with),
+    /// built on the shared [`parallel`](crate::parallel) frontier engine.
+    fn explore_parallel(net: &PetriNet, opts: &ExploreOptions) -> Result<Self, NetError> {
+        let start = Instant::now();
+        let threads = opts.threads;
+        let result = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads,
+                max_states: opts.max_states,
+                record_edges: opts.record_edges,
+            },
+            |m, out| {
+                for t in net.transitions() {
+                    if net.enabled(t, m) {
+                        out.push((t, net.fire(t, m)?));
+                    }
+                }
+                Ok(())
+            },
+        )?;
+        Ok(ReachabilityGraph {
+            states: result.states,
+            succ: result
+                .succ
+                .into_iter()
+                .map(|edges| {
+                    edges
+                        .into_iter()
+                        .map(|(t, dst)| (t, StateId::new(dst as usize)))
+                        .collect()
+                })
+                .collect(),
+            initial: StateId::new(0),
+            deadlocks: result
+                .deadlocks
+                .into_iter()
+                .map(|id| StateId::new(id as usize))
+                .collect(),
+            edge_count: result.edge_count,
+            elapsed: start.elapsed(),
+            threads_used: threads,
         })
     }
 
@@ -160,6 +225,27 @@ impl ReachabilityGraph {
     /// Number of edges (fired transitions) in the graph.
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// Wall-clock exploration time.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Exploration throughput in states per second — the perf counter the
+    /// benchmark tables regress against.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// How many worker threads the exploration ran on.
+    pub fn threads_used(&self) -> usize {
+        self.threads_used
     }
 
     /// The initial state.
@@ -196,10 +282,7 @@ impl ReachabilityGraph {
     pub fn find(&self, m: &Marking) -> Option<StateId> {
         // Linear scan is acceptable for test-sized graphs; exploration keeps
         // its own hash index internally.
-        self.states
-            .iter()
-            .position(|s| s == m)
-            .map(StateId::new)
+        self.states.iter().position(|s| s == m).map(StateId::new)
     }
 
     /// Checks whether a marking is reachable.
@@ -367,6 +450,7 @@ mod tests {
         let opts = ExploreOptions {
             max_states: 10,
             record_edges: false,
+            ..Default::default()
         };
         let err = ReachabilityGraph::explore_with(&net, &opts).unwrap_err();
         assert_eq!(err, NetError::StateLimit(10));
@@ -378,6 +462,7 @@ mod tests {
         let opts = ExploreOptions {
             max_states: usize::MAX,
             record_edges: false,
+            ..Default::default()
         };
         let rg = ReachabilityGraph::explore_with(&net, &opts).unwrap();
         assert_eq!(rg.state_count(), 8);

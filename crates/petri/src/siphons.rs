@@ -154,7 +154,9 @@ pub fn empty_places_siphon(net: &PetriNet, dead: &Marking) -> Option<BitSet> {
     }
     let empties = BitSet::from_iter_with_capacity(
         net.place_count(),
-        net.places().filter(|&p| !dead.is_marked(p)).map(PlaceId::index),
+        net.places()
+            .filter(|&p| !dead.is_marked(p))
+            .map(PlaceId::index),
     );
     debug_assert!(is_siphon(net, &empties));
     Some(empties)

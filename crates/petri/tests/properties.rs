@@ -104,7 +104,7 @@ proptest! {
         let with_edges = ReachabilityGraph::explore(&net).expect("safe");
         let without = ReachabilityGraph::explore_with(
             &net,
-            &petri::ExploreOptions { max_states: usize::MAX, record_edges: false },
+            &petri::ExploreOptions { max_states: usize::MAX, record_edges: false, ..Default::default() },
         ).expect("safe");
         prop_assert_eq!(with_edges.state_count(), without.state_count());
         prop_assert_eq!(with_edges.edge_count(), without.edge_count());
@@ -133,7 +133,11 @@ fn clusters_partition_transitions() {
 /// and no transition can be added.
 #[test]
 fn conflict_free_sets_are_maximal_independent() {
-    for net in [models::nsdp(2) as PetriNet, models::overtake(2), models::figures::fig7()] {
+    for net in [
+        models::nsdp(2) as PetriNet,
+        models::overtake(2),
+        models::figures::fig7(),
+    ] {
         let info = petri::ConflictInfo::new(&net);
         let sets = info.maximal_conflict_free_sets(1 << 16).expect("small");
         assert_eq!(sets.len() as u128, info.conflict_free_set_count());

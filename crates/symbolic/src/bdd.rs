@@ -66,8 +66,16 @@ impl Bdd {
     /// Creates a manager over variables `0..nvars`.
     pub fn new(nvars: usize) -> Self {
         let nodes = vec![
-            Node { var: TERMINAL_VAR, lo: BDD_FALSE, hi: BDD_FALSE },
-            Node { var: TERMINAL_VAR, lo: BDD_TRUE, hi: BDD_TRUE },
+            Node {
+                var: TERMINAL_VAR,
+                lo: BDD_FALSE,
+                hi: BDD_FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: BDD_TRUE,
+                hi: BDD_TRUE,
+            },
         ];
         Bdd {
             nodes,
@@ -107,13 +115,21 @@ impl Bdd {
     ///
     /// Panics if `v` is outside the variable order.
     pub fn var(&mut self, v: usize) -> BddRef {
-        assert!((v as u32) < self.nvars, "variable {v} out of order 0..{}", self.nvars);
+        assert!(
+            (v as u32) < self.nvars,
+            "variable {v} out of order 0..{}",
+            self.nvars
+        );
         self.mk(v as u32, BDD_FALSE, BDD_TRUE)
     }
 
     /// The negated single-variable function `¬x_v`.
     pub fn nvar(&mut self, v: usize) -> BddRef {
-        assert!((v as u32) < self.nvars, "variable {v} out of order 0..{}", self.nvars);
+        assert!(
+            (v as u32) < self.nvars,
+            "variable {v} out of order 0..{}",
+            self.nvars
+        );
         self.mk(v as u32, BDD_TRUE, BDD_FALSE)
     }
 
@@ -332,7 +348,11 @@ impl Bdd {
                 return false;
             }
             let n = self.nodes[cur.index()];
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
     }
 

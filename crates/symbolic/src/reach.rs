@@ -92,12 +92,11 @@ impl Encoding {
         let p = net.place_count();
         let bdd = Bdd::new(2 * p);
         let (cur, nxt): (Vec<usize>, Vec<usize>) = match order {
-            VariableOrder::Interleaved => {
-                ((0..p).map(|i| 2 * i).collect(), (0..p).map(|i| 2 * i + 1).collect())
-            }
-            VariableOrder::CurrentThenNext => {
-                ((0..p).collect(), (0..p).map(|i| p + i).collect())
-            }
+            VariableOrder::Interleaved => (
+                (0..p).map(|i| 2 * i).collect(),
+                (0..p).map(|i| 2 * i + 1).collect(),
+            ),
+            VariableOrder::CurrentThenNext => ((0..p).collect(), (0..p).map(|i| p + i).collect()),
         };
         let mut rename_map = vec![0usize; 2 * p];
         for i in 0..p {
@@ -105,7 +104,13 @@ impl Encoding {
         }
         let mut cur_sorted = cur.clone();
         cur_sorted.sort_unstable();
-        Encoding { bdd, cur, nxt, rename_map, cur_sorted }
+        Encoding {
+            bdd,
+            cur,
+            nxt,
+            rename_map,
+            cur_sorted,
+        }
     }
 
     fn marking_bdd(&mut self, m: &Marking, place_count: usize) -> BddRef {
@@ -116,7 +121,11 @@ impl Encoding {
             .collect();
         lits.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(v));
         for (v, positive) in lits {
-            let lit = if positive { self.bdd.var(v) } else { self.bdd.nvar(v) };
+            let lit = if positive {
+                self.bdd.var(v)
+            } else {
+                self.bdd.nvar(v)
+            };
             f = self.bdd.and(lit, f);
         }
         f
@@ -191,10 +200,7 @@ impl SymbolicReachability {
         let mut enc = Encoding::new(net, opts.order);
         let p = net.place_count();
 
-        let relations: Vec<BddRef> = net
-            .transitions()
-            .map(|t| enc.relation(net, t))
-            .collect();
+        let relations: Vec<BddRef> = net.transitions().map(|t| enc.relation(net, t)).collect();
         let rel_nodes: usize = relations.iter().map(|&r| enc.bdd.size(r)).sum();
 
         let init = enc.marking_bdd(net.initial_marking(), p);
@@ -349,11 +355,17 @@ mod tests {
         let net = strands(4);
         let a = SymbolicReachability::explore_with(
             &net,
-            &SymbolicOptions { order: VariableOrder::Interleaved, ..Default::default() },
+            &SymbolicOptions {
+                order: VariableOrder::Interleaved,
+                ..Default::default()
+            },
         );
         let b = SymbolicReachability::explore_with(
             &net,
-            &SymbolicOptions { order: VariableOrder::CurrentThenNext, ..Default::default() },
+            &SymbolicOptions {
+                order: VariableOrder::CurrentThenNext,
+                ..Default::default()
+            },
         );
         assert_eq!(a.state_count(), b.state_count());
         assert_eq!(a.has_deadlock(), b.has_deadlock());

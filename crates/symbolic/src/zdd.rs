@@ -73,8 +73,16 @@ impl Zdd {
     /// Creates a manager over elements `0..nvars`.
     pub fn new(nvars: usize) -> Self {
         let nodes = vec![
-            Node { var: TERMINAL_VAR, lo: ZDD_EMPTY, hi: ZDD_EMPTY },
-            Node { var: TERMINAL_VAR, lo: ZDD_UNIT, hi: ZDD_UNIT },
+            Node {
+                var: TERMINAL_VAR,
+                lo: ZDD_EMPTY,
+                hi: ZDD_EMPTY,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: ZDD_UNIT,
+                hi: ZDD_UNIT,
+            },
         ];
         Zdd {
             nodes,

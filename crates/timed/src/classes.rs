@@ -330,11 +330,20 @@ mod tests {
 
     #[test]
     fn untimed_intervals_reproduce_the_reachability_graph() {
-        for net in [models::figures::fig2(3), models::nsdp(2), models::overtake(2)] {
+        for net in [
+            models::figures::fig2(3),
+            models::nsdp(2),
+            models::overtake(2),
+        ] {
             let rg = ReachabilityGraph::explore(&net).unwrap();
             let timed = TimedNet::new(net);
             let graph = ClassGraph::explore(&timed).unwrap();
-            assert_eq!(graph.class_count(), rg.state_count(), "{}", timed.net().name());
+            assert_eq!(
+                graph.class_count(),
+                rg.state_count(),
+                "{}",
+                timed.net().name()
+            );
             assert_eq!(graph.has_deadlock(), rg.has_deadlock());
         }
     }
@@ -434,10 +443,10 @@ mod tests {
         let graph = ClassGraph::explore(&timed).unwrap();
         // lazy eventually fires: the dog resets to [0,2] on every loop, so
         // time can pass 2 units per firing — lazy's window is reachable
-        assert!(graph
-            .edges()
-            .iter()
-            .any(|&(_, t, _)| t == lazy), "lazy fires after enough dog loops");
+        assert!(
+            graph.edges().iter().any(|&(_, t, _)| t == lazy),
+            "lazy fires after enough dog loops"
+        );
     }
 
     #[test]

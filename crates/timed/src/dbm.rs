@@ -44,9 +44,9 @@ impl Dbm {
         for i in 0..dim {
             d[i * dim + i] = 0;
         }
-        // θᵢ ≥ 0 ⟺ x₀ − xᵢ ≤ 0
-        for j in 1..dim {
-            d[j] = 0; // row 0, column j
+        // θᵢ ≥ 0 ⟺ x₀ − xᵢ ≤ 0 (row 0, columns 1..dim)
+        for cell in d.iter_mut().take(dim).skip(1) {
+            *cell = 0;
         }
         Dbm { dim, d }
     }

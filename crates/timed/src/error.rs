@@ -42,7 +42,9 @@ mod tests {
             TimedError::ClassLimit(3).to_string(),
             "state-class limit of 3 exceeded during exploration"
         );
-        assert!(TimedError::NotSafe("boom".into()).to_string().contains("boom"));
+        assert!(TimedError::NotSafe("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 
     #[test]

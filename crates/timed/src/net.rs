@@ -146,8 +146,7 @@ mod tests {
         let q = b.place_marked("q");
         b.transition("a", [p], []);
         b.transition("b", [q], []);
-        let timed = TimedNet::new(b.build().unwrap())
-            .with_uniform_interval(Interval::new(1, 1));
+        let timed = TimedNet::new(b.build().unwrap()).with_uniform_interval(Interval::new(1, 1));
         for t in timed.net().transitions() {
             assert_eq!(timed.interval(t), Interval::new(1, 1));
         }

@@ -141,7 +141,11 @@ impl Prefix {
             );
         }
         for e in self.events() {
-            let style = if self.is_cutoff(e) { ", style=dashed" } else { "" };
+            let style = if self.is_cutoff(e) {
+                ", style=dashed"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  e{} [shape=box, label=\"{}\"{}];",

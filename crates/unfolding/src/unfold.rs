@@ -61,8 +61,11 @@ struct Candidate {
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.depth, self.transition, &self.preset)
-            .cmp(&(other.depth, other.transition, &other.preset))
+        (self.depth, self.transition, &self.preset).cmp(&(
+            other.depth,
+            other.transition,
+            &other.preset,
+        ))
     }
 }
 
@@ -103,8 +106,7 @@ impl<'n> Builder<'n> {
                 b.initial_cut.push(id);
             }
         }
-        b.marks
-            .insert(net.initial_marking().clone(), 0);
+        b.marks.insert(net.initial_marking().clone(), 0);
         let initial: Vec<ConditionId> = b.initial_cut.clone();
         for &c in &initial {
             b.enqueue_extensions_with(c);
@@ -389,9 +391,7 @@ impl Unfolding {
     /// Deadlock verdict via the prefix: some reachable marking enables no
     /// transition.
     pub fn has_deadlock(&self, net: &PetriNet) -> bool {
-        self.reachable_markings(net)
-            .iter()
-            .any(|m| net.is_dead(m))
+        self.reachable_markings(net).iter().any(|m| net.is_dead(m))
     }
 }
 
@@ -484,11 +484,8 @@ mod tests {
 
     #[test]
     fn event_limit_enforced() {
-        let err = Unfolding::build_with(
-            &models::nsdp(2),
-            &UnfoldOptions { max_events: 3 },
-        )
-        .unwrap_err();
+        let err =
+            Unfolding::build_with(&models::nsdp(2), &UnfoldOptions { max_events: 3 }).unwrap_err();
         assert_eq!(err, UnfoldError::EventLimit(3));
     }
 

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(8);
-    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two >= 2"
+    );
 
     println!("asynchronous arbiter tree, users = 2..={n}\n");
     println!(
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // safety property: never two users in the critical section —
         // checked on the exhaustive graph
         let using: Vec<PlaceId> = (0..k)
-            .map(|u| net.place_by_name(&format!("using{u}")).expect("place exists"))
+            .map(|u| {
+                net.place_by_name(&format!("using{u}"))
+                    .expect("place exists")
+            })
             .collect();
         for s in full.states() {
             let m = full.marking(s);

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let t_gpo = t0.elapsed();
 
-    println!("{:<12} {:>12} {:>12} {:>10}", "engine", "states", "aux", "time");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "engine", "states", "aux", "time"
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>10.3?}",
         "exhaustive",

@@ -39,14 +39,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // replay one concrete maneuver on the smallest instance
     let net = models::overtake(1);
-    let seq: Vec<TransitionId> = ["signalOut1", "approach1", "accept1", "enterLane1", "passQuick1"]
-        .iter()
-        .map(|s| net.transition_by_name(s).expect("transition exists"))
-        .collect();
+    let seq: Vec<TransitionId> = [
+        "signalOut1",
+        "approach1",
+        "accept1",
+        "enterLane1",
+        "passQuick1",
+    ]
+    .iter()
+    .map(|s| net.transition_by_name(s).expect("transition exists"))
+    .collect();
     let m = net
         .fire_sequence(net.initial_marking(), seq)?
         .expect("the maneuver fires in order");
-    println!("\none resolved maneuver ends in {}", net.display_marking(&m));
+    println!(
+        "\none resolved maneuver ends in {}",
+        net.display_marking(&m)
+    );
     println!("\nPO reduction cannot merge the 3^n resolved outcomes (they are");
     println!("distinct markings); the generalized analysis runs all cars'");
     println!("stages simultaneously and stays constant-size.");

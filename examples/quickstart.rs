@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.state_count, report.has_deadlock
     );
     if let Some(trace) = &report.deadlock_witness {
-        let names: Vec<&str> = trace
-            .iter()
-            .map(|&t| net.transition_name(t))
-            .collect();
+        let names: Vec<&str> = trace.iter().map(|&t| net.transition_name(t)).collect();
         println!("             witness trace: {}", names.join(" -> "));
     }
 

@@ -11,19 +11,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the paper's Figure 2 with N = 6: six concurrently marked choices
     let n = 6;
     let net = models::figures::fig2(n);
-    println!("net: {} ({} places, {} transitions)\n", net.name(), net.place_count(), net.transition_count());
+    println!(
+        "net: {} ({} places, {} transitions)\n",
+        net.name(),
+        net.place_count(),
+        net.transition_count()
+    );
 
     let full = ReachabilityGraph::explore(&net)?;
-    println!("exhaustive graph      : {:>6} states   (3^{n})", full.state_count());
+    println!(
+        "exhaustive graph      : {:>6} states   (3^{n})",
+        full.state_count()
+    );
 
     let po = ReducedReachability::explore(&net)?;
-    println!("stubborn reduction    : {:>6} states   (2^(N+1)-1 — choices survive)", po.state_count());
+    println!(
+        "stubborn reduction    : {:>6} states   (2^(N+1)-1 — choices survive)",
+        po.state_count()
+    );
 
     let bdd = SymbolicReachability::explore(&net);
-    println!("BDD reachability      : {:>6} states   ({} peak nodes)", bdd.state_count(), bdd.peak_live_nodes());
+    println!(
+        "BDD reachability      : {:>6} states   ({} peak nodes)",
+        bdd.state_count(),
+        bdd.peak_live_nodes()
+    );
 
     let gpo = analyze(&net)?;
-    println!("generalized analysis  : {:>6} states   (all choices fired at once)", gpo.state_count);
+    println!(
+        "generalized analysis  : {:>6} states   (all choices fired at once)",
+        gpo.state_count
+    );
 
     let unf = Unfolding::build(&net)?;
     println!(

@@ -5,16 +5,18 @@
 // binding it keeps the call sites identical for both representations.
 #![allow(clippy::let_unit_value)]
 
-use gpo_suite::prelude::*;
 use gpo_core::{m_enabled, multiple_update, s_enabled, single_update, ExplicitFamily};
+use gpo_suite::prelude::*;
 use petri::BitSet;
 
 fn bs(net: &PetriNet, names: &[&str]) -> BitSet {
     BitSet::from_iter_with_capacity(
         net.transition_count(),
-        names
-            .iter()
-            .map(|n| net.transition_by_name(n).expect("transition exists").index()),
+        names.iter().map(|n| {
+            net.transition_by_name(n)
+                .expect("transition exists")
+                .index()
+        }),
     )
 }
 
@@ -49,7 +51,10 @@ fn fig3_colored_tokens_block_d() {
     // p2 and p3 hold "red" (A) tokens, p4 holds the "green" (B) token
     let p = |n: &str| net.place_by_name(n).unwrap();
     assert_eq!(s1.place(p("p2")).sets(), s1.place(p("p3")).sets());
-    assert!(s_enabled(&net, &s1, t("D")).is_empty(), "conflicting colors");
+    assert!(
+        s_enabled(&net, &s1, t("D")).is_empty(),
+        "conflicting colors"
+    );
     assert!(!s_enabled(&net, &s1, t("C")).is_empty());
     let s2 = single_update(&net, &s1, t("C"));
     assert!(!s2.place(p("p5")).is_empty(), "red token moved to p5");
@@ -94,11 +99,19 @@ fn fig5_fig6_single_firing_and_mapping() {
     assert_eq!(s_enabled(&net, &s, t("A")).sets(), vec![bs(&net, &["A"])]);
     assert!(s_enabled(&net, &s, t("B")).is_empty());
 
-    let mapped: Vec<String> = s.mapping(&net).iter().map(|m| net.display_marking(m)).collect();
+    let mapped: Vec<String> = s
+        .mapping(&net)
+        .iter()
+        .map(|m| net.display_marking(m))
+        .collect();
     assert_eq!(mapped, vec!["{p0, p1}", "{p0, p2}"], "Figure 6(a)");
 
     let s1 = single_update(&net, &s, t("A"));
-    let mapped1: Vec<String> = s1.mapping(&net).iter().map(|m| net.display_marking(m)).collect();
+    let mapped1: Vec<String> = s1
+        .mapping(&net)
+        .iter()
+        .map(|m| net.display_marking(m))
+        .collect();
     assert_eq!(mapped1, vec!["{p0, p2}", "{p3}"], "Figure 6(b)");
 }
 
@@ -121,7 +134,11 @@ fn fig7_full_replay() {
         vec![bs(&net, &["A", "C"]), bs(&net, &["B", "D"])],
         "extended conflicts {{A,D}} and {{B,C}} pruned from r2"
     );
-    let mapped: Vec<String> = s2.mapping(&net).iter().map(|m| net.display_marking(m)).collect();
+    let mapped: Vec<String> = s2
+        .mapping(&net)
+        .iter()
+        .map(|m| net.display_marking(m))
+        .collect();
     assert_eq!(mapped, vec!["{p5}"], "only p5 marked in every scenario");
 }
 

@@ -1,0 +1,161 @@
+//! Determinism contract of the parallel frontier engine (README §parallel
+//! exploration): for every model and every thread count, the reachable
+//! state *set*, the deadlock marking *set*, and the edge *count* are
+//! identical — only state ids may permute.
+
+use std::collections::BTreeSet;
+
+use gpo_suite::prelude::*;
+use petri::ExploreOptions;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Small instances of every model in `crates/models`, plus the paper's
+/// figure nets that have interesting structure.
+fn model_zoo() -> Vec<(String, PetriNet)> {
+    vec![
+        ("fig2(4)".into(), models::figures::fig2(4)),
+        ("fig7".into(), models::figures::fig7()),
+        ("nsdp(4)".into(), models::nsdp(4)),
+        ("readers_writers(4)".into(), models::readers_writers(4)),
+        ("overtake(3)".into(), models::overtake(3)),
+        ("asat(4)".into(), models::asat(4)),
+        ("scheduler(4)".into(), models::scheduler(4)),
+    ]
+}
+
+fn marking_set<'a>(ms: impl Iterator<Item = &'a Marking>) -> BTreeSet<Marking> {
+    ms.cloned().collect()
+}
+
+#[test]
+fn full_graph_identical_across_thread_counts() {
+    for (name, net) in model_zoo() {
+        let mut baseline: Option<(BTreeSet<Marking>, BTreeSet<Marking>, usize)> = None;
+        for threads in THREADS {
+            let rg = ReachabilityGraph::explore_with(
+                &net,
+                &ExploreOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let states = marking_set(rg.states().map(|s| rg.marking(s)));
+            let deadlocks = marking_set(rg.deadlocks().iter().map(|&s| rg.marking(s)));
+            assert_eq!(states.len(), rg.state_count(), "{name} threads={threads}");
+            let obs = (states, deadlocks, rg.edge_count());
+            match &baseline {
+                None => baseline = Some(obs),
+                Some(b) => {
+                    assert_eq!(b.0, obs.0, "{name}: state set differs at threads={threads}");
+                    assert_eq!(
+                        b.1, obs.1,
+                        "{name}: deadlock set differs at threads={threads}"
+                    );
+                    assert_eq!(
+                        b.2, obs.2,
+                        "{name}: edge count differs at threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduced_graph_identical_across_thread_counts() {
+    for (name, net) in model_zoo() {
+        for strategy in [
+            SeedStrategy::FirstEnabled,
+            SeedStrategy::BestOfEnabled,
+            SeedStrategy::ConflictCluster,
+        ] {
+            let mut baseline: Option<(BTreeSet<Marking>, BTreeSet<Marking>, usize)> = None;
+            for threads in THREADS {
+                let red = ReducedReachability::explore_with(
+                    &net,
+                    &ReducedOptions {
+                        strategy,
+                        threads,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let states = marking_set(red.markings());
+                let deadlocks = marking_set(red.deadlock_markings());
+                let obs = (states, deadlocks, red.edge_count());
+                match &baseline {
+                    None => baseline = Some(obs),
+                    Some(b) => {
+                        assert_eq!(
+                            b.0, obs.0,
+                            "{name}/{strategy:?}: state set differs at threads={threads}"
+                        );
+                        assert_eq!(
+                            b.1, obs.1,
+                            "{name}/{strategy:?}: deadlock set differs at threads={threads}"
+                        );
+                        assert_eq!(
+                            b.2, obs.2,
+                            "{name}/{strategy:?}: edge count differs at threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_agrees_with_full_verification_report() {
+    // the downstream consumers (verify, gpo differential tests) only look
+    // at counts and deadlock flags; cross-check against the serial engine
+    for (name, net) in model_zoo() {
+        let serial = ReachabilityGraph::explore_with(
+            &net,
+            &ExploreOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let parallel = ReachabilityGraph::explore_with(
+            &net,
+            &ExploreOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.state_count(), parallel.state_count(), "{name}");
+        assert_eq!(serial.has_deadlock(), parallel.has_deadlock(), "{name}");
+        assert_eq!(
+            serial.deadlocks().len(),
+            parallel.deadlocks().len(),
+            "{name}"
+        );
+        assert_eq!(serial.edge_count(), parallel.edge_count(), "{name}");
+        assert_eq!(parallel.threads_used(), 4);
+    }
+}
+
+#[test]
+fn state_limit_reported_for_any_thread_count() {
+    let net = models::nsdp(5);
+    for threads in THREADS {
+        let err = ReachabilityGraph::explore_with(
+            &net,
+            &ExploreOptions {
+                max_states: 10,
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, petri::NetError::StateLimit(10)),
+            "threads={threads}: {err:?}"
+        );
+    }
+}

@@ -67,7 +67,11 @@ fn over_shape() {
         assert!(po.state_count() < full.state_count() || n == 1);
         last_po = po.state_count();
         let gpo = analyze(&net).unwrap();
-        assert!(gpo.state_count <= 5, "GPO near-constant, got {}", gpo.state_count);
+        assert!(
+            gpo.state_count <= 5,
+            "GPO near-constant, got {}",
+            gpo.state_count
+        );
     }
 }
 
@@ -79,7 +83,10 @@ fn asat_shape() {
     let net4 = models::asat(4);
     let full2 = ReachabilityGraph::explore(&net2).unwrap().state_count();
     let full4 = ReachabilityGraph::explore(&net4).unwrap().state_count();
-    assert!(full4 > full2 * full2 / 4, "full roughly squares: {full2} -> {full4}");
+    assert!(
+        full4 > full2 * full2 / 4,
+        "full roughly squares: {full2} -> {full4}"
+    );
     let gpo2 = analyze(&net2).unwrap().state_count;
     let gpo4 = analyze(&net4).unwrap().state_count;
     assert!(gpo2 <= 10 && gpo4 <= 16, "GPO stays tiny: {gpo2}, {gpo4}");
@@ -99,7 +106,12 @@ fn bdd_counts_agree_everywhere() {
     ] {
         let full = ReachabilityGraph::explore(&net).unwrap();
         let sym = SymbolicReachability::explore(&net);
-        assert_eq!(sym.state_count(), full.state_count() as f64, "{}", net.name());
+        assert_eq!(
+            sym.state_count(),
+            full.state_count() as f64,
+            "{}",
+            net.name()
+        );
         assert_eq!(sym.has_deadlock(), full.has_deadlock(), "{}", net.name());
         assert!(sym.peak_live_nodes() > 0);
     }
