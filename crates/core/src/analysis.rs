@@ -22,7 +22,9 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use petri::{ConflictInfo, Marking, PetriNet, PlaceId, TransitionId};
+use petri::{
+    Budget, ConflictInfo, CoverageStats, Marking, Outcome, PetriNet, PlaceId, TransitionId,
+};
 
 use crate::error::GpoError;
 use crate::family::{ExplicitFamily, SetFamily, ZddFamily};
@@ -147,18 +149,51 @@ pub fn analyze(net: &PetriNet) -> Result<GpoReport, GpoError> {
 
 /// Runs the generalized analysis with explicit options.
 ///
+/// This is the legacy all-or-nothing entry point; a hit state limit
+/// discards the partial report. Prefer [`analyze_bounded`] for graceful
+/// degradation under resource budgets.
+///
 /// # Errors
 ///
 /// Returns [`GpoError::ValidSetsTooLarge`] or [`GpoError::StateLimit`]
 /// per the configured bounds.
 pub fn analyze_with(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, GpoError> {
-    match opts.representation {
-        Representation::Explicit => run::<ExplicitFamily>(net, opts),
-        Representation::Zdd => run::<ZddFamily>(net, opts),
+    match analyze_bounded(net, opts, &Budget::default())? {
+        Outcome::Complete(report) => Ok(report),
+        Outcome::Partial { .. } => Err(GpoError::StateLimit(opts.max_states)),
     }
 }
 
-fn run<F: SetFamily>(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, GpoError> {
+/// Runs the generalized analysis under a cooperative resource [`Budget`].
+///
+/// The effective state cap is the tighter of `opts.max_states` and
+/// `budget.max_states`; byte accounting uses each GPN state's
+/// representation footprint. On exhaustion the report built so far is
+/// returned as [`Outcome::Partial`]: deadlock possibilities and coverage
+/// hits found in a partial run are genuine (their witnesses come from
+/// valid histories of explored states), but their absence proves nothing.
+///
+/// # Errors
+///
+/// Returns [`GpoError::ValidSetsTooLarge`] if `r₀` exceeds the
+/// enumeration limit.
+pub fn analyze_bounded(
+    net: &PetriNet,
+    opts: &GpoOptions,
+    budget: &Budget,
+) -> Result<Outcome<GpoReport>, GpoError> {
+    let budget = budget.clone().cap_states(opts.max_states);
+    match opts.representation {
+        Representation::Explicit => run::<ExplicitFamily>(net, opts, &budget),
+        Representation::Zdd => run::<ZddFamily>(net, opts, &budget),
+    }
+}
+
+fn run<F: SetFamily>(
+    net: &PetriNet,
+    opts: &GpoOptions,
+    budget: &Budget,
+) -> Result<Outcome<GpoReport>, GpoError> {
     let start = Instant::now();
     let conflicts = ConflictInfo::new(net);
     let ctx = F::new_context(net.transition_count());
@@ -186,8 +221,14 @@ fn run<F: SetFamily>(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, Gpo
         enabling_reused: 0,
     };
 
+    let mut bytes = states[0].footprint();
+    let mut exhausted = None;
     let mut frontier = 0;
     while frontier < states.len() {
+        if let Some(reason) = budget.exceeded(states.len(), bytes) {
+            exhausted = Some(reason);
+            break;
+        }
         // take the state out instead of cloning it; the index still holds
         // an equal key, so the dedup lookups during expansion are unaffected
         let s = std::mem::replace(
@@ -213,12 +254,10 @@ fn run<F: SetFamily>(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, Gpo
         }
         for (next, firing) in successors {
             if let Entry::Vacant(e) = index.entry(next) {
+                bytes += e.key().footprint();
                 states.push(e.key().clone());
                 provenance.push(Some((frontier, firing.clone())));
                 e.insert(states.len() - 1);
-                if states.len() > opts.max_states {
-                    return Err(GpoError::StateLimit(opts.max_states));
-                }
             }
         }
         states[frontier] = s;
@@ -227,7 +266,20 @@ fn run<F: SetFamily>(net: &PetriNet, opts: &GpoOptions) -> Result<GpoReport, Gpo
 
     report.state_count = states.len();
     report.elapsed = start.elapsed();
-    Ok(report)
+    Ok(match exhausted {
+        None => Outcome::Complete(report),
+        Some(reason) => Outcome::Partial {
+            coverage: CoverageStats {
+                states_stored: states.len(),
+                states_expanded: frontier,
+                frontier_len: states.len() - frontier,
+                bytes_estimate: bytes,
+                elapsed: report.elapsed,
+            },
+            result: report,
+            reason,
+        },
+    })
 }
 
 /// How a state was produced from its parent.
@@ -554,6 +606,38 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, GpoError::StateLimit(1));
+    }
+
+    #[test]
+    fn bounded_analysis_returns_partial_report() {
+        use petri::ExhaustionReason;
+        let outcome = analyze_bounded(
+            &models::nsdp(3),
+            &GpoOptions::default(),
+            &Budget::default().cap_states(1),
+        )
+        .unwrap();
+        let Outcome::Partial {
+            result,
+            reason,
+            coverage,
+        } = outcome
+        else {
+            panic!("expected a partial outcome");
+        };
+        assert_eq!(reason, ExhaustionReason::States);
+        assert!(result.state_count >= 1);
+        assert_eq!(coverage.states_stored, result.state_count);
+        assert!(coverage.bytes_estimate > 0);
+    }
+
+    #[test]
+    fn cancelled_analysis_reports_cancellation() {
+        use petri::ExhaustionReason;
+        let budget = Budget::default();
+        budget.cancel();
+        let outcome = analyze_bounded(&models::nsdp(3), &GpoOptions::default(), &budget).unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::Cancelled));
     }
 
     #[test]

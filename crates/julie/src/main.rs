@@ -11,49 +11,105 @@
 //!   --engine=full|po|gpo|bdd       verification engine (default: gpo)
 //!   --zdd                          ZDD-backed families for the gpo engine
 //!   --max-states=N                 state budget (default: 10,000,000)
+//!   --timeout=SECS                 wall-clock budget for the exploration
+//!   --mem-limit=MB                 approximate memory budget
 //!   --witnesses=K                  deadlock witness markings to print (default: 1)
 //!   --threads=N                    worker threads for the full/po engines
 //!   <net> is a file in the `.net` text format, or `-` for stdin
 //! ```
+//!
+//! `julie check` exits 0 when the net is verified deadlock-free, 1 when a
+//! deadlock was found, 2 when a budget ran out first (inconclusive), and
+//! 3 on errors. Budgets degrade gracefully: the partial exploration is
+//! reported with coverage statistics instead of being discarded.
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use gpo_core::{analyze_with, GpoOptions, Representation};
+use gpo_core::{analyze_bounded, GpoOptions, Representation};
 use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
 use petri::{
-    net_to_dot, parse_net, place_invariants, reachability_to_dot, to_text, ConflictInfo,
-    ExploreOptions, PetriNet, ReachabilityGraph,
+    net_to_dot, parse_net, place_invariants, reachability_to_dot, to_text, Budget, ConflictInfo,
+    ExploreOptions, Outcome, PetriNet, ReachabilityGraph, Verdict,
 };
-use symbolic::SymbolicReachability;
+use symbolic::{SymbolicOptions, SymbolicReachability};
 use timed::{ClassGraph, TimedNet};
 use unfolding::{UnfoldOptions, Unfolding};
+
+/// Exit code for usage, I/O, parse and engine errors (0–2 are verdicts).
+const EXIT_ERROR: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("julie: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<u8, String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
+    let allowed: &[&str] = match command {
+        "check" => &[
+            "engine",
+            "zdd",
+            "max-states",
+            "timeout",
+            "mem-limit",
+            "witnesses",
+            "threads",
+        ],
+        "dot" => &["rg"],
+        "unfold" => &["dot"],
+        _ => &[],
+    };
+    reject_unknown_flags(args, allowed)?;
     match command {
-        "info" => info(&load_net(args)?),
+        "info" => info(&load_net(args)?).map(|()| 0),
         "check" => check(&load_net(args)?, args),
-        "dot" => dot(&load_net(args)?, args),
-        "unfold" => unfold(&load_net(args)?, args),
-        "model" => model(args),
+        "dot" => dot(&load_net(args)?, args).map(|()| 0),
+        "unfold" => unfold(&load_net(args)?, args).map(|()| 0),
+        "model" => model(args).map(|()| 0),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown command `{other}`; try `julie help`")),
     }
+}
+
+/// Rejects any `--flag` not in the command's allowlist, naming the
+/// supported flags so a typo is a one-round-trip fix.
+fn reject_unknown_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    for a in args.iter().skip(1) {
+        let Some(rest) = a.strip_prefix("--") else {
+            continue;
+        };
+        let key = rest.split('=').next().unwrap_or(rest);
+        if allowed.contains(&key) {
+            continue;
+        }
+        let supported = if allowed.is_empty() {
+            "this command takes no flags".to_string()
+        } else {
+            format!(
+                "supported flags: {}",
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        return Err(format!(
+            "unknown flag `--{key}`; {supported}; try `julie help`"
+        ));
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -72,9 +128,18 @@ options:
                                verification engine (default: gpo)
   --zdd                        ZDD-backed families for the gpo engine
   --max-states=N               state budget (default: 10000000)
+  --timeout=SECS               wall-clock budget for the exploration
+  --mem-limit=MB               approximate memory budget for stored states
   --witnesses=K                deadlock witnesses to print (default: 1)
   --threads=N                  worker threads for the full/po engines
                                (default: available parallelism)
+
+exit codes (julie check):
+  0  verified: the whole state space was explored, no deadlock exists
+  1  property violated: a reachable deadlock was found (real even if a
+     budget ran out — every explored marking is genuinely reachable)
+  2  inconclusive: a budget ran out before the question was settled
+  3  error: bad usage, unreadable input, or an engine failure
 
 <net> is a file in the .net text format, or `-` for stdin.
 ";
@@ -173,12 +238,42 @@ fn info(net: &PetriNet) -> Result<(), String> {
     Ok(())
 }
 
-fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
-    let engine = option(args, "engine").unwrap_or("gpo");
+/// Builds the exploration budget from the `--max-states`, `--timeout` and
+/// `--mem-limit` flags.
+fn budget_from_args(args: &[String]) -> Result<Budget, String> {
     let max_states: usize = option(args, "max-states")
         .map(|s| s.parse().map_err(|_| format!("bad --max-states `{s}`")))
         .transpose()?
         .unwrap_or(10_000_000);
+    let mut budget = Budget::default().cap_states(max_states);
+    if let Some(s) = option(args, "timeout") {
+        let secs: u64 = s.parse().map_err(|_| format!("bad --timeout `{s}`"))?;
+        budget = budget.with_timeout(Duration::from_secs(secs));
+    }
+    if let Some(s) = option(args, "mem-limit") {
+        let mb: usize = s.parse().map_err(|_| format!("bad --mem-limit `{s}`"))?;
+        budget = budget.cap_bytes(mb.saturating_mul(1024 * 1024));
+    }
+    Ok(budget)
+}
+
+/// Prints the budget line of a partial run and returns the verdict inputs
+/// (`complete`, `frontier`) shared by every engine.
+fn report_partial<T>(outcome: &Outcome<T>) -> (bool, usize) {
+    match outcome {
+        Outcome::Complete(_) => (true, 0),
+        Outcome::Partial {
+            reason, coverage, ..
+        } => {
+            println!("budget: {reason} — {coverage}");
+            (false, coverage.frontier_len)
+        }
+    }
+}
+
+fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
+    let engine = option(args, "engine").unwrap_or("gpo");
+    let budget = budget_from_args(args)?;
     let witnesses: usize = option(args, "witnesses")
         .map(|s| s.parse().map_err(|_| format!("bad --witnesses `{s}`")))
         .transpose()?
@@ -188,17 +283,21 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or_else(petri::parallel::default_threads);
 
-    match engine {
+    let verdict = match engine {
         "full" => {
             let opts = ExploreOptions {
-                max_states,
+                max_states: usize::MAX,
                 record_edges: true,
                 threads,
             };
-            let rg = ReachabilityGraph::explore_with(net, &opts).map_err(|e| e.to_string())?;
+            let outcome = ReachabilityGraph::explore_bounded(net, &opts, &budget)
+                .map_err(|e| e.to_string())?;
             println!("engine: exhaustive reachability");
+            let (complete, frontier) = report_partial(&outcome);
+            let rg = outcome.into_value();
             println!("states: {}", rg.state_count());
-            report_verdict(rg.has_deadlock());
+            let verdict = Verdict::from_observation(rg.has_deadlock(), complete, frontier);
+            report_verdict(verdict);
             for &d in rg.deadlocks().iter().take(witnesses) {
                 println!("dead marking: {}", net.display_marking(rg.marking(d)));
                 if let Some(path) = rg.path_to(d) {
@@ -206,32 +305,43 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
                     println!("witness trace: {}", names.join(" "));
                 }
             }
+            verdict
         }
         "po" => {
             let opts = ReducedOptions {
                 strategy: SeedStrategy::BestOfEnabled,
-                max_states,
+                max_states: usize::MAX,
                 threads,
             };
-            let red = ReducedReachability::explore_with(net, &opts).map_err(|e| e.to_string())?;
+            let outcome = ReducedReachability::explore_bounded(net, &opts, &budget)
+                .map_err(|e| e.to_string())?;
             println!("engine: stubborn-set partial-order reduction");
+            let (complete, frontier) = report_partial(&outcome);
+            let red = outcome.into_value();
             println!("states: {}", red.state_count());
-            report_verdict(red.has_deadlock());
+            let verdict = Verdict::from_observation(red.has_deadlock(), complete, frontier);
+            report_verdict(verdict);
             for m in red.deadlock_markings().take(witnesses) {
                 println!("dead marking: {}", net.display_marking(m));
             }
+            verdict
         }
         "bdd" => {
-            let sym = SymbolicReachability::explore(net);
+            let outcome =
+                SymbolicReachability::explore_bounded(net, &SymbolicOptions::default(), &budget);
             println!("engine: symbolic (BDD) reachability");
+            let (complete, frontier) = report_partial(&outcome);
+            let sym = outcome.into_value();
             println!("states: {}", sym.state_count());
             println!("peak BDD nodes: {}", sym.peak_live_nodes());
-            report_verdict(sym.has_deadlock());
+            let verdict = Verdict::from_observation(sym.has_deadlock(), complete, frontier);
+            report_verdict(verdict);
+            verdict
         }
         "gpo" => {
             let opts = GpoOptions {
                 valid_set_limit: 1 << 24,
-                max_states,
+                max_states: usize::MAX,
                 representation: if flag(args, "zdd") {
                     Representation::Zdd
                 } else {
@@ -240,11 +350,14 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
                 max_witnesses: witnesses,
                 coverage_query: Vec::new(),
             };
-            let report = analyze_with(net, &opts).map_err(|e| e.to_string())?;
+            let outcome = analyze_bounded(net, &opts, &budget).map_err(|e| e.to_string())?;
             println!("engine: generalized partial order analysis");
+            let (complete, frontier) = report_partial(&outcome);
+            let report = outcome.into_value();
             println!("GPN states: {}", report.state_count);
             println!("valid sets |r0|: {}", report.valid_set_count);
-            report_verdict(report.deadlock_possible);
+            let verdict = Verdict::from_observation(report.deadlock_possible, complete, frontier);
+            report_verdict(verdict);
             for (i, w) in report.deadlock_witnesses.iter().enumerate() {
                 println!("dead marking: {}", net.display_marking(w));
                 if let Some(trace) = report.deadlock_traces.get(i) {
@@ -252,36 +365,42 @@ fn check(net: &PetriNet, args: &[String]) -> Result<(), String> {
                     println!("witness trace: {}", names.join(" "));
                 }
             }
+            verdict
         }
         "unfold" => {
-            let unf = Unfolding::build_with(
-                net,
-                &UnfoldOptions {
-                    max_events: max_states,
-                },
-            )
-            .map_err(|e| e.to_string())?;
+            let opts = UnfoldOptions {
+                max_events: usize::MAX,
+            };
+            let outcome = Unfolding::build_bounded(net, &opts, &budget);
             println!("engine: McMillan finite complete prefix");
+            let (complete, frontier) = report_partial(&outcome);
+            let unf = outcome.into_value();
             println!(
                 "prefix: {} events, {} conditions, {} cut-offs",
                 unf.prefix().event_count(),
                 unf.prefix().condition_count(),
                 unf.prefix().cutoff_count()
             );
-            report_verdict(unf.has_deadlock(net));
+            let verdict = Verdict::from_observation(unf.has_deadlock(net), complete, frontier);
+            report_verdict(verdict);
+            verdict
         }
         "classes" => {
             // untimed intervals: the class graph doubles as a reference
-            // explorer; real timing analyses use the `timed` crate API
+            // explorer; real timing analyses use the `timed` crate API.
+            // The class graph has no budget hooks, so its verdicts are
+            // always complete.
             let graph =
                 ClassGraph::explore(&TimedNet::new(net.clone())).map_err(|e| e.to_string())?;
             println!("engine: state-class graph (untimed intervals)");
             println!("classes: {}", graph.class_count());
-            report_verdict(graph.has_deadlock());
+            let verdict = Verdict::from_observation(graph.has_deadlock(), true, 0);
+            report_verdict(verdict);
+            verdict
         }
         other => return Err(format!("unknown engine `{other}`")),
-    }
-    Ok(())
+    };
+    Ok(verdict.exit_code())
 }
 
 fn unfold(net: &PetriNet, args: &[String]) -> Result<(), String> {
@@ -296,17 +415,13 @@ fn unfold(net: &PetriNet, args: &[String]) -> Result<(), String> {
             unf.prefix().condition_count(),
             unf.prefix().cutoff_count()
         );
-        report_verdict(unf.has_deadlock(net));
+        report_verdict(Verdict::from_observation(unf.has_deadlock(net), true, 0));
     }
     Ok(())
 }
 
-fn report_verdict(deadlock: bool) {
-    if deadlock {
-        println!("verdict: DEADLOCK possible");
-    } else {
-        println!("verdict: deadlock-free");
-    }
+fn report_verdict(verdict: Verdict) {
+    println!("verdict: {verdict}");
 }
 
 fn dot(net: &PetriNet, args: &[String]) -> Result<(), String> {

@@ -97,12 +97,18 @@ fn info_reports_structure() {
 fn check_all_engines_agree_via_cli() {
     for engine in ["full", "po", "bdd", "gpo"] {
         let out = julie_stdin(&["check", "-", &format!("--engine={engine}")], STUCK);
-        assert!(out.status.success(), "{engine}: {}", stderr(&out));
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{engine}: deadlock exits 1: {}",
+            stderr(&out)
+        );
         assert!(
             stdout(&out).contains("DEADLOCK possible"),
             "{engine} verdict"
         );
         let live = julie_stdin(&["check", "-", &format!("--engine={engine}")], CYCLE);
+        assert_eq!(live.status.code(), Some(0), "{engine}: verified exits 0");
         assert!(stdout(&live).contains("deadlock-free"), "{engine} verdict");
     }
 }
@@ -118,22 +124,90 @@ fn check_full_prints_witness_trace() {
 #[test]
 fn check_gpo_zdd_flag_works() {
     let out = julie_stdin(&["check", "-", "--engine=gpo", "--zdd"], STUCK);
-    assert!(out.status.success());
+    assert_eq!(out.status.code(), Some(1), "deadlock exits 1");
     assert!(stdout(&out).contains("DEADLOCK possible"));
 }
 
 #[test]
 fn check_rejects_unknown_engine() {
     let out = julie_stdin(&["check", "-", "--engine=quantum"], CYCLE);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3), "errors exit 3");
     assert!(stderr(&out).contains("unknown engine"));
 }
 
 #[test]
 fn check_respects_max_states() {
+    // a hit state budget is no longer an error: the partial exploration is
+    // reported and the verdict is inconclusive (exit 2)
     let out = julie_stdin(&["check", "-", "--engine=full", "--max-states=1"], CYCLE);
-    assert!(!out.status.success());
-    assert!(stderr(&out).contains("state limit"));
+    assert_eq!(out.status.code(), Some(2), "inconclusive exits 2");
+    let text = stdout(&out);
+    assert!(text.contains("verdict: inconclusive"), "{text}");
+    assert!(text.contains("state budget exhausted"), "{text}");
+    assert!(
+        text.contains("states stored"),
+        "coverage stats shown: {text}"
+    );
+}
+
+#[test]
+fn check_budget_flags_yield_inconclusive() {
+    // an already-expired deadline: every engine must degrade gracefully
+    for engine in ["full", "po", "bdd", "gpo", "unfold"] {
+        let out = julie_stdin(
+            &["check", "-", &format!("--engine={engine}"), "--timeout=0"],
+            CYCLE,
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{engine}: expired deadline is inconclusive: {}",
+            stderr(&out)
+        );
+        assert!(
+            stdout(&out).contains("deadline exceeded"),
+            "{engine}: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn check_mem_limit_is_accepted() {
+    // a generous memory budget leaves a tiny net's verdict untouched
+    let out = julie_stdin(&["check", "-", "--engine=full", "--mem-limit=64"], CYCLE);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("deadlock-free"));
+}
+
+#[test]
+fn deadlock_found_within_budget_still_exits_one() {
+    // found counterexamples are sound even when the state budget was the
+    // binding constraint: exit 1 beats exit 2
+    let out = julie_stdin(&["check", "-", "--engine=full", "--max-states=2"], STUCK);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stdout(&out).contains("DEADLOCK possible"));
+}
+
+#[test]
+fn unknown_flags_are_rejected_per_command() {
+    let out = julie_stdin(&["check", "-", "--frobnicate"], CYCLE);
+    assert_eq!(out.status.code(), Some(3));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+    assert!(err.contains("--engine"), "lists supported flags: {err}");
+
+    let typo = julie_stdin(&["check", "-", "--max-state=5"], CYCLE);
+    assert_eq!(typo.status.code(), Some(3), "near-miss flags rejected");
+    assert!(stderr(&typo).contains("--max-states"), "suggests the list");
+
+    let dot = julie_stdin(&["dot", "-", "--engine=full"], CYCLE);
+    assert_eq!(dot.status.code(), Some(3));
+    assert!(stderr(&dot).contains("supported flags: --rg"));
+
+    let info = julie_stdin(&["info", "-", "--rg"], CYCLE);
+    assert_eq!(info.status.code(), Some(3));
+    assert!(stderr(&info).contains("takes no flags"));
 }
 
 #[test]
@@ -173,7 +247,7 @@ fn model_pipeline_round_trips_through_check() {
         &["check", "-", "--engine=gpo", "--witnesses=2"],
         &stdout(&model),
     );
-    assert!(out.status.success());
+    assert_eq!(out.status.code(), Some(1), "deadlock exits 1");
     let text = stdout(&out);
     assert!(text.contains("GPN states: 3"));
     assert!(text.contains("DEADLOCK possible"));
@@ -200,7 +274,12 @@ fn unfold_dot_output() {
 fn unfold_and_classes_engines_in_check() {
     for engine in ["unfold", "classes"] {
         let out = julie_stdin(&["check", "-", &format!("--engine={engine}")], STUCK);
-        assert!(out.status.success(), "{engine}: {}", stderr(&out));
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{engine}: deadlock exits 1: {}",
+            stderr(&out)
+        );
         assert!(stdout(&out).contains("DEADLOCK possible"), "{engine}");
     }
 }

@@ -9,8 +9,8 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use petri::parallel::{default_threads, explore_frontier, FrontierOptions};
-use petri::{Marking, NetError, PetriNet, TransitionId};
+use petri::parallel::{default_threads, explore_frontier, FrontierOptions, STATE_OVERHEAD_BYTES};
+use petri::{Budget, CoverageStats, Marking, NetError, Outcome, PetriNet, TransitionId};
 
 use crate::stubborn::{SeedStrategy, StubbornSets};
 
@@ -86,21 +86,52 @@ impl ReducedReachability {
 
     /// Explores with explicit options.
     ///
+    /// This is the legacy all-or-nothing entry point; a hit state limit
+    /// discards the partial graph. Prefer
+    /// [`explore_bounded`](Self::explore_bounded) for graceful degradation.
+    ///
     /// # Errors
     ///
     /// Returns [`NetError::NotSafe`] on a safeness violation or
     /// [`NetError::StateLimit`] if the state limit is exceeded.
     pub fn explore_with(net: &PetriNet, opts: &ReducedOptions) -> Result<Self, NetError> {
+        match Self::explore_bounded(net, opts, &Budget::default())? {
+            Outcome::Complete(red) => Ok(red),
+            Outcome::Partial { .. } => Err(NetError::StateLimit(opts.max_states)),
+        }
+    }
+
+    /// Explores under a cooperative resource [`Budget`].
+    ///
+    /// The effective state cap is the tighter of `opts.max_states` and
+    /// `budget.max_states`. On exhaustion the reduced graph built so far is
+    /// returned as [`Outcome::Partial`]: every stored marking is reachable,
+    /// so any deadlock in it is real, but absence of deadlocks in a partial
+    /// reduced graph proves nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotSafe`] on a safeness violation or
+    /// [`NetError::WorkerPanicked`] if a parallel worker died.
+    pub fn explore_bounded(
+        net: &PetriNet,
+        opts: &ReducedOptions,
+        budget: &Budget,
+    ) -> Result<Outcome<Self>, NetError> {
         let start = Instant::now();
+        let budget = budget.clone().cap_states(opts.max_states);
         let stubborn = StubbornSets::new(net, opts.strategy);
 
         if opts.threads.max(1) > 1 {
-            let result = explore_frontier(
+            // the spread fills the cfg-gated fault-injection field in test builds
+            #[allow(clippy::needless_update)]
+            let outcome = explore_frontier(
                 net.initial_marking().clone(),
                 &FrontierOptions {
                     threads: opts.threads,
-                    max_states: opts.max_states,
                     record_edges: false,
+                    budget: budget.clone(),
+                    ..Default::default()
                 },
                 |m, out| {
                     for t in stubborn.enabled_stubborn(m) {
@@ -109,13 +140,13 @@ impl ReducedReachability {
                     Ok(())
                 },
             )?;
-            return Ok(ReducedReachability {
+            return Ok(outcome.map(|result| ReducedReachability {
                 states: result.states,
                 deadlocks: result.deadlocks.into_iter().map(|i| i as usize).collect(),
                 edge_count: result.edge_count,
                 elapsed: start.elapsed(),
                 threads_used: opts.threads,
-            });
+            }));
         }
 
         let mut states: Vec<Marking> = vec![net.initial_marking().clone()];
@@ -123,9 +154,15 @@ impl ReducedReachability {
         index.insert(net.initial_marking().clone(), 0);
         let mut deadlocks = Vec::new();
         let mut edge_count = 0;
+        let mut bytes = net.initial_marking().approx_bytes() + STATE_OVERHEAD_BYTES;
 
+        let mut exhausted = None;
         let mut frontier = 0;
         while frontier < states.len() {
+            if let Some(reason) = budget.exceeded(states.len(), bytes) {
+                exhausted = Some(reason);
+                break;
+            }
             // take the marking out instead of cloning it; the index still
             // holds an equal key, so lookups during expansion are unaffected
             let m = std::mem::replace(&mut states[frontier], Marking::empty(0));
@@ -137,23 +174,37 @@ impl ReducedReachability {
                 let next = net.fire(t, &m)?;
                 edge_count += 1;
                 if let Entry::Vacant(e) = index.entry(next) {
+                    bytes += e.key().approx_bytes() + STATE_OVERHEAD_BYTES;
                     states.push(e.key().clone());
                     e.insert(states.len() - 1);
-                    if states.len() > opts.max_states {
-                        return Err(NetError::StateLimit(opts.max_states));
-                    }
                 }
             }
             states[frontier] = m;
             frontier += 1;
         }
 
-        Ok(ReducedReachability {
+        let elapsed = start.elapsed();
+        let stored = states.len();
+        let red = ReducedReachability {
             states,
             deadlocks,
             edge_count,
-            elapsed: start.elapsed(),
+            elapsed,
             threads_used: 1,
+        };
+        Ok(match exhausted {
+            None => Outcome::Complete(red),
+            Some(reason) => Outcome::Partial {
+                result: red,
+                reason,
+                coverage: CoverageStats {
+                    states_stored: stored,
+                    states_expanded: frontier,
+                    frontier_len: stored - frontier,
+                    bytes_estimate: bytes,
+                    elapsed,
+                },
+            },
         })
     }
 
@@ -321,6 +372,40 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, NetError::StateLimit(3));
+    }
+
+    #[test]
+    fn bounded_exploration_returns_partial_graph() {
+        use petri::ExhaustionReason;
+        let outcome = ReducedReachability::explore_bounded(
+            &fig2(4),
+            &ReducedOptions {
+                strategy: SeedStrategy::BestOfEnabled,
+                max_states: 3,
+                threads: 1,
+            },
+            &Budget::default(),
+        )
+        .unwrap();
+        let Outcome::Partial {
+            result,
+            reason,
+            coverage,
+        } = outcome
+        else {
+            panic!("expected a partial outcome");
+        };
+        assert_eq!(reason, ExhaustionReason::States);
+        assert!(result.state_count() >= 3, "keeps the graph built so far");
+        assert_eq!(coverage.states_stored, result.state_count());
+        assert!(coverage.frontier_len > 0, "work was left unexplored");
+        // every stored marking of the partial graph is genuinely reachable
+        let full = ReachabilityGraph::explore(&fig2(4)).unwrap();
+        let reachable: std::collections::HashSet<_> =
+            full.states().map(|s| full.marking(s).clone()).collect();
+        for m in result.markings() {
+            assert!(reachable.contains(m));
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::budget::{Budget, CoverageStats, ExhaustionReason, Outcome, Verdict};
 use crate::error::NetError;
 use crate::ids::TransitionId;
 use crate::marking::Marking;
@@ -76,8 +77,87 @@ pub fn verify(net: &PetriNet) -> Result<VerificationReport, NetError> {
 pub fn verify_with(net: &PetriNet, opts: &ExploreOptions) -> Result<VerificationReport, NetError> {
     let start = Instant::now();
     let rg = ReachabilityGraph::explore_with(net, opts)?;
-    let elapsed = start.elapsed();
+    Ok(derive_report(net, &rg, start.elapsed()))
+}
 
+/// Verdict of a budget-governed verification run.
+///
+/// Unlike [`VerificationReport`] alone, this records whether the exploration
+/// covered the whole state space. The embedded [`Verdict`] encodes the
+/// three-valued answer: a deadlock found in a partial graph is a real,
+/// replayable counterexample (every stored marking is reachable), but
+/// deadlock *freedom* is only claimed when the exploration completed.
+#[derive(Debug, Clone)]
+pub struct BoundedReport {
+    /// Facts derived from the (possibly partial) reachability graph.
+    pub report: VerificationReport,
+    /// Three-valued deadlock verdict.
+    pub verdict: Verdict,
+    /// Which budget axis ran out, if the exploration was cut short.
+    pub exhausted: Option<ExhaustionReason>,
+    /// Coverage statistics of a partial run (`None` when complete).
+    pub coverage: Option<CoverageStats>,
+}
+
+impl BoundedReport {
+    /// `true` if the whole reachable state space was explored.
+    pub fn is_complete(&self) -> bool {
+        self.exhausted.is_none()
+    }
+}
+
+/// Like [`verify_with`], but governed by a cooperative resource [`Budget`]:
+/// instead of failing when a limit is hit, returns the facts established so
+/// far together with an [`Verdict::Inconclusive`] verdict.
+///
+/// # Errors
+///
+/// Returns [`NetError::NotSafe`] on safeness violations or
+/// [`NetError::WorkerPanicked`] if a parallel worker died.
+///
+/// # Examples
+///
+/// ```
+/// use petri::{Budget, NetBuilder, verify_bounded, Verdict};
+///
+/// let mut b = NetBuilder::new("chain");
+/// let mut prev = b.place_marked("p0");
+/// for i in 1..20 {
+///     let next = b.place(format!("p{i}"));
+///     b.transition(format!("t{i}"), [prev], [next]);
+///     prev = next;
+/// }
+/// let net = b.build()?;
+/// let bounded = verify_bounded(&net, &Default::default(), &Budget::default().cap_states(5))?;
+/// assert!(matches!(bounded.verdict, Verdict::Inconclusive { .. }));
+/// assert!(bounded.coverage.is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify_bounded(
+    net: &PetriNet,
+    opts: &ExploreOptions,
+    budget: &Budget,
+) -> Result<BoundedReport, NetError> {
+    let start = Instant::now();
+    let outcome = ReachabilityGraph::explore_bounded(net, opts, budget)?;
+    let exhausted = outcome.reason();
+    let coverage = outcome.coverage().cloned();
+    let rg = match &outcome {
+        Outcome::Complete(rg) | Outcome::Partial { result: rg, .. } => rg,
+    };
+    let report = derive_report(net, rg, start.elapsed());
+    let frontier = coverage.as_ref().map_or(0, |c| c.frontier_len);
+    let verdict = Verdict::from_observation(report.has_deadlock, exhausted.is_none(), frontier);
+    Ok(BoundedReport {
+        report,
+        verdict,
+        exhausted,
+        coverage,
+    })
+}
+
+/// Derives deadlock and liveness facts from an explored graph.
+fn derive_report(net: &PetriNet, rg: &ReachabilityGraph, elapsed: Duration) -> VerificationReport {
     let mut fired = vec![false; net.transition_count()];
     for s in rg.states() {
         for &(t, _) in rg.successors(s) {
@@ -100,7 +180,7 @@ pub fn verify_with(net: &PetriNet, opts: &ExploreOptions) -> Result<Verification
     let deadlock_witness = rg.deadlocks().first().and_then(|&d| rg.path_to(d));
     let deadlock_marking = rg.deadlocks().first().map(|&d| rg.marking(d).clone());
 
-    Ok(VerificationReport {
+    VerificationReport {
         state_count: rg.state_count(),
         edge_count: rg.edge_count(),
         has_deadlock: rg.has_deadlock(),
@@ -109,7 +189,7 @@ pub fn verify_with(net: &PetriNet, opts: &ExploreOptions) -> Result<Verification
         deadlock_marking,
         dead_transitions,
         elapsed,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,12 @@ pub enum NetError {
     },
     /// Exploration hit the configured state limit before exhausting the space.
     StateLimit(usize),
+    /// A parallel exploration worker panicked; the run was abandoned after
+    /// joining every other worker (no partial result is trustworthy once a
+    /// worker died mid-expansion).
+    WorkerPanicked,
+    /// The state space needs more than `u32::MAX` state identifiers.
+    StateIdOverflow,
     /// A firing produced a second token in a place: the net is not safe.
     NotSafe {
         /// Place that would receive a second token.
@@ -58,6 +64,12 @@ impl fmt::Display for NetError {
             }
             NetError::StateLimit(n) => {
                 write!(f, "state limit of {n} states exceeded during exploration")
+            }
+            NetError::WorkerPanicked => {
+                write!(f, "an exploration worker thread panicked")
+            }
+            NetError::StateIdOverflow => {
+                write!(f, "state space exceeds the u32 state-id range")
             }
             NetError::NotSafe { place, transition } => write!(
                 f,
@@ -94,6 +106,14 @@ mod tests {
             (
                 NetError::StateLimit(10),
                 "state limit of 10 states exceeded during exploration",
+            ),
+            (
+                NetError::WorkerPanicked,
+                "an exploration worker thread panicked",
+            ),
+            (
+                NetError::StateIdOverflow,
+                "state space exceeds the u32 state-id range",
             ),
             (
                 NetError::NotSafe {

@@ -46,6 +46,7 @@
 
 mod analysis;
 mod bitset;
+pub mod budget;
 mod conflict;
 mod dot;
 mod error;
@@ -59,8 +60,9 @@ mod parser;
 mod reachability;
 mod siphons;
 
-pub use analysis::{verify, verify_with, VerificationReport};
+pub use analysis::{verify, verify_bounded, verify_with, BoundedReport, VerificationReport};
 pub use bitset::{BitSet, Iter as BitSetIter};
+pub use budget::{Budget, CoverageStats, ExhaustionReason, Outcome, Verdict};
 pub use conflict::ConflictInfo;
 pub use dot::{net_to_dot, reachability_to_dot};
 pub use error::NetError;

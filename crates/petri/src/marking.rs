@@ -75,6 +75,13 @@ impl Marking {
         self.bits.iter().map(PlaceId::new)
     }
 
+    /// Approximate memory footprint of this marking in bytes (struct plus
+    /// heap-allocated bit blocks) — the unit of the budget governor's
+    /// byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bits.capacity().div_ceil(64) * 8
+    }
+
     /// The underlying bit set over place indices.
     pub fn as_bits(&self) -> &BitSet {
         &self.bits

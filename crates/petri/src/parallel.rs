@@ -12,9 +12,29 @@
 //!   with quiescence detection via an in-flight counter: a state counts as
 //!   pending from enqueue until its expansion has been folded back in, and
 //!   the exploration is complete exactly when the counter hits zero;
-//! * **worker-local result buffers** (discovered states, labelled edges,
-//!   deadlocks) merged after `std::thread::scope` joins, so the hot loop
-//!   never serializes on a global result vector.
+//! * **worker-local result buffers** (labelled edges, deadlocks) merged
+//!   after `std::thread::scope` joins, so the hot loop never serializes on
+//!   a global result vector.
+//!
+//! # Resource governance
+//!
+//! Every worker consults the caller's [`Budget`] before taking an item off
+//! the queue. When any axis (states, bytes, deadline, cancellation) is
+//! exhausted, workers stop dequeuing, drain, and the engine returns
+//! [`Outcome::Partial`] with everything discovered so far plus
+//! [`CoverageStats`] — nothing computed is thrown away. Because workers
+//! finish the expansion they already started, a limited run may overshoot
+//! the state budget by up to one expansion's fan-out per worker.
+//!
+//! # Panic safety
+//!
+//! Worker bodies run under `catch_unwind`: a panicking successor callback
+//! (or an injected fault, see [`FrontierOptions::inject_fault_after`])
+//! surfaces as [`NetError::WorkerPanicked`] after all other workers have
+//! been joined — it can neither hang quiescence nor cascade into
+//! poisoned-lock panics, because every shared lock is acquired
+//! poison-tolerantly (the protected state is only ever mutated by
+//! non-panicking operations, so a poisoned guard is still consistent).
 //!
 //! # Determinism contract
 //!
@@ -27,12 +47,22 @@
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
+use crate::budget::{Budget, CoverageStats, ExhaustionReason, Outcome};
 use crate::error::NetError;
 use crate::ids::TransitionId;
 use crate::marking::Marking;
+
+/// Approximate bookkeeping bytes per stored state beyond the marking
+/// itself (index entry, result slot, queue slot). Shared with the serial
+/// explore loops so byte accounting agrees across thread counts.
+pub const STATE_OVERHEAD_BYTES: usize = 48;
+/// Approximate bytes per recorded edge.
+pub const EDGE_BYTES: usize = 24;
 
 /// Number of worker threads to use when a caller asks for "all of them":
 /// the system's available parallelism, or 1 if that cannot be determined.
@@ -42,28 +72,59 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Acquires a mutex even if a panicking worker poisoned it. Sound here
+/// because all critical sections below perform only non-panicking updates
+/// (integer arithmetic, `Vec`/`VecDeque`/`HashMap` inserts), so the data
+/// behind a poisoned lock is never torn — the poison flag merely records
+/// that *some* thread died, which the queue's `error` field tracks
+/// explicitly.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Tuning knobs of [`explore_frontier`].
 #[derive(Debug, Clone)]
 pub struct FrontierOptions {
     /// Worker count; values below 2 are rounded up to 2 (callers run their
     /// serial loop instead of this engine for one thread).
     pub threads: usize,
-    /// Abort with [`NetError::StateLimit`] once this many states are stored.
-    pub max_states: usize,
     /// Collect the labelled `(source, transition, target)` edges.
     pub record_edges: bool,
+    /// Resource budget checked cooperatively by every worker; exhausting
+    /// it yields [`Outcome::Partial`] instead of an error.
+    pub budget: Budget,
+    /// Fault-injection hook for regression-testing the hang-free
+    /// guarantee: the worker that dequeues the `n`-th item panics instead
+    /// of expanding it. Compiled only for tests and the `fault-injection`
+    /// feature.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub inject_fault_after: Option<usize>,
+}
+
+impl Default for FrontierOptions {
+    fn default() -> Self {
+        FrontierOptions {
+            threads: default_threads(),
+            record_edges: true,
+            budget: Budget::default(),
+            #[cfg(any(test, feature = "fault-injection"))]
+            inject_fault_after: None,
+        }
+    }
 }
 
 /// What a parallel exploration produced. Ids are dense `0..states.len()`
-/// with the initial marking at id 0.
+/// with the initial marking at id 0. On a partial run every stored state
+/// is genuinely reachable, but only expanded states have their successors
+/// (and deadlock classification) recorded.
 #[derive(Debug)]
 pub struct FrontierResult {
-    /// Every reachable marking, indexed by state id.
+    /// Every discovered marking, indexed by state id.
     pub states: Vec<Marking>,
     /// Labelled outgoing edges per state id; empty unless
     /// [`FrontierOptions::record_edges`] was set.
     pub succ: Vec<Vec<(TransitionId, u32)>>,
-    /// Ids of states with no successors, in increasing id order.
+    /// Ids of expanded states with no successors, in increasing id order.
     pub deadlocks: Vec<u32>,
     /// Total number of fired transitions (edges), recorded or not.
     pub edge_count: usize,
@@ -78,31 +139,30 @@ pub struct FrontierResult {
 /// engine calls it exactly once per distinct reachable marking, from an
 /// unspecified thread.
 ///
+/// Returns [`Outcome::Complete`] when the state space was exhausted and
+/// [`Outcome::Partial`] when `opts.budget` ran out first.
+///
 /// # Errors
 ///
-/// Propagates the first callback error and returns
-/// [`NetError::StateLimit`] if more than `opts.max_states` states are
-/// discovered. Because workers race, a limited run may have expanded a
-/// few states beyond the limit before stopping; the error itself is
-/// identical to the serial engines'.
+/// Propagates the first callback error, or [`NetError::WorkerPanicked`]
+/// if a worker thread panicked (all other workers are joined first).
 pub fn explore_frontier<S>(
     initial: Marking,
     opts: &FrontierOptions,
     successors: S,
-) -> Result<FrontierResult, NetError>
+) -> Result<Outcome<FrontierResult>, NetError>
 where
     S: Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync,
 {
+    let start = Instant::now();
     let threads = opts.threads.max(2);
     let shard_count = (threads * 8).next_power_of_two();
 
+    let initial_bytes = initial.approx_bytes() + STATE_OVERHEAD_BYTES;
     let shards: Vec<Mutex<HashMap<Marking, u32>>> = (0..shard_count)
         .map(|_| Mutex::new(HashMap::new()))
         .collect();
-    shards[shard_of(&initial, shard_count - 1)]
-        .lock()
-        .expect("shard lock")
-        .insert(initial.clone(), 0);
+    lock_ignore_poison(&shards[shard_of(&initial, shard_count - 1)]).insert(initial.clone(), 0);
 
     let shared = Shared {
         successors: &successors,
@@ -110,18 +170,22 @@ where
         shard_mask: shard_count - 1,
         next_id: AtomicU32::new(1),
         stored: AtomicUsize::new(1),
-        max_states: opts.max_states,
+        bytes: AtomicUsize::new(initial_bytes),
+        expanded: AtomicUsize::new(0),
+        budget: &opts.budget,
         record_edges: opts.record_edges,
         queue: Mutex::new(QueueState {
             queue: VecDeque::from([(0u32, initial)]),
             pending: 1,
             error: None,
+            exhausted: None,
         }),
         cv: Condvar::new(),
+        #[cfg(any(test, feature = "fault-injection"))]
+        fault_after: opts.inject_fault_after,
+        #[cfg(any(test, feature = "fault-injection"))]
+        dequeued: AtomicUsize::new(0),
     };
-    if opts.max_states == 0 {
-        return Err(NetError::StateLimit(0));
-    }
 
     let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -129,23 +193,42 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("exploration worker panicked"))
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                // unreachable in practice (worker bodies are wrapped in
+                // catch_unwind), but never let a join failure cascade
+                Err(_) => {
+                    lock_ignore_poison(&shared.queue)
+                        .error
+                        .get_or_insert(NetError::WorkerPanicked);
+                    WorkerOut::default()
+                }
+            })
             .collect()
     });
 
-    if let Some(e) = shared.queue.into_inner().expect("queue lock").error {
+    let queue_state = shared
+        .queue
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = queue_state.error {
         return Err(e);
     }
 
+    // rebuild the dense state table from the sharded index — this also
+    // recovers markings that were discovered but never expanded, which is
+    // exactly what a budget-limited partial run leaves on the frontier
     let state_count = shared.next_id.load(Ordering::Relaxed) as usize;
     let mut states = vec![Marking::empty(0); state_count];
+    for shard in shared.shards {
+        for (m, id) in shard.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            states[id as usize] = m;
+        }
+    }
     let mut succ = vec![Vec::new(); state_count];
     let mut deadlocks = Vec::new();
     let mut edge_count = 0;
     for out in outs {
-        for (id, m) in out.discovered {
-            states[id as usize] = m;
-        }
         for (src, t, dst) in out.edges {
             succ[src as usize].push((t, dst));
         }
@@ -153,11 +236,28 @@ where
         edge_count += out.edge_count;
     }
     deadlocks.sort_unstable();
-    Ok(FrontierResult {
+    let result = FrontierResult {
         states,
         succ,
         deadlocks,
         edge_count,
+    };
+    Ok(match queue_state.exhausted {
+        None => Outcome::Complete(result),
+        Some(reason) => {
+            let expanded = shared.expanded.load(Ordering::Relaxed);
+            Outcome::Partial {
+                result,
+                reason,
+                coverage: CoverageStats {
+                    states_stored: state_count,
+                    states_expanded: expanded,
+                    frontier_len: state_count - expanded,
+                    bytes_estimate: shared.bytes.load(Ordering::Relaxed),
+                    elapsed: start.elapsed(),
+                },
+            }
+        }
     })
 }
 
@@ -166,6 +266,8 @@ struct QueueState {
     /// States enqueued or currently being expanded; zero means complete.
     pending: usize,
     error: Option<NetError>,
+    /// First budget axis found exhausted; set once, drains all workers.
+    exhausted: Option<ExhaustionReason>,
 }
 
 struct Shared<'a, S> {
@@ -174,15 +276,20 @@ struct Shared<'a, S> {
     shard_mask: usize,
     next_id: AtomicU32,
     stored: AtomicUsize,
-    max_states: usize,
+    bytes: AtomicUsize,
+    expanded: AtomicUsize,
+    budget: &'a Budget,
     record_edges: bool,
     queue: Mutex<QueueState>,
     cv: Condvar,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault_after: Option<usize>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    dequeued: AtomicUsize,
 }
 
 #[derive(Default)]
 struct WorkerOut {
-    discovered: Vec<(u32, Marking)>,
     edges: Vec<(u32, TransitionId, u32)>,
     deadlocks: Vec<u32>,
     edge_count: usize,
@@ -194,7 +301,25 @@ fn shard_of(m: &Marking, mask: usize) -> usize {
     (h.finish() as usize) & mask
 }
 
+/// Panic-isolating wrapper: any panic escaping the worker body is recorded
+/// as [`NetError::WorkerPanicked`] and broadcast so the remaining workers
+/// drain instead of waiting forever on the condvar.
 fn worker<S>(shared: &Shared<'_, S>) -> WorkerOut
+where
+    S: Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| worker_inner(shared))) {
+        Ok(out) => out,
+        Err(_) => {
+            let mut q = lock_ignore_poison(&shared.queue);
+            q.error.get_or_insert(NetError::WorkerPanicked);
+            shared.cv.notify_all();
+            WorkerOut::default()
+        }
+    }
+}
+
+fn worker_inner<S>(shared: &Shared<'_, S>) -> WorkerOut
 where
     S: Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync,
 {
@@ -203,24 +328,37 @@ where
     let mut newly: Vec<(u32, Marking)> = Vec::new();
     loop {
         let (sid, marking) = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = lock_ignore_poison(&shared.queue);
             loop {
-                if q.error.is_some() || q.pending == 0 {
+                if q.error.is_some() || q.exhausted.is_some() || q.pending == 0 {
+                    return out;
+                }
+                if let Some(reason) = shared.budget.exceeded(
+                    shared.stored.load(Ordering::Relaxed),
+                    shared.bytes.load(Ordering::Relaxed),
+                ) {
+                    q.exhausted = Some(reason);
+                    shared.cv.notify_all();
                     return out;
                 }
                 if let Some(item) = q.queue.pop_front() {
                     break item;
                 }
-                q = shared.cv.wait(q).expect("queue lock");
+                q = shared.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
 
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(n) = shared.fault_after {
+            if shared.dequeued.fetch_add(1, Ordering::Relaxed) + 1 == n {
+                panic!("injected fault after {n} dequeues");
+            }
+        }
+
         succs.clear();
         if let Err(e) = (shared.successors)(&marking, &mut succs) {
-            let mut q = shared.queue.lock().expect("queue lock");
-            if q.error.is_none() {
-                q.error = Some(e);
-            }
+            let mut q = lock_ignore_poison(&shared.queue);
+            q.error.get_or_insert(e);
             shared.cv.notify_all();
             return out;
         }
@@ -228,41 +366,46 @@ where
             out.deadlocks.push(sid);
         }
 
-        let mut limit_hit = false;
         for (t, next) in succs.drain(..) {
             let shard = &shared.shards[shard_of(&next, shared.shard_mask)];
-            let mut fresh = false;
-            let nid = match shard.lock().expect("shard lock").entry(next) {
+            let nid = match lock_ignore_poison(shard).entry(next) {
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {
                     let nid = shared.next_id.fetch_add(1, Ordering::Relaxed);
-                    fresh = true;
+                    if nid == u32::MAX {
+                        // undo so the id space cannot wrap; report overflow
+                        shared.next_id.fetch_sub(1, Ordering::Relaxed);
+                        let mut q = lock_ignore_poison(&shared.queue);
+                        q.error.get_or_insert(NetError::StateIdOverflow);
+                        shared.cv.notify_all();
+                        return out;
+                    }
+                    shared.stored.fetch_add(1, Ordering::Relaxed);
+                    shared.bytes.fetch_add(
+                        e.key().approx_bytes() + STATE_OVERHEAD_BYTES,
+                        Ordering::Relaxed,
+                    );
                     newly.push((nid, e.key().clone()));
                     e.insert(nid);
                     nid
                 }
             };
-            if fresh && shared.stored.fetch_add(1, Ordering::Relaxed) + 1 > shared.max_states {
-                limit_hit = true;
-            }
             out.edge_count += 1;
             if shared.record_edges {
+                shared.bytes.fetch_add(EDGE_BYTES, Ordering::Relaxed);
                 out.edges.push((sid, t, nid));
             }
         }
-        out.discovered.push((sid, marking));
+        shared.expanded.fetch_add(1, Ordering::Relaxed);
 
-        let mut q = shared.queue.lock().expect("queue lock");
-        if limit_hit && q.error.is_none() {
-            q.error = Some(NetError::StateLimit(shared.max_states));
-        }
+        let mut q = lock_ignore_poison(&shared.queue);
         let grew = !newly.is_empty();
         for item in newly.drain(..) {
             q.queue.push_back(item);
             q.pending += 1;
         }
         q.pending -= 1;
-        if grew || q.pending == 0 || q.error.is_some() {
+        if grew || q.pending == 0 {
             shared.cv.notify_all();
         }
     }
@@ -272,6 +415,7 @@ where
 mod tests {
     use super::*;
     use crate::net::{NetBuilder, PetriNet};
+    use std::time::Duration;
 
     fn concurrent(n: usize) -> PetriNet {
         let mut b = NetBuilder::new("concurrent");
@@ -300,8 +444,7 @@ mod tests {
     fn opts(threads: usize) -> FrontierOptions {
         FrontierOptions {
             threads,
-            max_states: usize::MAX,
-            record_edges: true,
+            ..Default::default()
         }
     }
 
@@ -309,12 +452,14 @@ mod tests {
     fn hypercube_explored_completely() {
         let net = concurrent(4);
         for threads in [2, 3, 8] {
-            let r = explore_frontier(
+            let outcome = explore_frontier(
                 net.initial_marking().clone(),
                 &opts(threads),
                 net_successors(&net),
             )
             .unwrap();
+            assert!(outcome.is_complete(), "threads={threads}");
+            let r = outcome.into_value();
             assert_eq!(r.states.len(), 16, "threads={threads}");
             assert_eq!(r.edge_count, 32, "threads={threads}");
             assert_eq!(r.deadlocks.len(), 1, "threads={threads}");
@@ -341,6 +486,7 @@ mod tests {
                     net_successors(&net),
                 )
                 .unwrap()
+                .into_value()
                 .states
                 .into_iter()
                 .collect()
@@ -352,19 +498,95 @@ mod tests {
     }
 
     #[test]
-    fn state_limit_aborts() {
+    fn state_budget_yields_partial_not_error() {
         let net = concurrent(6);
-        let err = explore_frontier(
+        let outcome = explore_frontier(
             net.initial_marking().clone(),
             &FrontierOptions {
                 threads: 4,
-                max_states: 10,
                 record_edges: false,
+                budget: Budget::default().cap_states(10),
+                ..Default::default()
             },
             net_successors(&net),
         )
-        .unwrap_err();
-        assert_eq!(err, NetError::StateLimit(10));
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::States));
+        let coverage = outcome.coverage().unwrap().clone();
+        let r = outcome.into_value();
+        assert!(r.states.len() > 10, "limit was actually hit");
+        // workers overshoot by at most one expansion's fan-out each
+        assert!(r.states.len() <= 10 + 4 * 6, "bounded overshoot");
+        assert_eq!(coverage.states_stored, r.states.len());
+        assert_eq!(
+            coverage.frontier_len,
+            coverage.states_stored - coverage.states_expanded
+        );
+        assert!(coverage.frontier_len > 0, "something left unexplored");
+        // every stored marking is genuinely reachable
+        let full = explore_frontier(
+            net.initial_marking().clone(),
+            &opts(2),
+            net_successors(&net),
+        )
+        .unwrap()
+        .into_value();
+        for m in &r.states {
+            assert!(full.states.contains(m), "partial ⊆ full");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial() {
+        let net = concurrent(5);
+        let outcome = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 2,
+                budget: Budget::default().with_timeout(Duration::ZERO),
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::Time));
+        assert!(!outcome.value().states.is_empty(), "initial state kept");
+    }
+
+    #[test]
+    fn cancellation_yields_partial() {
+        let net = concurrent(5);
+        let budget = Budget::default();
+        budget.cancel();
+        let outcome = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 2,
+                budget,
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn byte_budget_yields_partial() {
+        let net = concurrent(8);
+        let outcome = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 2,
+                budget: Budget::default().cap_bytes(600),
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::Memory));
+        let coverage = outcome.coverage().unwrap();
+        assert!(coverage.bytes_estimate > 600);
     }
 
     #[test]
@@ -388,7 +610,8 @@ mod tests {
             &opts(4),
             net_successors(&net),
         )
-        .unwrap();
+        .unwrap()
+        .into_value();
         // every recorded edge replays: fire(t, states[src]) == states[dst]
         let mut total = 0;
         for (src, edges) in r.succ.iter().enumerate() {
@@ -399,5 +622,92 @@ mod tests {
             }
         }
         assert_eq!(total, r.edge_count);
+    }
+
+    #[test]
+    fn injected_worker_panic_surfaces_without_hanging() {
+        // the regression test for the hang-free guarantee: a worker dying
+        // mid-exploration must neither stall quiescence detection nor
+        // cascade into poisoned-lock panics on the other workers
+        let net = concurrent(8);
+        for threads in [2, 8] {
+            let start = Instant::now();
+            let err = explore_frontier(
+                net.initial_marking().clone(),
+                &FrontierOptions {
+                    threads,
+                    inject_fault_after: Some(5),
+                    ..Default::default()
+                },
+                net_successors(&net),
+            )
+            .unwrap_err();
+            assert_eq!(err, NetError::WorkerPanicked, "threads={threads}");
+            assert!(
+                start.elapsed() < Duration::from_secs(30),
+                "threads={threads}: join took {:?}",
+                start.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn panic_on_first_dequeue_still_joins() {
+        let net = concurrent(4);
+        let err = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 4,
+                inject_fault_after: Some(1),
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::WorkerPanicked);
+    }
+
+    #[test]
+    fn panicking_successor_callback_is_contained() {
+        // a panic inside the *callback* (not just the injected hook) must
+        // also surface as WorkerPanicked rather than poisoning the run
+        let net = concurrent(4);
+        let calls = AtomicUsize::new(0);
+        let err = explore_frontier(
+            net.initial_marking().clone(),
+            &opts(3),
+            |m: &Marking, out: &mut Vec<(TransitionId, Marking)>| {
+                if calls.fetch_add(1, Ordering::Relaxed) == 3 {
+                    panic!("callback exploded");
+                }
+                for t in net.transitions() {
+                    if net.enabled(t, m) {
+                        out.push((t, net.fire(t, m)?));
+                    }
+                }
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::WorkerPanicked);
+    }
+
+    #[test]
+    fn zero_state_budget_keeps_only_the_initial_marking() {
+        let net = concurrent(3);
+        let outcome = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 2,
+                budget: Budget::default().cap_states(0),
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::States));
+        let r = outcome.into_value();
+        assert_eq!(r.states.len(), 1, "initial marking is always stored");
+        assert_eq!(&r.states[0], net.initial_marking());
     }
 }

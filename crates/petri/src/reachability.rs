@@ -10,11 +10,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use crate::budget::{Budget, CoverageStats, Outcome};
 use crate::error::NetError;
 use crate::ids::TransitionId;
 use crate::marking::Marking;
 use crate::net::PetriNet;
-use crate::parallel::{default_threads, explore_frontier, FrontierOptions};
+use crate::parallel::{
+    default_threads, explore_frontier, FrontierOptions, EDGE_BYTES, STATE_OVERHEAD_BYTES,
+};
 
 /// Identifier of a state (vertex) in a [`ReachabilityGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -26,8 +29,24 @@ impl StateId {
         self.0 as usize
     }
 
+    /// Internal constructor for indexes already known to be in range
+    /// (anything `< states.len()` of a built graph, since every insertion
+    /// went through [`try_new`](Self::try_new)).
     fn new(i: usize) -> Self {
-        StateId(u32::try_from(i).expect("state index fits in u32"))
+        debug_assert!(
+            u32::try_from(i).is_ok(),
+            "state index validated at insertion"
+        );
+        StateId(i as u32)
+    }
+
+    /// Fallible constructor used at state-insertion time: a net with more
+    /// than `u32::MAX` states yields [`NetError::StateIdOverflow`] instead
+    /// of panicking.
+    fn try_new(i: usize) -> Result<Self, NetError> {
+        u32::try_from(i)
+            .map(StateId)
+            .map_err(|_| NetError::StateIdOverflow)
     }
 }
 
@@ -107,13 +126,45 @@ impl ReachabilityGraph {
 
     /// Explores the full state space with explicit options.
     ///
+    /// This is the legacy all-or-nothing entry point: a hit state limit is
+    /// reported as an error and the partial graph is discarded. Prefer
+    /// [`explore_bounded`](Self::explore_bounded), which returns the graph
+    /// computed so far when a budget runs out.
+    ///
     /// # Errors
     ///
     /// Returns [`NetError::NotSafe`] on a safeness violation, or
     /// [`NetError::StateLimit`] if `opts.max_states` is exceeded.
     pub fn explore_with(net: &PetriNet, opts: &ExploreOptions) -> Result<Self, NetError> {
+        match Self::explore_bounded(net, opts, &Budget::default())? {
+            Outcome::Complete(rg) => Ok(rg),
+            Outcome::Partial { .. } => Err(NetError::StateLimit(opts.max_states)),
+        }
+    }
+
+    /// Explores the state space under a cooperative resource [`Budget`].
+    ///
+    /// The effective state cap is the tighter of `opts.max_states` and
+    /// `budget.max_states`. When any budget axis (states, bytes, deadline,
+    /// cancellation) is exhausted, the graph built so far is returned as
+    /// [`Outcome::Partial`] with [`CoverageStats`] — every stored marking
+    /// is genuinely reachable, so a deadlock found in a partial graph is a
+    /// real counterexample, but deadlock *freedom* can only be concluded
+    /// from [`Outcome::Complete`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotSafe`] on a safeness violation,
+    /// [`NetError::WorkerPanicked`] if a parallel worker died, or
+    /// [`NetError::StateIdOverflow`] past `u32::MAX` states.
+    pub fn explore_bounded(
+        net: &PetriNet,
+        opts: &ExploreOptions,
+        budget: &Budget,
+    ) -> Result<Outcome<Self>, NetError> {
+        let budget = budget.clone().cap_states(opts.max_states);
         if opts.threads.max(1) > 1 {
-            return Self::explore_parallel(net, opts);
+            return Self::explore_parallel(net, opts, &budget);
         }
         let start = Instant::now();
         let mut states: Vec<Marking> = vec![net.initial_marking().clone()];
@@ -122,9 +173,15 @@ impl ReachabilityGraph {
         let mut succ: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
         let mut deadlocks = Vec::new();
         let mut edge_count = 0;
+        let mut bytes = net.initial_marking().approx_bytes() + STATE_OVERHEAD_BYTES;
 
+        let mut exhausted = None;
         let mut frontier = 0;
         while frontier < states.len() {
+            if let Some(reason) = budget.exceeded(states.len(), bytes) {
+                exhausted = Some(reason);
+                break;
+            }
             let sid = StateId::new(frontier);
             // take the marking out instead of cloning it; the index still
             // holds an equal key, so lookups during expansion are unaffected
@@ -139,18 +196,17 @@ impl ReachabilityGraph {
                 let nid = match index.entry(next) {
                     Entry::Occupied(e) => *e.get(),
                     Entry::Vacant(e) => {
-                        let nid = StateId::new(states.len());
+                        let nid = StateId::try_new(states.len())?;
+                        bytes += e.key().approx_bytes() + STATE_OVERHEAD_BYTES;
                         states.push(e.key().clone());
                         succ.push(Vec::new());
                         e.insert(nid);
-                        if states.len() > opts.max_states {
-                            return Err(NetError::StateLimit(opts.max_states));
-                        }
                         nid
                     }
                 };
                 edge_count += 1;
                 if opts.record_edges {
+                    bytes += EDGE_BYTES;
                     succ[sid.index()].push((t, nid));
                 }
             }
@@ -161,28 +217,51 @@ impl ReachabilityGraph {
             frontier += 1;
         }
 
-        Ok(ReachabilityGraph {
+        let elapsed = start.elapsed();
+        let stored = states.len();
+        let graph = ReachabilityGraph {
             states,
             succ,
             initial: StateId::new(0),
             deadlocks,
             edge_count,
-            elapsed: start.elapsed(),
+            elapsed,
             threads_used: 1,
+        };
+        Ok(match exhausted {
+            None => Outcome::Complete(graph),
+            Some(reason) => Outcome::Partial {
+                result: graph,
+                reason,
+                coverage: CoverageStats {
+                    states_stored: stored,
+                    states_expanded: frontier,
+                    frontier_len: stored - frontier,
+                    bytes_estimate: bytes,
+                    elapsed,
+                },
+            },
         })
     }
 
-    /// The multi-threaded path of [`explore_with`](Self::explore_with),
+    /// The multi-threaded path of [`explore_bounded`](Self::explore_bounded),
     /// built on the shared [`parallel`](crate::parallel) frontier engine.
-    fn explore_parallel(net: &PetriNet, opts: &ExploreOptions) -> Result<Self, NetError> {
+    fn explore_parallel(
+        net: &PetriNet,
+        opts: &ExploreOptions,
+        budget: &Budget,
+    ) -> Result<Outcome<Self>, NetError> {
         let start = Instant::now();
         let threads = opts.threads;
-        let result = explore_frontier(
+        // the spread fills the cfg-gated fault-injection field in test builds
+        #[allow(clippy::needless_update)]
+        let outcome = explore_frontier(
             net.initial_marking().clone(),
             &FrontierOptions {
                 threads,
-                max_states: opts.max_states,
                 record_edges: opts.record_edges,
+                budget: budget.clone(),
+                ..Default::default()
             },
             |m, out| {
                 for t in net.transitions() {
@@ -193,7 +272,7 @@ impl ReachabilityGraph {
                 Ok(())
             },
         )?;
-        Ok(ReachabilityGraph {
+        Ok(outcome.map(|result| ReachabilityGraph {
             states: result.states,
             succ: result
                 .succ
@@ -214,7 +293,7 @@ impl ReachabilityGraph {
             edge_count: result.edge_count,
             elapsed: start.elapsed(),
             threads_used: threads,
-        })
+        }))
     }
 
     /// Number of reachable states.

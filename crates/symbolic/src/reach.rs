@@ -13,9 +13,13 @@
 
 use std::time::{Duration, Instant};
 
-use petri::{Marking, PetriNet, PlaceId};
+use petri::{Budget, CoverageStats, Marking, Outcome, PetriNet, PlaceId};
 
 use crate::bdd::{Bdd, BddRef, BDD_FALSE, BDD_TRUE};
+
+/// Approximate bytes per allocated BDD node (node record plus its share of
+/// the unique-table and cache entries) — the unit of budget byte accounting.
+const BDD_NODE_BYTES: usize = 32;
 
 /// How place indices map to BDD variables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -183,6 +187,16 @@ impl Encoding {
     }
 }
 
+/// Converts a satisfying-assignment count to a `usize` for budget
+/// comparisons, saturating on counts past `usize::MAX`.
+fn sat_count_usize(count: f64) -> usize {
+    if count >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        count as usize
+    }
+}
+
 impl SymbolicReachability {
     /// Runs symbolic reachability with the default interleaved order.
     pub fn explore(net: &PetriNet) -> Self {
@@ -196,6 +210,23 @@ impl SymbolicReachability {
     /// production requires the target place to be empty), mirroring how a
     /// bounded model checker would encode a safe net.
     pub fn explore_with(net: &PetriNet, opts: &SymbolicOptions) -> Self {
+        Self::explore_bounded(net, opts, &Budget::default()).into_value()
+    }
+
+    /// Runs symbolic reachability under a cooperative resource [`Budget`].
+    ///
+    /// Budget checks run once per breadth-first iteration: the state axis
+    /// compares the satisfying-assignment count of the reached set, the
+    /// byte axis the number of allocated BDD nodes (≈ 32 bytes each). On
+    /// exhaustion the fixpoint stops early and the result (a lower bound,
+    /// also flagged [`truncated`](Self::truncated)) is wrapped in
+    /// [`Outcome::Partial`]. Every state in a partial reached set is
+    /// genuinely reachable, so a deadlock found there is a real one.
+    pub fn explore_bounded(
+        net: &PetriNet,
+        opts: &SymbolicOptions,
+        budget: &Budget,
+    ) -> Outcome<Self> {
         let start = Instant::now();
         let mut enc = Encoding::new(net, opts.order);
         let p = net.place_count();
@@ -209,10 +240,19 @@ impl SymbolicReachability {
         let mut peak = rel_nodes + enc.bdd.size(reached);
         let mut iterations = 0;
         let mut truncated = false;
+        let mut exhausted = None;
 
         while frontier != BDD_FALSE {
             if enc.bdd.allocated_nodes() > opts.max_nodes {
                 truncated = true;
+                break;
+            }
+            let states_so_far = sat_count_usize(enc.bdd.sat_count_over(reached, p));
+            if let Some(reason) =
+                budget.exceeded(states_so_far, enc.bdd.allocated_nodes() * BDD_NODE_BYTES)
+            {
+                truncated = true;
+                exhausted = Some(reason);
                 break;
             }
             iterations += 1;
@@ -240,7 +280,8 @@ impl SymbolicReachability {
         let dead = enc.bdd.and(reached, no_enabled);
         let deadlock_witness = enc.witness_marking(dead, net);
 
-        SymbolicReachability {
+        let elapsed = start.elapsed();
+        let result = SymbolicReachability {
             state_count: enc.bdd.sat_count_over(reached, p),
             has_deadlock: dead != BDD_FALSE,
             deadlock_count: enc.bdd.sat_count_over(dead, p),
@@ -249,7 +290,26 @@ impl SymbolicReachability {
             allocated_nodes: enc.bdd.allocated_nodes(),
             iterations,
             truncated,
-            elapsed: start.elapsed(),
+            elapsed,
+        };
+        match exhausted {
+            None => Outcome::Complete(result),
+            Some(reason) => {
+                let stored = sat_count_usize(result.state_count);
+                let on_frontier = sat_count_usize(enc.bdd.sat_count_over(frontier, p));
+                let coverage = CoverageStats {
+                    states_stored: stored,
+                    states_expanded: stored.saturating_sub(on_frontier),
+                    frontier_len: on_frontier,
+                    bytes_estimate: enc.bdd.allocated_nodes() * BDD_NODE_BYTES,
+                    elapsed,
+                };
+                Outcome::Partial {
+                    result,
+                    reason,
+                    coverage,
+                }
+            }
         }
     }
 
@@ -387,6 +447,43 @@ mod tests {
         b.transition("back", [q], [p]);
         let live = SymbolicReachability::explore(&b.build().unwrap());
         assert!(live.deadlock_witness().is_none());
+    }
+
+    #[test]
+    fn bounded_fixpoint_returns_partial_lower_bound() {
+        use petri::ExhaustionReason;
+        let net = strands(6); // 2^6 = 64 states
+        let outcome = SymbolicReachability::explore_bounded(
+            &net,
+            &SymbolicOptions::default(),
+            &Budget::default().cap_states(4),
+        );
+        let Outcome::Partial {
+            result,
+            reason,
+            coverage,
+        } = outcome
+        else {
+            panic!("expected a partial outcome");
+        };
+        assert_eq!(reason, ExhaustionReason::States);
+        assert!(result.truncated(), "partial results are lower bounds");
+        assert!(result.state_count() < 64.0);
+        assert_eq!(coverage.states_stored, result.state_count() as usize);
+        assert!(coverage.bytes_estimate > 0);
+    }
+
+    #[test]
+    fn cancelled_budget_stops_the_fixpoint() {
+        use petri::ExhaustionReason;
+        let budget = Budget::default();
+        budget.cancel();
+        let outcome = SymbolicReachability::explore_bounded(
+            &strands(4),
+            &SymbolicOptions::default(),
+            &budget,
+        );
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::Cancelled));
     }
 
     #[test]

@@ -9,8 +9,9 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::time::Instant;
 
-use petri::{BitSet, Marking, PetriNet, TransitionId};
+use petri::{BitSet, Budget, CoverageStats, Marking, Outcome, PetriNet, TransitionId};
 
 use crate::branching::{Condition, ConditionId, Event, EventId, Prefix};
 use crate::error::UnfoldError;
@@ -29,6 +30,13 @@ impl Default for UnfoldOptions {
         }
     }
 }
+
+/// Approximate bookkeeping bytes per prefix condition (record plus its
+/// share of the by-place and consumer vectors).
+const CONDITION_BYTES: usize = 48;
+/// Approximate fixed bytes per event beyond its marking, local
+/// configuration and pre/postset entries.
+const EVENT_BYTES: usize = 96;
 
 /// A built finite complete prefix together with its net.
 ///
@@ -323,25 +331,76 @@ impl Unfolding {
 
     /// Builds the finite complete prefix with explicit options.
     ///
+    /// This is the legacy all-or-nothing entry point; a hit event limit
+    /// discards the partial prefix. Prefer
+    /// [`build_bounded`](Self::build_bounded) for graceful degradation.
+    ///
     /// # Errors
     ///
     /// Returns [`UnfoldError::EventLimit`] when `opts.max_events` is
     /// exceeded.
     pub fn build_with(net: &PetriNet, opts: &UnfoldOptions) -> Result<Self, UnfoldError> {
+        match Self::build_bounded(net, opts, &Budget::default()) {
+            Outcome::Complete(unf) => Ok(unf),
+            Outcome::Partial { .. } => Err(UnfoldError::EventLimit(opts.max_events)),
+        }
+    }
+
+    /// Builds the prefix under a cooperative resource [`Budget`].
+    ///
+    /// The budget's state axis counts *events* and its effective cap is the
+    /// tighter of `opts.max_events` and `budget.max_states`. On exhaustion
+    /// the prefix built so far is returned as [`Outcome::Partial`]. A
+    /// partial prefix is a genuine prefix of the unfolding — every marking
+    /// of one of its configurations is reachable, so a deadlock found via
+    /// [`has_deadlock`](Self::has_deadlock) on it is real — but it is not
+    /// marking-complete, so the absence of one proves nothing.
+    pub fn build_bounded(net: &PetriNet, opts: &UnfoldOptions, budget: &Budget) -> Outcome<Self> {
+        let start = Instant::now();
+        let budget = budget.clone().cap_states(opts.max_events);
         let mut b = Builder::new(net);
+        let mut bytes = b.conditions.len() * CONDITION_BYTES;
+        let mut exhausted = None;
         while let Some(Reverse(cand)) = b.queue.pop() {
-            if b.events.len() >= opts.max_events {
-                return Err(UnfoldError::EventLimit(opts.max_events));
+            // `+ 1` asks "may one more event be added?", so the prefix
+            // never exceeds the cap — matching the legacy event limit
+            if let Some(reason) = budget.exceeded(b.events.len() + 1, bytes) {
+                b.queue.push(Reverse(cand));
+                exhausted = Some(reason);
+                break;
             }
             b.add_event(cand);
+            let ev = b.events.last().expect("just added");
+            bytes += EVENT_BYTES
+                + ev.mark.approx_bytes()
+                + ev.local_config.capacity().div_ceil(64) * 8
+                + (ev.preset.len() + ev.postset.len()) * 4
+                + ev.postset.len() * CONDITION_BYTES;
         }
-        Ok(Unfolding {
+        let elapsed = start.elapsed();
+        let events = b.events.len();
+        let pending = b.queue.len();
+        let unf = Unfolding {
             prefix: Prefix {
                 conditions: b.conditions,
                 events: b.events,
                 initial_cut: b.initial_cut,
             },
-        })
+        };
+        match exhausted {
+            None => Outcome::Complete(unf),
+            Some(reason) => Outcome::Partial {
+                result: unf,
+                reason,
+                coverage: CoverageStats {
+                    states_stored: events,
+                    states_expanded: events,
+                    frontier_len: pending,
+                    bytes_estimate: bytes,
+                    elapsed,
+                },
+            },
+        }
     }
 
     /// The built prefix.
@@ -487,6 +546,34 @@ mod tests {
         let err =
             Unfolding::build_with(&models::nsdp(2), &UnfoldOptions { max_events: 3 }).unwrap_err();
         assert_eq!(err, UnfoldError::EventLimit(3));
+    }
+
+    #[test]
+    fn bounded_build_returns_partial_prefix() {
+        use petri::ExhaustionReason;
+        let net = models::nsdp(2);
+        let outcome = Unfolding::build_bounded(
+            &net,
+            &UnfoldOptions::default(),
+            &Budget::default().cap_states(3),
+        );
+        let Outcome::Partial {
+            result,
+            reason,
+            coverage,
+        } = outcome
+        else {
+            panic!("expected a partial outcome");
+        };
+        assert_eq!(reason, ExhaustionReason::States);
+        assert_eq!(result.prefix().event_count(), 3, "cap never exceeded");
+        assert_eq!(coverage.states_stored, 3);
+        assert!(coverage.frontier_len > 0, "candidates were left queued");
+        // markings of the partial prefix are genuinely reachable
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        for m in result.reachable_markings(&net) {
+            assert!(rg.contains(&m));
+        }
     }
 
     #[test]

@@ -46,13 +46,14 @@ pub use unfolding;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gpo_core::{
-        analyze, analyze_with, GpnState, GpoOptions, GpoReport, Representation, SetFamily,
+        analyze, analyze_bounded, analyze_with, GpnState, GpoOptions, GpoReport, Representation,
+        SetFamily,
     };
     pub use models;
     pub use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
     pub use petri::{
-        parse_net, to_text, verify, Marking, NetBuilder, PetriNet, PlaceId, ReachabilityGraph,
-        TransitionId,
+        parse_net, to_text, verify, verify_bounded, Budget, CoverageStats, ExhaustionReason,
+        Marking, NetBuilder, Outcome, PetriNet, PlaceId, ReachabilityGraph, TransitionId, Verdict,
     };
     pub use symbolic::{SymbolicOptions, SymbolicReachability};
     pub use timed::{ClassGraph, Interval, TimedNet};

@@ -1,0 +1,129 @@
+//! Budget-governed exploration properties (README §resource budgets): a
+//! partial exploration must be a *sound prefix* of the full one — every
+//! marking it stores is reachable — for every thread count, and its
+//! coverage stats must be internally consistent.
+
+use std::collections::BTreeSet;
+
+use gpo_suite::prelude::*;
+use models::random::{random_safe_net, RandomNetConfig};
+use petri::ExploreOptions;
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn cfg() -> RandomNetConfig {
+    RandomNetConfig {
+        components: 3,
+        places_per_component: 4,
+        resources: 2,
+        resource_use_prob: 0.4,
+        choice_prob: 0.5,
+        max_states: 4_000,
+    }
+}
+
+fn marking_set(rg: &ReachabilityGraph) -> BTreeSet<Marking> {
+    rg.states().map(|s| rg.marking(s).clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The state set of a budget-limited exploration is a subset of the
+    /// full exploration's, at every thread count — partial results never
+    /// invent unreachable markings (the soundness base of partial
+    /// deadlock counterexamples).
+    #[test]
+    fn partial_states_are_subset_of_full(seed in 0u64..100_000) {
+        let Some(net) = random_safe_net(seed, &cfg()) else { return Ok(()); };
+        let full = ReachabilityGraph::explore(&net).expect("validated safe");
+        let reachable = marking_set(&full);
+        let cap = (full.state_count() / 2).max(1);
+        for threads in THREADS {
+            let outcome = ReachabilityGraph::explore_bounded(
+                &net,
+                &ExploreOptions { threads, ..Default::default() },
+                &Budget::default().cap_states(cap),
+            ).expect("validated safe");
+            let rg = outcome.into_value();
+            let partial = marking_set(&rg);
+            prop_assert!(
+                partial.is_subset(&reachable),
+                "threads={}: partial set invented unreachable markings\n{}",
+                threads,
+                to_text(&net)
+            );
+        }
+    }
+
+    /// Coverage stats of a partial run are consistent: stored = expanded +
+    /// frontier, stored never exceeds the cap by more than the bounded
+    /// overshoot (one expansion fan-out per worker), and a complete run is
+    /// only reported when the budget genuinely covered the space.
+    #[test]
+    fn coverage_stats_are_consistent(seed in 0u64..100_000) {
+        let Some(net) = random_safe_net(seed, &cfg()) else { return Ok(()); };
+        let full = ReachabilityGraph::explore(&net).expect("validated safe");
+        let cap = (full.state_count() / 2).max(1);
+        let max_fanout = net.transition_count();
+        for threads in THREADS {
+            let outcome = ReachabilityGraph::explore_bounded(
+                &net,
+                &ExploreOptions { threads, ..Default::default() },
+                &Budget::default().cap_states(cap),
+            ).expect("validated safe");
+            match outcome {
+                Outcome::Complete(rg) => {
+                    prop_assert!(
+                        rg.state_count() <= cap,
+                        "threads={threads}: complete run over budget"
+                    );
+                    prop_assert_eq!(rg.state_count(), full.state_count());
+                }
+                Outcome::Partial { result, coverage, .. } => {
+                    prop_assert_eq!(
+                        coverage.states_stored,
+                        result.state_count(),
+                        "threads={}", threads
+                    );
+                    prop_assert_eq!(
+                        coverage.states_expanded + coverage.frontier_len,
+                        coverage.states_stored,
+                        "threads={}", threads
+                    );
+                    let overshoot = threads.max(1) * max_fanout;
+                    prop_assert!(
+                        coverage.states_stored <= cap + overshoot,
+                        "threads={}: stored {} > cap {} + overshoot {}",
+                        threads, coverage.states_stored, cap, overshoot
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cancellation before the run stores at most the initial state's
+    /// expansion, at every thread count.
+    #[test]
+    fn pre_cancelled_budget_stops_immediately(seed in 0u64..50_000) {
+        let Some(net) = random_safe_net(seed, &cfg()) else { return Ok(()); };
+        let budget = Budget::default();
+        budget.cancel();
+        for threads in THREADS {
+            let outcome = ReachabilityGraph::explore_bounded(
+                &net,
+                &ExploreOptions { threads, ..Default::default() },
+                &budget,
+            ).expect("validated safe");
+            prop_assert_eq!(outcome.reason(), Some(ExhaustionReason::Cancelled));
+            let fanout = net.transition_count();
+            prop_assert!(
+                outcome.value().state_count() <= 1 + threads.max(1) * fanout,
+                "threads={}: {} states explored after cancellation",
+                threads,
+                outcome.value().state_count()
+            );
+        }
+    }
+}
