@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use gpo_core::analyze;
+use gpo_core::{analyze_with, GpoOptions, Representation};
 use partial_order::{ReducedOptions, ReducedReachability};
 use petri::{ExploreOptions, PetriNet, ReachabilityGraph};
 
@@ -66,7 +66,7 @@ fn main() {
     }
 
     println!();
-    println!("generalized analysis: enabling-family evaluations");
+    println!("generalized analysis: enabling-family evaluations (threads = {threads})");
     println!("| model | computed | reused (avoided) | seed would compute | time |");
     println!("|---|---|---|---|---|");
     for (label, net) in [
@@ -74,12 +74,41 @@ fn main() {
         ("NSDP(6)", models::nsdp(6)),
         ("RW(12)", models::readers_writers(12)),
     ] {
-        let report = analyze(&net).expect("within budgets");
+        let opts = GpoOptions {
+            threads,
+            ..Default::default()
+        };
+        let report = analyze_with(&net, &opts).expect("within budgets");
         println!(
             "| {label} | {} | {} | {} | {:.1} ms |",
             report.enabling_computed,
             report.enabling_reused,
             report.enabling_computed + report.enabling_reused,
+            report.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+
+    println!();
+    println!("generalized analysis, ZDD families: shared-manager counters (threads = {threads})");
+    println!("| model | GPN states | zdd nodes | unique hits | op-cache hits | time |");
+    println!("|---|---|---|---|---|---|");
+    for (label, net) in [
+        ("fig2(8)", models::figures::fig2(8)),
+        ("NSDP(6)", models::nsdp(6)),
+        ("RW(12)", models::readers_writers(12)),
+    ] {
+        let opts = GpoOptions {
+            threads,
+            representation: Representation::Zdd,
+            ..Default::default()
+        };
+        let report = analyze_with(&net, &opts).expect("within budgets");
+        println!(
+            "| {label} | {} | {} | {} | {} | {:.1} ms |",
+            report.state_count,
+            report.zdd_nodes_allocated,
+            report.unique_hits,
+            report.op_cache_hits,
             report.elapsed.as_secs_f64() * 1e3,
         );
     }

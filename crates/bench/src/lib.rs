@@ -67,6 +67,8 @@ pub struct RowBudgets {
     pub valid_set_limit: usize,
     /// Family representation for GPO.
     pub representation: Representation,
+    /// Worker threads for the GPO exploration (1 = serial loop).
+    pub threads: usize,
     /// Skip the BDD engine entirely (for rows where it is hopeless).
     pub skip_bdd: bool,
 }
@@ -78,6 +80,7 @@ impl Default for RowBudgets {
             max_bdd_nodes: 30_000_000,
             valid_set_limit: 1 << 24,
             representation: Representation::Explicit,
+            threads: 1,
             skip_bdd: false,
         }
     }
@@ -201,6 +204,7 @@ pub fn run_gpo(net: &PetriNet, budgets: &RowBudgets) -> EngineResult {
         max_states: budgets.max_states,
         representation: budgets.representation,
         max_witnesses: 1,
+        threads: budgets.threads,
         coverage_query: Vec::new(),
     };
     match analyze_with(net, &opts) {

@@ -19,11 +19,14 @@
 //!    over every single-enabled transition.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use petri::parallel::{explore_frontier, FrontierOptions};
 use petri::{
-    Budget, ConflictInfo, CoverageStats, Marking, Outcome, PetriNet, PlaceId, TransitionId,
+    Budget, ConflictInfo, CoverageStats, ExhaustionReason, Marking, Outcome, PetriNet, PlaceId,
+    TransitionId,
 };
 
 use crate::error::GpoError;
@@ -54,6 +57,12 @@ pub struct GpoOptions {
     pub representation: Representation,
     /// How many deadlock witness markings to materialize (0 disables).
     pub max_witnesses: usize,
+    /// Worker threads for the exploration. `1` (the default) runs the
+    /// historical serial loop; larger values ride the shared parallel
+    /// frontier engine. The explored state set, the verdict, the witness
+    /// markings, and the work counters of a complete run are identical
+    /// for every thread count.
+    pub threads: usize,
     /// Safety query: places whose *simultaneous* marking is the bad
     /// condition (the paper's §4 remark that safety checks reduce to this
     /// framework). Empty disables the query. A reported hit is always a
@@ -70,6 +79,7 @@ impl Default for GpoOptions {
             max_states: usize::MAX,
             representation: Representation::default(),
             max_witnesses: 1,
+            threads: 1,
             coverage_query: Vec::new(),
         }
     }
@@ -123,6 +133,14 @@ pub struct GpoReport {
     /// expansion step already computed down into the firing rules, instead
     /// of recomputing them inside `single_update` / `multiple_update`.
     pub enabling_reused: usize,
+    /// ZDD nodes allocated by the shared manager backing this run
+    /// (0 under the explicit representation).
+    pub zdd_nodes_allocated: u64,
+    /// Unique-table hits in the shared ZDD manager — node requests
+    /// answered by hash-consing instead of allocation (0 under explicit).
+    pub unique_hits: u64,
+    /// Operation-cache hits in the shared ZDD manager (0 under explicit).
+    pub op_cache_hits: u64,
 }
 
 impl GpoReport {
@@ -200,26 +218,112 @@ fn run<F: SetFamily>(
     let s0 = GpnState::<F>::initial_with_conflicts(net, &conflicts, &ctx, opts.valid_set_limit)?;
     let valid_set_count = s0.valid().count();
 
-    let mut states: Vec<GpnState<F>> = vec![s0.clone()];
-    let mut index: HashMap<GpnState<F>, usize> = HashMap::new();
-    index.insert(s0, 0);
-    // how each state was first reached (for counterexample projection)
-    let mut provenance: Vec<Option<(usize, Firing)>> = vec![None];
+    let counters = Counters::default();
+    let explored = if opts.threads > 1 {
+        explore_parallel(net, &conflicts, s0, opts, budget, &counters)?
+    } else {
+        explore_serial(net, &conflicts, &ctx, s0, budget, &counters)
+    };
 
+    let stats = F::context_stats(&ctx);
     let mut report = GpoReport {
-        state_count: 0,
-        deadlock_possible: false,
+        state_count: explored.states.len(),
+        deadlock_possible: !explored.blocked.is_empty(),
         deadlock_witnesses: Vec::new(),
         valid_set_count,
-        peak_footprint: 0,
-        multiple_firings: 0,
-        single_firings: 0,
+        peak_footprint: counters.peak_footprint.load(Ordering::Relaxed),
+        multiple_firings: counters.multiple_firings.load(Ordering::Relaxed),
+        single_firings: counters.single_firings.load(Ordering::Relaxed),
         coverage_hit: None,
         deadlock_traces: Vec::new(),
         elapsed: Duration::ZERO,
-        enabling_computed: 0,
-        enabling_reused: 0,
+        enabling_computed: counters.enabling_computed.load(Ordering::Relaxed),
+        enabling_reused: counters.enabling_reused.load(Ordering::Relaxed),
+        zdd_nodes_allocated: stats.nodes_allocated,
+        unique_hits: stats.unique_hits,
+        op_cache_hits: stats.op_cache_hits,
     };
+
+    extract_witnesses(net, &explored, opts.max_witnesses, &mut report);
+    if !opts.coverage_query.is_empty() {
+        // every stored state is genuinely reachable, so any hit is sound;
+        // taking the minimum covering marking makes the answer independent
+        // of the exploration order (and hence of the thread count)
+        report.coverage_hit = explored
+            .states
+            .iter()
+            .filter_map(|s| coverage_hit(net, s, &opts.coverage_query))
+            .min();
+    }
+
+    report.elapsed = start.elapsed();
+    Ok(match explored.exhausted {
+        None => Outcome::Complete(report),
+        Some((reason, mut coverage)) => {
+            coverage.elapsed = report.elapsed;
+            Outcome::Partial {
+                result: report,
+                reason,
+                coverage,
+            }
+        }
+    })
+}
+
+/// Work counters shared between the serial loop and the parallel workers.
+/// Each state is expanded exactly once and the per-state work is a pure
+/// function of the state, so the relaxed sums are identical for every
+/// thread count on a complete run.
+#[derive(Default)]
+struct Counters {
+    enabling_computed: AtomicUsize,
+    enabling_reused: AtomicUsize,
+    multiple_firings: AtomicUsize,
+    single_firings: AtomicUsize,
+    peak_footprint: AtomicUsize,
+}
+
+impl Counters {
+    fn computed(&self, n: usize) {
+        self.enabling_computed.fetch_add(n, Ordering::Relaxed);
+    }
+    fn reused(&self, n: usize) {
+        self.enabling_reused.fetch_add(n, Ordering::Relaxed);
+    }
+    fn observe_footprint(&self, units: usize) {
+        self.peak_footprint.fetch_max(units, Ordering::Relaxed);
+    }
+}
+
+/// What an exploration (serial or parallel) produced, before witness
+/// extraction and coverage queries.
+struct Explored<F: SetFamily> {
+    /// Every discovered GPN state, dense ids with the initial state at 0.
+    states: Vec<GpnState<F>>,
+    /// How each state was first reached (for counterexample projection).
+    pred: Vec<Option<(usize, Firing)>>,
+    /// Ids of expanded states whose deadlock-possibility check fired.
+    blocked: Vec<usize>,
+    /// Budget exhaustion, if the run is partial.
+    exhausted: Option<(ExhaustionReason, CoverageStats)>,
+}
+
+/// The historical breadth-first serial loop (exact same exploration order
+/// and budget-check placement as before the parallel engine existed).
+fn explore_serial<F: SetFamily>(
+    net: &PetriNet,
+    conflicts: &ConflictInfo,
+    ctx: &F::Context,
+    s0: GpnState<F>,
+    budget: &Budget,
+    counters: &Counters,
+) -> Explored<F> {
+    let start = Instant::now();
+    let mut states: Vec<GpnState<F>> = vec![s0.clone()];
+    let mut index: HashMap<GpnState<F>, usize> = HashMap::new();
+    index.insert(s0, 0);
+    let mut pred: Vec<Option<(usize, Firing)>> = vec![None];
+    let mut blocked: Vec<usize> = Vec::new();
 
     let mut bytes = states[0].footprint();
     let mut exhausted = None;
@@ -233,30 +337,18 @@ fn run<F: SetFamily>(
         // an equal key, so the dedup lookups during expansion are unaffected
         let s = std::mem::replace(
             &mut states[frontier],
-            GpnState::from_parts(Vec::new(), F::empty(&ctx, net.transition_count())),
+            GpnState::from_parts(Vec::new(), F::empty(ctx, net.transition_count())),
         );
-        report.peak_footprint = report.peak_footprint.max(s.footprint());
-
-        if report.coverage_hit.is_none() && !opts.coverage_query.is_empty() {
-            report.coverage_hit = coverage_hit(net, &s, &opts.coverage_query);
-        }
-
-        let before = report.deadlock_witnesses.len();
-        let successors = expand(net, &conflicts, &s, &mut report, opts);
-        // project a classical counterexample for each fresh witness
-        for w in before..report.deadlock_witnesses.len() {
-            let v = history_of_witness(net, &s, &report.deadlock_witnesses[w]);
-            if let Some(v) = v {
-                report
-                    .deadlock_traces
-                    .push(project_trace(net, &states, &provenance, frontier, &v));
-            }
+        counters.observe_footprint(s.footprint());
+        let successors = expand(net, conflicts, &s, counters);
+        if successors.is_empty() {
+            blocked.push(frontier);
         }
         for (next, firing) in successors {
             if let Entry::Vacant(e) = index.entry(next) {
                 bytes += e.key().footprint();
                 states.push(e.key().clone());
-                provenance.push(Some((frontier, firing.clone())));
+                pred.push(Some((frontier, firing)));
                 e.insert(states.len() - 1);
             }
         }
@@ -264,22 +356,135 @@ fn run<F: SetFamily>(
         frontier += 1;
     }
 
-    report.state_count = states.len();
-    report.elapsed = start.elapsed();
-    Ok(match exhausted {
-        None => Outcome::Complete(report),
-        Some(reason) => Outcome::Partial {
-            coverage: CoverageStats {
+    let exhausted = exhausted.map(|reason| {
+        (
+            reason,
+            CoverageStats {
                 states_stored: states.len(),
                 states_expanded: frontier,
                 frontier_len: states.len() - frontier,
                 bytes_estimate: bytes,
-                elapsed: report.elapsed,
+                elapsed: start.elapsed(),
             },
-            result: report,
-            reason,
+        )
+    });
+    Explored {
+        states,
+        pred,
+        blocked,
+        exhausted,
+    }
+}
+
+/// Runs the expansion over the shared parallel frontier engine. A GPN
+/// state has no successors exactly when its deadlock-possibility check
+/// fires (the valid-set relation is never empty), so the engine's
+/// deadlock ids are precisely the blocked states.
+fn explore_parallel<F: SetFamily>(
+    net: &PetriNet,
+    conflicts: &ConflictInfo,
+    s0: GpnState<F>,
+    opts: &GpoOptions,
+    budget: &Budget,
+    counters: &Counters,
+) -> Result<Explored<F>, GpoError> {
+    // the spread fills the cfg-gated fault-injection field in test builds
+    #[allow(clippy::needless_update)]
+    let fopts = FrontierOptions {
+        threads: opts.threads,
+        record_edges: opts.max_witnesses > 0,
+        budget: budget.clone(),
+        ..FrontierOptions::default()
+    };
+    let outcome = explore_frontier(
+        s0,
+        &fopts,
+        |s: &GpnState<F>, out: &mut Vec<(Firing, GpnState<F>)>| {
+            counters.observe_footprint(s.footprint());
+            out.extend(
+                expand(net, conflicts, s, counters)
+                    .into_iter()
+                    .map(|(next, firing)| (firing, next)),
+            );
+            Ok(())
         },
+    )
+    .map_err(GpoError::Engine)?;
+    let (result, exhausted) = match outcome {
+        Outcome::Complete(r) => (r, None),
+        Outcome::Partial {
+            result,
+            reason,
+            coverage,
+        } => (result, Some((reason, coverage))),
+    };
+    Ok(Explored {
+        pred: first_reach_tree(&result.succ),
+        blocked: result.deadlocks.iter().map(|&d| d as usize).collect(),
+        states: result.states,
+        exhausted,
     })
+}
+
+/// Rebuilds parent pointers from the recorded edge lists by breadth-first
+/// search from the initial state: every discovered state was first reached
+/// over some recorded edge, so the tree spans all of them.
+fn first_reach_tree(succ: &[Vec<(Firing, u32)>]) -> Vec<Option<(usize, Firing)>> {
+    let mut pred: Vec<Option<(usize, Firing)>> = vec![None; succ.len()];
+    let mut seen = vec![false; succ.len()];
+    if seen.is_empty() {
+        return pred;
+    }
+    seen[0] = true;
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(cur) = queue.pop_front() {
+        for (firing, dst) in &succ[cur] {
+            let d = *dst as usize;
+            if !seen[d] {
+                seen[d] = true;
+                pred[d] = Some((cur, firing.clone()));
+                queue.push_back(d);
+            }
+        }
+    }
+    pred
+}
+
+/// Materializes witness markings (and their projected classical traces)
+/// from the blocked states, canonically: collect up to the budget per
+/// blocked state, order by witness marking, keep the first
+/// `max_witnesses`. The blocked-state *set* does not depend on the
+/// exploration order, so every thread count reports the same witnesses.
+fn extract_witnesses<F: SetFamily>(
+    net: &PetriNet,
+    explored: &Explored<F>,
+    max_witnesses: usize,
+    report: &mut GpoReport,
+) {
+    if max_witnesses == 0 {
+        return;
+    }
+    let mut blocked = explored.blocked.clone();
+    blocked.sort_unstable();
+    let mut candidates: Vec<(Marking, usize)> = Vec::new();
+    for &i in &blocked {
+        let s = &explored.states[i];
+        for v in crate::semantics::blocked_histories(net, s).some_sets(max_witnesses) {
+            candidates.push((s.marking_of_history(net, &v), i));
+        }
+    }
+    candidates.sort_by(|a, b| a.0.cmp(&b.0));
+    candidates.truncate(max_witnesses);
+    for (witness, i) in candidates {
+        let s = &explored.states[i];
+        let Some(v) = history_of_witness(net, s, &witness) else {
+            continue;
+        };
+        report
+            .deadlock_traces
+            .push(project_trace(net, &explored.states, &explored.pred, i, &v));
+        report.deadlock_witnesses.push(witness);
+    }
 }
 
 /// How a state was produced from its parent.
@@ -356,17 +561,19 @@ fn coverage_hit<F: SetFamily>(
         .map(|v| s.marking_of_history(net, v))
 }
 
-/// Expands one state per the §3.3 algorithm, updating deadlock bookkeeping.
+/// Expands one state per the §3.3 algorithm. Returning no successors means
+/// the deadlock-possibility check fired (callers record the state as
+/// blocked; witnesses are extracted post-hoc so the expansion can run from
+/// any worker thread without shared mutable report state).
 fn expand<F: SetFamily>(
     net: &PetriNet,
     conflicts: &ConflictInfo,
     s: &GpnState<F>,
-    report: &mut GpoReport,
-    opts: &GpoOptions,
+    counters: &Counters,
 ) -> Vec<(GpnState<F>, Firing)> {
     let n = net.transition_count();
     let s_en: Vec<F> = s_enabled_all(net, conflicts, s);
-    report.enabling_computed += n;
+    counters.computed(n);
 
     // deadlock possibility: ∪ s_enabled ≠ r
     let live = s_en
@@ -383,20 +590,11 @@ fn expand<F: SetFamily>(
         Some(l) => s.valid().difference(l),
     };
     if !blocked.is_empty() {
-        report.deadlock_possible = true;
-        if report.deadlock_witnesses.len() < opts.max_witnesses {
-            let budget = opts.max_witnesses - report.deadlock_witnesses.len();
-            for v in blocked.some_sets(budget) {
-                report
-                    .deadlock_witnesses
-                    .push(s.marking_of_history(net, &v));
-            }
-        }
         return Vec::new(); // the paper's algorithm does not expand further
     }
 
     let m_en: Vec<F> = m_enabled_all(net, conflicts, s);
-    report.enabling_computed += n;
+    counters.computed(n);
 
     // candidate MCS search: per cluster, the multiple-enabled part, which
     // must cover every single-enabled member of the cluster
@@ -423,17 +621,17 @@ fn expand<F: SetFamily>(
         // the seed recomputed every enabling family inside multiple_update;
         // passing s_en/m_en down saves those n evaluations per call
         let next = multiple_update_with(net, s, &union, &s_en, &m_en);
-        report.enabling_reused += n;
-        if preserves_enabledness(net, &s_en, &m_en, &union, &next, report) {
-            report.multiple_firings += 1;
+        counters.reused(n);
+        if preserves_enabledness(net, &s_en, &m_en, &union, &next, counters) {
+            counters.multiple_firings.fetch_add(1, Ordering::Relaxed);
             return vec![(next, Firing::Multiple(union))];
         }
         // union failed: try candidates one at a time, keep the first valid
         for cand in &candidates {
             let next = multiple_update_with(net, s, cand, &s_en, &m_en);
-            report.enabling_reused += n;
-            if preserves_enabledness(net, &s_en, &m_en, cand, &next, report) {
-                report.multiple_firings += 1;
+            counters.reused(n);
+            if preserves_enabledness(net, &s_en, &m_en, cand, &next, counters) {
+                counters.multiple_firings.fetch_add(1, Ordering::Relaxed);
                 return vec![(next, Firing::Multiple(cand.clone()))];
             }
         }
@@ -447,8 +645,10 @@ fn expand<F: SetFamily>(
         .collect();
     for cluster in conflicts.clusters() {
         if cluster.len() > 1 && cluster.iter().all(|t| !s_en[t.index()].is_empty()) {
-            report.single_firings += cluster.len();
-            report.enabling_reused += cluster.len();
+            counters
+                .single_firings
+                .fetch_add(cluster.len(), Ordering::Relaxed);
+            counters.reused(cluster.len());
             return cluster
                 .iter()
                 .map(|&t| {
@@ -460,8 +660,10 @@ fn expand<F: SetFamily>(
                 .collect();
         }
     }
-    report.single_firings += single_enabled.len();
-    report.enabling_reused += single_enabled.len();
+    counters
+        .single_firings
+        .fetch_add(single_enabled.len(), Ordering::Relaxed);
+    counters.reused(single_enabled.len());
     single_enabled
         .iter()
         .map(|&t| {
@@ -484,7 +686,7 @@ fn preserves_enabledness<F: SetFamily>(
     m_en: &[F],
     fired: &[TransitionId],
     next: &GpnState<F>,
-    report: &mut GpoReport,
+    counters: &Counters,
 ) -> bool {
     net.transitions().all(|u| {
         if fired.contains(&u) {
@@ -492,13 +694,13 @@ fn preserves_enabledness<F: SetFamily>(
         }
         let i = u.index();
         if !s_en[i].is_empty() {
-            report.enabling_computed += 1;
+            counters.computed(1);
             if s_enabled(net, next, u).is_empty() {
                 return false;
             }
         }
         if !m_en[i].is_empty() {
-            report.enabling_computed += 1;
+            counters.computed(1);
             if m_enabled(net, next, u).is_empty() {
                 return false;
             }
@@ -673,6 +875,95 @@ mod tests {
     fn throughput_counter_populated() {
         let report = analyze(&models::nsdp(3)).unwrap();
         assert!(report.states_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn parallel_threads_match_serial() {
+        // the acceptance criterion of the concurrent-manager refactor:
+        // same states, verdicts, witnesses, and work counters for every
+        // thread count, under both representations
+        for net in [
+            models::figures::fig2(5),
+            models::figures::fig7(),
+            models::nsdp(3),
+            models::readers_writers(4),
+        ] {
+            for repr in [Representation::Explicit, Representation::Zdd] {
+                let base = GpoOptions {
+                    representation: repr,
+                    max_witnesses: 2,
+                    ..Default::default()
+                };
+                let serial = analyze_with(&net, &base).unwrap();
+                for threads in [2usize, 8] {
+                    let par = analyze_with(
+                        &net,
+                        &GpoOptions {
+                            threads,
+                            ..base.clone()
+                        },
+                    )
+                    .unwrap();
+                    let tag = format!("{} {repr:?} threads={threads}", net.name());
+                    assert_eq!(par.state_count, serial.state_count, "{tag}");
+                    assert_eq!(par.deadlock_possible, serial.deadlock_possible, "{tag}");
+                    assert_eq!(par.valid_set_count, serial.valid_set_count, "{tag}");
+                    assert_eq!(par.deadlock_witnesses, serial.deadlock_witnesses, "{tag}");
+                    assert_eq!(par.multiple_firings, serial.multiple_firings, "{tag}");
+                    assert_eq!(par.single_firings, serial.single_firings, "{tag}");
+                    assert_eq!(par.enabling_computed, serial.enabling_computed, "{tag}");
+                    assert_eq!(par.enabling_reused, serial.enabling_reused, "{tag}");
+                    assert_eq!(par.peak_footprint, serial.peak_footprint, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_traces_replay_to_their_witnesses() {
+        let net = models::nsdp(3);
+        let report = analyze_with(
+            &net,
+            &GpoOptions {
+                threads: 4,
+                max_witnesses: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            report.deadlock_traces.len(),
+            report.deadlock_witnesses.len()
+        );
+        for (trace, witness) in report
+            .deadlock_traces
+            .iter()
+            .zip(&report.deadlock_witnesses)
+        {
+            let reached = net
+                .fire_sequence(net.initial_marking(), trace.iter().copied())
+                .expect("safe")
+                .expect("fireable");
+            assert_eq!(&reached, witness);
+        }
+    }
+
+    #[test]
+    fn zdd_counters_populated_only_for_zdd_runs() {
+        let z = analyze_with(
+            &models::nsdp(3),
+            &GpoOptions {
+                representation: Representation::Zdd,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(z.zdd_nodes_allocated > 0);
+        assert!(z.unique_hits > 0, "hash-consing never hit");
+        let e = analyze(&models::nsdp(3)).unwrap();
+        assert_eq!(e.zdd_nodes_allocated, 0);
+        assert_eq!(e.unique_hits, 0);
+        assert_eq!(e.op_cache_hits, 0);
     }
 
     #[test]

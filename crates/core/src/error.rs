@@ -13,6 +13,9 @@ pub enum GpoError {
     ValidSetsTooLarge(usize),
     /// Exploration exceeded the configured state limit.
     StateLimit(usize),
+    /// The parallel frontier engine failed (a worker panicked or the
+    /// dense state-id space overflowed).
+    Engine(petri::NetError),
 }
 
 impl fmt::Display for GpoError {
@@ -28,11 +31,19 @@ impl fmt::Display for GpoError {
                     "state limit of {n} GPN states exceeded during exploration"
                 )
             }
+            GpoError::Engine(e) => write!(f, "parallel exploration failed: {e}"),
         }
     }
 }
 
-impl Error for GpoError {}
+impl Error for GpoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpoError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

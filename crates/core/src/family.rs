@@ -12,22 +12,35 @@
 //! The generalized analysis is generic over this trait; the `ablation_family`
 //! benchmark compares the two.
 
-use std::cell::RefCell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use petri::BitSet;
-use symbolic::{Zdd, ZddRef, ZDD_EMPTY, ZDD_UNIT};
+use symbolic::{ConcurrentZdd, ZddRef, ZDD_EMPTY, ZDD_UNIT};
+
+/// Allocation and caching statistics of a family representation's backing
+/// store, reported by [`SetFamily::context_stats`]. All zeros for
+/// representations that track nothing (the explicit family).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FamilyStats {
+    /// Total decision-diagram nodes allocated by the context.
+    pub nodes_allocated: u64,
+    /// Node requests answered from the hash-consing unique table.
+    pub unique_hits: u64,
+    /// Algebra operations answered from the memo caches.
+    pub op_cache_hits: u64,
+}
 
 /// Operations a family-of-transition-sets representation must support.
 ///
 /// A family is a set of transition sets over a fixed universe of `|T|`
 /// transitions. All binary operations require both operands to come from
 /// the same [context](SetFamily::Context).
-pub trait SetFamily: Clone + Eq + Hash + fmt::Debug {
-    /// Shared construction context (e.g. a decision-diagram manager).
-    type Context: Clone;
+pub trait SetFamily: Clone + Eq + Hash + fmt::Debug + Send + Sync {
+    /// Shared construction context (e.g. a decision-diagram manager),
+    /// shareable across the worker threads of a parallel exploration.
+    type Context: Clone + Send + Sync;
 
     /// Creates the context for a universe of `universe` transitions.
     fn new_context(universe: usize) -> Self::Context;
@@ -95,6 +108,12 @@ pub trait SetFamily: Clone + Eq + Hash + fmt::Debug {
     /// for the explicit family, live nodes for the ZDD) — used by the
     /// ablation benchmarks.
     fn footprint(&self) -> usize;
+
+    /// Allocation/caching statistics of the backing store, if the
+    /// representation tracks any (ZDD manager counters; zeros otherwise).
+    fn context_stats(_ctx: &Self::Context) -> FamilyStats {
+        FamilyStats::default()
+    }
 }
 
 /// Canonical explicit family: a sorted, deduplicated `Vec<BitSet>`.
@@ -267,10 +286,13 @@ impl SetFamily for ExplicitFamily {
     }
 }
 
-/// A family backed by a shared ZDD manager.
+/// A family backed by a shared concurrent ZDD manager.
 ///
 /// All families of one analysis share the manager, so equality and hashing
-/// reduce to node-id comparison (ZDDs are canonical).
+/// reduce to node-id comparison (ZDDs are canonical — including across
+/// threads, because [`ConcurrentZdd`] hash-conses nodes under sharded
+/// locks). The `Arc` context makes `ZddFamily: Send + Sync`, which is what
+/// lets the generalized analysis ride the parallel frontier engine.
 ///
 /// # Examples
 ///
@@ -287,7 +309,7 @@ impl SetFamily for ExplicitFamily {
 /// ```
 #[derive(Clone)]
 pub struct ZddFamily {
-    mgr: Rc<RefCell<Zdd>>,
+    mgr: Arc<ConcurrentZdd>,
     node: ZddRef,
     universe: usize,
 }
@@ -295,7 +317,7 @@ pub struct ZddFamily {
 impl PartialEq for ZddFamily {
     fn eq(&self, other: &Self) -> bool {
         debug_assert!(
-            Rc::ptr_eq(&self.mgr, &other.mgr),
+            Arc::ptr_eq(&self.mgr, &other.mgr),
             "comparing families from different managers"
         );
         self.node == other.node
@@ -318,23 +340,21 @@ impl fmt::Debug for ZddFamily {
 }
 
 impl SetFamily for ZddFamily {
-    type Context = Rc<RefCell<Zdd>>;
+    type Context = Arc<ConcurrentZdd>;
 
     fn new_context(universe: usize) -> Self::Context {
-        Rc::new(RefCell::new(Zdd::new(universe)))
+        Arc::new(ConcurrentZdd::new(universe))
     }
 
     fn from_sets(ctx: &Self::Context, universe: usize, sets: &[BitSet]) -> Self {
-        let mut mgr = ctx.borrow_mut();
         let mut node = ZDD_EMPTY;
         for s in sets {
             let elems: Vec<usize> = s.iter().collect();
-            let one = mgr.singleton(&elems);
-            node = mgr.union(node, one);
+            let one = ctx.singleton(&elems);
+            node = ctx.union(node, one);
         }
-        drop(mgr);
         ZddFamily {
-            mgr: Rc::clone(ctx),
+            mgr: Arc::clone(ctx),
             node,
             universe,
         }
@@ -342,48 +362,43 @@ impl SetFamily for ZddFamily {
 
     fn empty(ctx: &Self::Context, universe: usize) -> Self {
         ZddFamily {
-            mgr: Rc::clone(ctx),
+            mgr: Arc::clone(ctx),
             node: ZDD_EMPTY,
             universe,
         }
     }
 
     fn union(&self, other: &Self) -> Self {
-        let node = self.mgr.borrow_mut().union(self.node, other.node);
-        self.with_node(node)
+        self.with_node(self.mgr.union(self.node, other.node))
     }
 
     fn intersect(&self, other: &Self) -> Self {
-        let node = self.mgr.borrow_mut().intersect(self.node, other.node);
-        self.with_node(node)
+        self.with_node(self.mgr.intersect(self.node, other.node))
     }
 
     fn difference(&self, other: &Self) -> Self {
-        let node = self.mgr.borrow_mut().diff(self.node, other.node);
-        self.with_node(node)
+        self.with_node(self.mgr.diff(self.node, other.node))
     }
 
     fn onset(&self, t: usize) -> Self {
-        let node = self.mgr.borrow_mut().onset(self.node, t);
-        self.with_node(node)
+        self.with_node(self.mgr.onset(self.node, t))
     }
 
     fn is_empty(&self) -> bool {
-        self.mgr.borrow().is_empty(self.node)
+        self.mgr.is_empty(self.node)
     }
 
     fn count(&self) -> u64 {
-        self.mgr.borrow().count(self.node) as u64
+        u64::try_from(self.mgr.count(self.node)).unwrap_or(u64::MAX)
     }
 
     fn contains(&self, set: &BitSet) -> bool {
         let elems: Vec<usize> = set.iter().collect();
-        self.mgr.borrow().contains_set(self.node, &elems)
+        self.mgr.contains_set(self.node, &elems)
     }
 
     fn sets(&self) -> Vec<BitSet> {
         self.mgr
-            .borrow()
             .sets(self.node)
             .into_iter()
             .map(|s| BitSet::from_iter_with_capacity(self.universe, s))
@@ -391,24 +406,22 @@ impl SetFamily for ZddFamily {
     }
 
     fn footprint(&self) -> usize {
-        self.mgr.borrow().size(self.node)
+        self.mgr.size(self.node)
     }
 
     fn from_choice_groups(ctx: &Self::Context, universe: usize, groups: &[Vec<BitSet>]) -> Self {
-        let mut mgr = ctx.borrow_mut();
         let mut node = ZDD_UNIT;
         for group in groups {
             let mut alt = ZDD_EMPTY;
             for pick in group {
                 let elems: Vec<usize> = pick.iter().collect();
-                let one = mgr.singleton(&elems);
-                alt = mgr.union(alt, one);
+                let one = ctx.singleton(&elems);
+                alt = ctx.union(alt, one);
             }
-            node = mgr.join(node, alt);
+            node = ctx.join(node, alt);
         }
-        drop(mgr);
         ZddFamily {
-            mgr: Rc::clone(ctx),
+            mgr: Arc::clone(ctx),
             node,
             universe,
         }
@@ -416,18 +429,25 @@ impl SetFamily for ZddFamily {
 
     fn some_sets(&self, k: usize) -> Vec<BitSet> {
         self.mgr
-            .borrow()
             .some_sets(self.node, k)
             .into_iter()
             .map(|s| BitSet::from_iter_with_capacity(self.universe, s))
             .collect()
+    }
+
+    fn context_stats(ctx: &Self::Context) -> FamilyStats {
+        FamilyStats {
+            nodes_allocated: ctx.allocated_nodes() as u64,
+            unique_hits: ctx.unique_hits(),
+            op_cache_hits: ctx.op_cache_hits(),
+        }
     }
 }
 
 impl ZddFamily {
     fn with_node(&self, node: ZddRef) -> Self {
         ZddFamily {
-            mgr: Rc::clone(&self.mgr),
+            mgr: Arc::clone(&self.mgr),
             node,
             universe: self.universe,
         }
@@ -532,6 +552,32 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(a);
         assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn families_are_send_and_sync() {
+        // the PR's acceptance criterion: ZddFamily (and its context) can
+        // cross thread boundaries, so the GPO engine can parallelize
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExplicitFamily>();
+        assert_send_sync::<ZddFamily>();
+        assert_send_sync::<<ZddFamily as SetFamily>::Context>();
+    }
+
+    #[test]
+    fn zdd_context_stats_track_allocation() {
+        let u = 4;
+        let ctx = ZddFamily::new_context(u);
+        assert_eq!(ZddFamily::context_stats(&ctx).nodes_allocated, 2);
+        let a = ZddFamily::from_sets(&ctx, u, &[bs(u, &[0, 2]), bs(u, &[1])]);
+        let b = ZddFamily::from_sets(&ctx, u, &[bs(u, &[1]), bs(u, &[0, 2])]);
+        assert_eq!(a, b);
+        let stats = ZddFamily::context_stats(&ctx);
+        assert!(stats.nodes_allocated > 2);
+        assert!(stats.unique_hits > 0, "rebuild hits the unique table");
+        let _ = a.union(&b);
+        let _ = a.union(&b);
+        assert!(ZddFamily::context_stats(&ctx).op_cache_hits >= 1);
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod state;
 
 pub use analysis::{analyze, analyze_bounded, analyze_with, GpoOptions, GpoReport, Representation};
 pub use error::GpoError;
-pub use family::{ExplicitFamily, SetFamily, ZddFamily};
+pub use family::{ExplicitFamily, FamilyStats, SetFamily, ZddFamily};
 pub use semantics::{
     blocked_histories, deadlock_possible, m_enabled, m_enabled_all, multiple_update,
     multiple_update_with, s_enabled, s_enabled_all, single_update, single_update_with,

@@ -148,6 +148,15 @@ impl<F: SetFamily> GpnState<F> {
     }
 }
 
+/// GPN states ride the generic parallel frontier engine directly; the
+/// byte estimate reuses the representation footprint the serial loop
+/// already accounts with.
+impl<F: SetFamily> petri::parallel::FrontierState for GpnState<F> {
+    fn approx_bytes(&self) -> usize {
+        self.footprint()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,7 @@
 //!   --timeout=SECS                 wall-clock budget for the exploration
 //!   --mem-limit=MB                 approximate memory budget
 //!   --witnesses=K                  deadlock witness markings to print (default: 1)
-//!   --threads=N                    worker threads for the full/po engines
+//!   --threads=N                    worker threads for the full/po/gpo engines
 //!   <net> is a file in the `.net` text format, or `-` for stdin
 //! ```
 //!
@@ -131,7 +131,7 @@ options:
   --timeout=SECS               wall-clock budget for the exploration
   --mem-limit=MB               approximate memory budget for stored states
   --witnesses=K                deadlock witnesses to print (default: 1)
-  --threads=N                  worker threads for the full/po engines
+  --threads=N                  worker threads for the full/po/gpo engines
                                (default: available parallelism)
 
 exit codes (julie check):
@@ -348,6 +348,7 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
                     Representation::Explicit
                 },
                 max_witnesses: witnesses,
+                threads,
                 coverage_query: Vec::new(),
             };
             let outcome = analyze_bounded(net, &opts, &budget).map_err(|e| e.to_string())?;
@@ -356,6 +357,12 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
             let report = outcome.into_value();
             println!("GPN states: {}", report.state_count);
             println!("valid sets |r0|: {}", report.valid_set_count);
+            if report.zdd_nodes_allocated > 0 {
+                println!(
+                    "zdd: {} nodes allocated, {} unique-table hits, {} op-cache hits",
+                    report.zdd_nodes_allocated, report.unique_hits, report.op_cache_hits
+                );
+            }
             let verdict = Verdict::from_observation(report.deadlock_possible, complete, frontier);
             report_verdict(verdict);
             for (i, w) in report.deadlock_witnesses.iter().enumerate() {

@@ -126,6 +126,30 @@ fn check_gpo_zdd_flag_works() {
     let out = julie_stdin(&["check", "-", "--engine=gpo", "--zdd"], STUCK);
     assert_eq!(out.status.code(), Some(1), "deadlock exits 1");
     assert!(stdout(&out).contains("DEADLOCK possible"));
+    assert!(
+        stdout(&out).contains("zdd: "),
+        "shared-manager counters shown: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn check_gpo_threads_flag_works() {
+    for extra in [&["--threads=2"][..], &["--zdd", "--threads=2"][..]] {
+        let mut args = vec!["check", "-", "--engine=gpo"];
+        args.extend_from_slice(extra);
+        let out = julie_stdin(&args, STUCK);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{extra:?}: deadlock exits 1: {}",
+            stderr(&out)
+        );
+        assert!(stdout(&out).contains("DEADLOCK possible"), "{extra:?}");
+    }
+    let live = julie_stdin(&["check", "-", "--engine=gpo", "--threads=4"], CYCLE);
+    assert_eq!(live.status.code(), Some(0), "verified exits 0");
+    assert!(stdout(&live).contains("deadlock-free"));
 }
 
 #[test]

@@ -120,7 +120,7 @@ impl ReducedReachability {
     ) -> Result<Outcome<Self>, NetError> {
         let start = Instant::now();
         let budget = budget.clone().cap_states(opts.max_states);
-        let stubborn = StubbornSets::new(net, opts.strategy);
+        let stubborn = StubbornSets::new_with_threads(net, opts.strategy, opts.threads.max(1));
 
         if opts.threads.max(1) > 1 {
             // the spread fills the cfg-gated fault-injection field in test builds

@@ -75,6 +75,18 @@ impl<'net> StubbornSets<'net> {
         }
     }
 
+    /// Like [`StubbornSets::new`], but precomputes the dependency tables
+    /// with `threads` workers (see [`Dependencies::new_with_threads`]);
+    /// the resulting closures are identical for every thread count.
+    pub fn new_with_threads(net: &'net PetriNet, strategy: SeedStrategy, threads: usize) -> Self {
+        StubbornSets {
+            net,
+            deps: Dependencies::new_with_threads(net, threads),
+            conflicts: ConflictInfo::new(net),
+            strategy,
+        }
+    }
+
     /// The seed strategy in use.
     pub fn strategy(&self) -> SeedStrategy {
         self.strategy

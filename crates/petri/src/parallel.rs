@@ -43,6 +43,14 @@
 //! state **ids may permute** between runs because discovery order races.
 //! Callers that need reproducible ids use one thread (the engines run
 //! their exact historical serial loop in that case).
+//!
+//! # Genericity
+//!
+//! The engine is generic over the explored state type (anything
+//! implementing [`FrontierState`]) and the edge label type, defaulting to
+//! classical [`Marking`]s labelled by [`TransitionId`]s. The generalized
+//! partial-order engine instantiates it with GPN states labelled by firing
+//! records — same queue, same budget governance, same panic safety.
 
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{HashMap, VecDeque};
@@ -70,6 +78,19 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// A state type the frontier engine can explore: hashable for the sharded
+/// index, thread-crossing, and byte-accountable for the memory budget.
+pub trait FrontierState: Clone + Eq + Hash + Send + Sync {
+    /// Approximate heap bytes of one state, for [`Budget`] accounting.
+    fn approx_bytes(&self) -> usize;
+}
+
+impl FrontierState for Marking {
+    fn approx_bytes(&self) -> usize {
+        Marking::approx_bytes(self)
+    }
 }
 
 /// Acquires a mutex even if a panicking worker poisoned it. Sound here
@@ -118,12 +139,12 @@ impl Default for FrontierOptions {
 /// is genuinely reachable, but only expanded states have their successors
 /// (and deadlock classification) recorded.
 #[derive(Debug)]
-pub struct FrontierResult {
-    /// Every discovered marking, indexed by state id.
-    pub states: Vec<Marking>,
+pub struct FrontierResult<St = Marking, L = TransitionId> {
+    /// Every discovered state, indexed by state id.
+    pub states: Vec<St>,
     /// Labelled outgoing edges per state id; empty unless
     /// [`FrontierOptions::record_edges`] was set.
-    pub succ: Vec<Vec<(TransitionId, u32)>>,
+    pub succ: Vec<Vec<(L, u32)>>,
     /// Ids of expanded states with no successors, in increasing id order.
     pub deadlocks: Vec<u32>,
     /// Total number of fired transitions (edges), recorded or not.
@@ -146,20 +167,22 @@ pub struct FrontierResult {
 ///
 /// Propagates the first callback error, or [`NetError::WorkerPanicked`]
 /// if a worker thread panicked (all other workers are joined first).
-pub fn explore_frontier<S>(
-    initial: Marking,
+pub fn explore_frontier<St, L, S>(
+    initial: St,
     opts: &FrontierOptions,
     successors: S,
-) -> Result<Outcome<FrontierResult>, NetError>
+) -> Result<Outcome<FrontierResult<St, L>>, NetError>
 where
-    S: Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync,
+    St: FrontierState,
+    L: Send,
+    S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
 {
     let start = Instant::now();
     let threads = opts.threads.max(2);
     let shard_count = (threads * 8).next_power_of_two();
 
     let initial_bytes = initial.approx_bytes() + STATE_OVERHEAD_BYTES;
-    let shards: Vec<Mutex<HashMap<Marking, u32>>> = (0..shard_count)
+    let shards: Vec<Mutex<HashMap<St, u32>>> = (0..shard_count)
         .map(|_| Mutex::new(HashMap::new()))
         .collect();
     lock_ignore_poison(&shards[shard_of(&initial, shard_count - 1)]).insert(initial.clone(), 0);
@@ -187,7 +210,7 @@ where
         dequeued: AtomicUsize::new(0),
     };
 
-    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+    let outs: Vec<WorkerOut<L>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| scope.spawn(|| worker(&shared)))
             .collect();
@@ -219,13 +242,17 @@ where
     // recovers markings that were discovered but never expanded, which is
     // exactly what a budget-limited partial run leaves on the frontier
     let state_count = shared.next_id.load(Ordering::Relaxed) as usize;
-    let mut states = vec![Marking::empty(0); state_count];
+    let mut slots: Vec<Option<St>> = (0..state_count).map(|_| None).collect();
     for shard in shared.shards {
         for (m, id) in shard.into_inner().unwrap_or_else(PoisonError::into_inner) {
-            states[id as usize] = m;
+            slots[id as usize] = Some(m);
         }
     }
-    let mut succ = vec![Vec::new(); state_count];
+    let states: Vec<St> = slots
+        .into_iter()
+        .map(|s| s.expect("every allocated id has a state in some shard"))
+        .collect();
+    let mut succ: Vec<Vec<(L, u32)>> = (0..state_count).map(|_| Vec::new()).collect();
     let mut deadlocks = Vec::new();
     let mut edge_count = 0;
     for out in outs {
@@ -261,8 +288,8 @@ where
     })
 }
 
-struct QueueState {
-    queue: VecDeque<(u32, Marking)>,
+struct QueueState<St> {
+    queue: VecDeque<(u32, St)>,
     /// States enqueued or currently being expanded; zero means complete.
     pending: usize,
     error: Option<NetError>,
@@ -270,9 +297,9 @@ struct QueueState {
     exhausted: Option<ExhaustionReason>,
 }
 
-struct Shared<'a, S> {
+struct Shared<'a, St, S> {
     successors: &'a S,
-    shards: Vec<Mutex<HashMap<Marking, u32>>>,
+    shards: Vec<Mutex<HashMap<St, u32>>>,
     shard_mask: usize,
     next_id: AtomicU32,
     stored: AtomicUsize,
@@ -280,7 +307,7 @@ struct Shared<'a, S> {
     expanded: AtomicUsize,
     budget: &'a Budget,
     record_edges: bool,
-    queue: Mutex<QueueState>,
+    queue: Mutex<QueueState<St>>,
     cv: Condvar,
     #[cfg(any(test, feature = "fault-injection"))]
     fault_after: Option<usize>,
@@ -288,14 +315,24 @@ struct Shared<'a, S> {
     dequeued: AtomicUsize,
 }
 
-#[derive(Default)]
-struct WorkerOut {
-    edges: Vec<(u32, TransitionId, u32)>,
+struct WorkerOut<L> {
+    edges: Vec<(u32, L, u32)>,
     deadlocks: Vec<u32>,
     edge_count: usize,
 }
 
-fn shard_of(m: &Marking, mask: usize) -> usize {
+// not derived: `#[derive(Default)]` would needlessly require `L: Default`
+impl<L> Default for WorkerOut<L> {
+    fn default() -> Self {
+        WorkerOut {
+            edges: Vec::new(),
+            deadlocks: Vec::new(),
+            edge_count: 0,
+        }
+    }
+}
+
+fn shard_of<St: Hash>(m: &St, mask: usize) -> usize {
     let mut h = DefaultHasher::new();
     m.hash(&mut h);
     (h.finish() as usize) & mask
@@ -304,9 +341,11 @@ fn shard_of(m: &Marking, mask: usize) -> usize {
 /// Panic-isolating wrapper: any panic escaping the worker body is recorded
 /// as [`NetError::WorkerPanicked`] and broadcast so the remaining workers
 /// drain instead of waiting forever on the condvar.
-fn worker<S>(shared: &Shared<'_, S>) -> WorkerOut
+fn worker<St, L, S>(shared: &Shared<'_, St, S>) -> WorkerOut<L>
 where
-    S: Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync,
+    St: FrontierState,
+    L: Send,
+    S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
 {
     match catch_unwind(AssertUnwindSafe(|| worker_inner(shared))) {
         Ok(out) => out,
@@ -319,13 +358,15 @@ where
     }
 }
 
-fn worker_inner<S>(shared: &Shared<'_, S>) -> WorkerOut
+fn worker_inner<St, L, S>(shared: &Shared<'_, St, S>) -> WorkerOut<L>
 where
-    S: Fn(&Marking, &mut Vec<(TransitionId, Marking)>) -> Result<(), NetError> + Sync,
+    St: FrontierState,
+    L: Send,
+    S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
 {
     let mut out = WorkerOut::default();
-    let mut succs: Vec<(TransitionId, Marking)> = Vec::new();
-    let mut newly: Vec<(u32, Marking)> = Vec::new();
+    let mut succs: Vec<(L, St)> = Vec::new();
+    let mut newly: Vec<(u32, St)> = Vec::new();
     loop {
         let (sid, marking) = {
             let mut q = lock_ignore_poison(&shared.queue);

@@ -1,0 +1,725 @@
+//! A thread-safe ZDD manager for concurrent set-family algebra.
+//!
+//! [`ConcurrentZdd`] is the `Send + Sync` sibling of the serial [`Zdd`]
+//! manager: the same canonical zero-suppressed node structure, the same
+//! operations, but every method takes `&self` so one manager can be shared
+//! across worker threads (e.g. behind an `Arc` by the generalized
+//! partial-order engine's parallel frontier).
+//!
+//! # Design
+//!
+//! The node store is split into `2^k` **shards**. Each shard owns
+//!
+//! * an append-only node **arena** (`RwLock<Vec<Node>>`) — nodes are never
+//!   mutated after insertion, so readers only take the cheap read lock;
+//! * a **unique table** (`Mutex<HashMap<(var, lo, hi), ZddRef>>`) — the
+//!   hash-consing map that guarantees canonicity;
+//! * an **op cache** (`Mutex<HashMap<(Op, f, g), ZddRef>>`) memoizing
+//!   union / intersect / diff / join results.
+//!
+//! A node's shard is chosen by hashing its `(var, lo, hi)` key, so *every*
+//! thread constructing a structurally equal node lands on the same shard
+//! and receives the same [`ZddRef`] — canonicity (and therefore O(1)
+//! structural equality) holds across threads by construction. Node ids
+//! encode `shard << 28 | index-within-shard`; shard 0 pre-seeds the two
+//! terminals so [`ZDD_EMPTY`] (id 0) and [`ZDD_UNIT`] (id 1) keep their
+//! global meaning.
+//!
+//! The whole design is safe Rust (`#![forbid(unsafe_code)]` stands): no
+//! hand-rolled atomics over packed nodes, just fine-grained locking that
+//! is uncontended in practice because operations on distinct sub-diagrams
+//! hash to distinct shards.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
+
+use crate::zdd::{Node, Op, TERMINAL_VAR};
+use crate::{ZddRef, ZDD_EMPTY, ZDD_UNIT};
+
+/// log₂ of the shard count.
+const SHARD_BITS: u32 = 4;
+/// Number of unique-table / arena / op-cache shards.
+const SHARDS: usize = 1 << SHARD_BITS;
+/// Bits of a [`ZddRef`] holding the within-shard arena index.
+const INDEX_BITS: u32 = 32 - SHARD_BITS;
+/// Mask extracting the within-shard arena index.
+const INDEX_MASK: u32 = (1 << INDEX_BITS) - 1;
+
+/// Acquires a mutex even if another thread panicked while holding it; all
+/// critical sections below perform only non-panicking map/vec inserts, so
+/// the protected data is never torn.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Shard {
+    nodes: RwLock<Vec<Node>>,
+    unique: Mutex<HashMap<(u32, ZddRef, ZddRef), ZddRef>>,
+    cache: Mutex<HashMap<(Op, ZddRef, ZddRef), ZddRef>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            nodes: RwLock::new(Vec::new()),
+            unique: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// A sharded-lock, shareable ZDD manager (see the module docs).
+///
+/// Structurally equal families built through the same manager — from any
+/// thread — receive the same [`ZddRef`], exactly like the serial [`Zdd`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use symbolic::ConcurrentZdd;
+///
+/// let z = Arc::new(ConcurrentZdd::new(3));
+/// let refs: Vec<_> = std::thread::scope(|s| {
+///     (0..4)
+///         .map(|_| {
+///             let z = Arc::clone(&z);
+///             s.spawn(move || z.family(&[vec![0, 1], vec![2]]))
+///         })
+///         .collect::<Vec<_>>()
+///         .into_iter()
+///         .map(|h| h.join().unwrap())
+///         .collect()
+/// });
+/// assert!(refs.windows(2).all(|w| w[0] == w[1]), "canonical across threads");
+/// assert_eq!(z.count(refs[0]), 2);
+/// ```
+///
+/// [`Zdd`]: crate::Zdd
+pub struct ConcurrentZdd {
+    shards: Vec<Shard>,
+    nvars: u32,
+    unique_hits: AtomicU64,
+    op_cache_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for ConcurrentZdd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentZdd")
+            .field("nvars", &self.nvars)
+            .field("allocated_nodes", &self.allocated_nodes())
+            .field("unique_hits", &self.unique_hits())
+            .field("op_cache_hits", &self.op_cache_hits())
+            .finish()
+    }
+}
+
+impl ConcurrentZdd {
+    /// Creates a manager over elements `0..nvars`.
+    pub fn new(nvars: usize) -> Self {
+        let shards: Vec<Shard> = (0..SHARDS).map(|_| Shard::new()).collect();
+        // shard 0 owns the terminals at indices 0 and 1, so the shared
+        // ZDD_EMPTY / ZDD_UNIT constants keep their ids in this manager
+        {
+            let mut nodes = shards[0]
+                .nodes
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            nodes.push(Node {
+                var: TERMINAL_VAR,
+                lo: ZDD_EMPTY,
+                hi: ZDD_EMPTY,
+            });
+            nodes.push(Node {
+                var: TERMINAL_VAR,
+                lo: ZDD_UNIT,
+                hi: ZDD_UNIT,
+            });
+        }
+        ConcurrentZdd {
+            shards,
+            nvars: u32::try_from(nvars).expect("element count fits in u32"),
+            unique_hits: AtomicU64::new(0),
+            op_cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn var_count(&self) -> usize {
+        self.nvars as usize
+    }
+
+    /// Total nodes ever allocated (terminals included).
+    pub fn allocated_nodes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.nodes.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// How many [`mk`](Self::new) requests were answered from the unique
+    /// table instead of allocating a fresh node.
+    pub fn unique_hits(&self) -> u64 {
+        self.unique_hits.load(Ordering::Relaxed)
+    }
+
+    /// How many algebra operations were answered from the memo caches.
+    pub fn op_cache_hits(&self) -> u64 {
+        self.op_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Copies the node behind `f` out of its shard arena.
+    fn node(&self, f: ZddRef) -> Node {
+        let raw = f.raw();
+        let shard = (raw >> INDEX_BITS) as usize;
+        let idx = (raw & INDEX_MASK) as usize;
+        self.shards[shard]
+            .nodes
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)[idx]
+    }
+
+    fn var_of(&self, f: ZddRef) -> u32 {
+        self.node(f).var
+    }
+
+    fn key_shard(var: u32, lo: ZddRef, hi: ZddRef) -> usize {
+        let mut h = DefaultHasher::new();
+        (var, lo, hi).hash(&mut h);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+
+    /// Hash-conses a node, applying the zero-suppression rule. The arena
+    /// write happens under the shard's unique-table lock, so two threads
+    /// racing on the same key always agree on the winner's id.
+    fn mk(&self, var: u32, lo: ZddRef, hi: ZddRef) -> ZddRef {
+        if hi == ZDD_EMPTY {
+            return lo; // zero-suppression
+        }
+        let shard = &self.shards[Self::key_shard(var, lo, hi)];
+        let mut unique = lock_ignore_poison(&shard.unique);
+        if let Some(&r) = unique.get(&(var, lo, hi)) {
+            self.unique_hits.fetch_add(1, Ordering::Relaxed);
+            return r;
+        }
+        let idx = {
+            let mut nodes = shard.nodes.write().unwrap_or_else(PoisonError::into_inner);
+            nodes.push(Node { var, lo, hi });
+            nodes.len() - 1
+        };
+        assert!(
+            idx <= INDEX_MASK as usize,
+            "shard arena exceeds 2^{INDEX_BITS} nodes"
+        );
+        let r =
+            ZddRef::from_raw(((Self::key_shard(var, lo, hi) as u32) << INDEX_BITS) | idx as u32);
+        unique.insert((var, lo, hi), r);
+        r
+    }
+
+    fn cached(&self, op: Op, f: ZddRef, g: ZddRef) -> Option<ZddRef> {
+        let shard = &self.shards[Self::key_shard(op as u32, f, g)];
+        let r = lock_ignore_poison(&shard.cache).get(&(op, f, g)).copied();
+        if r.is_some() {
+            self.op_cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    fn remember(&self, op: Op, f: ZddRef, g: ZddRef, r: ZddRef) {
+        let shard = &self.shards[Self::key_shard(op as u32, f, g)];
+        lock_ignore_poison(&shard.cache).insert((op, f, g), r);
+    }
+
+    /// The family containing exactly one set (given as element indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is outside the universe.
+    pub fn singleton(&self, set: &[usize]) -> ZddRef {
+        let mut sorted: Vec<usize> = set.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut cur = ZDD_UNIT;
+        for &e in sorted.iter().rev() {
+            assert!((e as u32) < self.nvars, "element {e} out of universe");
+            cur = self.mk(e as u32, ZDD_EMPTY, cur);
+        }
+        cur
+    }
+
+    /// The family containing each of the given sets.
+    pub fn family(&self, sets: &[Vec<usize>]) -> ZddRef {
+        let mut acc = ZDD_EMPTY;
+        for s in sets {
+            let one = self.singleton(s);
+            acc = self.union(acc, one);
+        }
+        acc
+    }
+
+    fn cofactors(&self, f: ZddRef, var: u32) -> (ZddRef, ZddRef) {
+        let n = self.node(f);
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, ZDD_EMPTY)
+        }
+    }
+
+    /// Family union `f ∪ g`.
+    pub fn union(&self, f: ZddRef, g: ZddRef) -> ZddRef {
+        if f == g || g == ZDD_EMPTY {
+            return f;
+        }
+        if f == ZDD_EMPTY {
+            return g;
+        }
+        if let Some(r) = self.cached(Op::Union, f, g) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let top = vf.min(vg);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let lo = self.union(f0, g0);
+        let hi = self.union(f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.remember(Op::Union, f, g, r);
+        self.remember(Op::Union, g, f, r);
+        r
+    }
+
+    /// Family intersection `f ∩ g` (sets belonging to both families).
+    pub fn intersect(&self, f: ZddRef, g: ZddRef) -> ZddRef {
+        if f == g {
+            return f;
+        }
+        if f == ZDD_EMPTY || g == ZDD_EMPTY {
+            return ZDD_EMPTY;
+        }
+        if let Some(r) = self.cached(Op::Intersect, f, g) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let r = if vf == vg {
+            let (f0, f1) = self.cofactors(f, vf);
+            let (g0, g1) = self.cofactors(g, vf);
+            let lo = self.intersect(f0, g0);
+            let hi = self.intersect(f1, g1);
+            self.mk(vf, lo, hi)
+        } else if vf < vg {
+            // sets in f containing vf cannot be in g
+            let f0 = self.node(f).lo;
+            self.intersect(f0, g)
+        } else {
+            let g0 = self.node(g).lo;
+            self.intersect(f, g0)
+        };
+        self.remember(Op::Intersect, f, g, r);
+        self.remember(Op::Intersect, g, f, r);
+        r
+    }
+
+    /// Family difference `f \ g` (sets of `f` not in `g`).
+    pub fn diff(&self, f: ZddRef, g: ZddRef) -> ZddRef {
+        if f == ZDD_EMPTY || f == g {
+            return ZDD_EMPTY;
+        }
+        if g == ZDD_EMPTY {
+            return f;
+        }
+        if let Some(r) = self.cached(Op::Diff, f, g) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let r = if vf == vg {
+            let (f0, f1) = self.cofactors(f, vf);
+            let (g0, g1) = self.cofactors(g, vf);
+            let lo = self.diff(f0, g0);
+            let hi = self.diff(f1, g1);
+            self.mk(vf, lo, hi)
+        } else if vf < vg {
+            let node = self.node(f);
+            let lo = self.diff(node.lo, g);
+            self.mk(vf, lo, node.hi)
+        } else {
+            let g0 = self.node(g).lo;
+            self.diff(f, g0)
+        };
+        self.remember(Op::Diff, f, g, r);
+        r
+    }
+
+    /// The sub-family of sets **containing** element `e` (sets keep `e`).
+    pub fn onset(&self, f: ZddRef, e: usize) -> ZddRef {
+        self.onset_rec(f, e as u32)
+    }
+
+    fn onset_rec(&self, f: ZddRef, e: u32) -> ZddRef {
+        let v = self.var_of(f);
+        if v > e {
+            // e cannot occur below (vars increase downward)
+            return ZDD_EMPTY;
+        }
+        let n = self.node(f);
+        if v == e {
+            return self.mk(e, ZDD_EMPTY, n.hi);
+        }
+        let lo = self.onset_rec(n.lo, e);
+        let hi = self.onset_rec(n.hi, e);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// The sub-family of sets **not containing** element `e`.
+    pub fn offset(&self, f: ZddRef, e: usize) -> ZddRef {
+        self.offset_rec(f, e as u32)
+    }
+
+    fn offset_rec(&self, f: ZddRef, e: u32) -> ZddRef {
+        let v = self.var_of(f);
+        if v > e {
+            return f;
+        }
+        let n = self.node(f);
+        if v == e {
+            return n.lo;
+        }
+        let lo = self.offset_rec(n.lo, e);
+        let hi = self.offset_rec(n.hi, e);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// The cross-join `f ⊔ g = {a ∪ b | a ∈ f, b ∈ g}`.
+    pub fn join(&self, f: ZddRef, g: ZddRef) -> ZddRef {
+        if f == ZDD_EMPTY || g == ZDD_EMPTY {
+            return ZDD_EMPTY;
+        }
+        if f == ZDD_UNIT {
+            return g;
+        }
+        if g == ZDD_UNIT {
+            return f;
+        }
+        if let Some(r) = self.cached(Op::Join, f, g) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let top = vf.min(vg);
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        // sets with `top`: f1⊔g1 ∪ f1⊔g0 ∪ f0⊔g1; without: f0⊔g0
+        let a = self.join(f1, g1);
+        let b = self.join(f1, g0);
+        let c = self.join(f0, g1);
+        let hi = {
+            let ab = self.union(a, b);
+            self.union(ab, c)
+        };
+        let lo = self.join(f0, g0);
+        let r = self.mk(top, lo, hi);
+        self.remember(Op::Join, f, g, r);
+        self.remember(Op::Join, g, f, r);
+        r
+    }
+
+    /// Number of sets in the family, exact up to `u128::MAX` (saturating
+    /// beyond — a family over ≤ 128 elements can never saturate).
+    pub fn count(&self, f: ZddRef) -> u128 {
+        let mut cache: HashMap<ZddRef, u128> = HashMap::new();
+        self.count_rec(f, &mut cache)
+    }
+
+    /// Approximate set count as a float, for display of astronomically
+    /// large families (loses precision above 2⁵³).
+    pub fn count_f64(&self, f: ZddRef) -> f64 {
+        self.count(f) as f64
+    }
+
+    fn count_rec(&self, f: ZddRef, cache: &mut HashMap<ZddRef, u128>) -> u128 {
+        if f == ZDD_EMPTY {
+            return 0;
+        }
+        if f == ZDD_UNIT {
+            return 1;
+        }
+        if let Some(&c) = cache.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        let c = self
+            .count_rec(n.lo, cache)
+            .saturating_add(self.count_rec(n.hi, cache));
+        cache.insert(f, c);
+        c
+    }
+
+    /// `true` if `f` is the empty family.
+    pub fn is_empty(&self, f: ZddRef) -> bool {
+        f == ZDD_EMPTY
+    }
+
+    /// Membership test: is `set` one of the family's sets?
+    pub fn contains_set(&self, f: ZddRef, set: &[usize]) -> bool {
+        let mut sorted: Vec<u32> = set.iter().map(|&e| e as u32).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut cur = f;
+        let mut i = 0;
+        loop {
+            if cur == ZDD_EMPTY {
+                return false;
+            }
+            if cur == ZDD_UNIT {
+                return i == sorted.len();
+            }
+            let n = self.node(cur);
+            if i < sorted.len() && sorted[i] == n.var {
+                cur = n.hi;
+                i += 1;
+            } else if i < sorted.len() && sorted[i] < n.var {
+                return false; // required element cannot occur anymore
+            } else {
+                cur = n.lo;
+            }
+        }
+    }
+
+    /// Materializes every set of the family, each sorted ascending; the
+    /// family itself is returned in lexicographic order.
+    pub fn sets(&self, f: ZddRef) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.sets_rec(f, &mut prefix, &mut out);
+        out.sort();
+        out
+    }
+
+    fn sets_rec(&self, f: ZddRef, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if f == ZDD_EMPTY {
+            return;
+        }
+        if f == ZDD_UNIT {
+            out.push(prefix.clone());
+            return;
+        }
+        let n = self.node(f);
+        self.sets_rec(n.lo, prefix, out);
+        prefix.push(n.var as usize);
+        self.sets_rec(n.hi, prefix, out);
+        prefix.pop();
+    }
+
+    /// Materializes at most `k` sets of the family (depth-first order) —
+    /// cheap even when the family is astronomically large.
+    pub fn some_sets(&self, f: ZddRef, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.some_sets_rec(f, k, &mut prefix, &mut out);
+        out
+    }
+
+    fn some_sets_rec(
+        &self,
+        f: ZddRef,
+        k: usize,
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if out.len() >= k || f == ZDD_EMPTY {
+            return;
+        }
+        if f == ZDD_UNIT {
+            out.push(prefix.clone());
+            return;
+        }
+        let n = self.node(f);
+        self.some_sets_rec(n.lo, k, prefix, out);
+        if out.len() >= k {
+            return;
+        }
+        prefix.push(n.var as usize);
+        self.some_sets_rec(n.hi, k, prefix, out);
+        prefix.pop();
+    }
+
+    /// Number of distinct nodes reachable from `f` (terminals excluded).
+    pub fn size(&self, f: ZddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n == ZDD_EMPTY || n == ZDD_UNIT || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let node = self.node(n);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Zdd;
+    use std::sync::Arc;
+
+    /// A small zoo of families over a 6-element universe.
+    fn zoo() -> Vec<Vec<Vec<usize>>> {
+        vec![
+            vec![],
+            vec![vec![]],
+            vec![vec![0]],
+            vec![vec![0, 1], vec![2]],
+            vec![vec![1, 2], vec![0, 3], vec![5]],
+            vec![vec![0, 2, 4], vec![1, 3, 5], vec![], vec![2]],
+            vec![vec![0], vec![1], vec![2], vec![3], vec![4], vec![5]],
+        ]
+    }
+
+    #[test]
+    fn matches_serial_manager_on_the_algebra() {
+        // cross-equivalence pin: every op agrees with the serial Zdd
+        for a in zoo() {
+            for b in zoo() {
+                let mut s = Zdd::new(6);
+                let c = ConcurrentZdd::new(6);
+                let (sa, sb) = (s.family(&a), s.family(&b));
+                let (ca, cb) = (c.family(&a), c.family(&b));
+                let su = s.union(sa, sb);
+                assert_eq!(s.sets(su), c.sets(c.union(ca, cb)));
+                let si = s.intersect(sa, sb);
+                assert_eq!(s.sets(si), c.sets(c.intersect(ca, cb)));
+                let sd = s.diff(sa, sb);
+                assert_eq!(s.sets(sd), c.sets(c.diff(ca, cb)));
+                let sj = s.join(sa, sb);
+                assert_eq!(s.sets(sj), c.sets(c.join(ca, cb)));
+                assert_eq!(s.count(sa), c.count(ca));
+                for e in 0..6 {
+                    let (on, off) = (s.onset(sa, e), s.offset(sa, e));
+                    assert_eq!(s.sets(on), c.sets(c.onset(ca, e)));
+                    assert_eq!(s.sets(off), c.sets(c.offset(ca, e)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn terminals_keep_their_ids() {
+        let z = ConcurrentZdd::new(4);
+        assert!(z.is_empty(ZDD_EMPTY));
+        assert!(!z.is_empty(ZDD_UNIT));
+        assert_eq!(z.count(ZDD_EMPTY), 0);
+        assert_eq!(z.count(ZDD_UNIT), 1);
+        assert_eq!(z.allocated_nodes(), 2);
+        assert_eq!(z.family(&[vec![]]), ZDD_UNIT);
+    }
+
+    #[test]
+    fn canonicity_within_one_manager() {
+        let z = ConcurrentZdd::new(4);
+        let a = z.family(&[vec![0, 2], vec![1]]);
+        let b = {
+            let x = z.singleton(&[1]);
+            let y = z.singleton(&[2, 0]);
+            z.union(x, y)
+        };
+        assert_eq!(a, b, "same family ⇒ same node id");
+        assert!(z.unique_hits() > 0, "second build hit the unique table");
+    }
+
+    #[test]
+    fn canonicity_across_threads() {
+        // many threads build the same family; all must get the same id
+        let z = Arc::new(ConcurrentZdd::new(8));
+        let sets = vec![vec![0, 3], vec![1, 2], vec![4, 7], vec![5], vec![6, 0]];
+        let refs: Vec<ZddRef> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let z = Arc::clone(&z);
+                    let sets = sets.clone();
+                    scope.spawn(move || z.family(&sets))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(refs.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(z.count(refs[0]), 5);
+    }
+
+    #[test]
+    fn concurrent_algebra_is_linearizable() {
+        // threads race on overlapping operations; the final sets must be
+        // exactly what the serial manager computes
+        let z = Arc::new(ConcurrentZdd::new(10));
+        let results: Vec<Vec<Vec<usize>>> = std::thread::scope(|scope| {
+            (0..8usize)
+                .map(|i| {
+                    let z = Arc::clone(&z);
+                    scope.spawn(move || {
+                        let a = z.family(&[vec![i], vec![i, (i + 1) % 10]]);
+                        let b = z.family(&[vec![(i + 1) % 10], vec![i]]);
+                        let u = z.union(a, b);
+                        let d = z.diff(u, b);
+                        z.sets(z.join(d, ZDD_UNIT))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (i, got) in results.iter().enumerate() {
+            let mut s = Zdd::new(10);
+            let a = s.family(&[vec![i], vec![i, (i + 1) % 10]]);
+            let b = s.family(&[vec![(i + 1) % 10], vec![i]]);
+            let u = s.union(a, b);
+            let d = s.diff(u, b);
+            let j = s.join(d, ZDD_UNIT);
+            let want = s.sets(j);
+            assert_eq!(&want, got, "thread {i}");
+        }
+    }
+
+    #[test]
+    fn stats_counters_track_work() {
+        let z = ConcurrentZdd::new(6);
+        let a = z.family(&[vec![0, 1], vec![2, 3]]);
+        let b = z.family(&[vec![2, 3], vec![4, 5]]);
+        let u1 = z.union(a, b);
+        let u2 = z.union(a, b); // memoized
+        assert_eq!(u1, u2);
+        assert!(z.op_cache_hits() > 0);
+        assert!(z.allocated_nodes() > 2);
+        let before = z.allocated_nodes();
+        let _again = z.family(&[vec![0, 1], vec![2, 3]]);
+        assert_eq!(z.allocated_nodes(), before, "no new nodes for a rebuild");
+        assert!(z.unique_hits() > 0);
+    }
+
+    #[test]
+    fn product_families_stay_linear() {
+        let z = ConcurrentZdd::new(16);
+        let mut f = ZDD_UNIT;
+        for i in 0..8 {
+            let pair = z.family(&[vec![2 * i], vec![2 * i + 1]]);
+            f = z.join(f, pair);
+        }
+        assert_eq!(z.count(f), 256);
+        assert!(z.size(f) <= 16, "ZDD stays linear: {} nodes", z.size(f));
+    }
+
+    #[test]
+    fn manager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConcurrentZdd>();
+    }
+}

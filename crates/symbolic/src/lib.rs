@@ -11,6 +11,9 @@
 //! * [`Zdd`] — a zero-suppressed DD manager (set families) with union /
 //!   intersection / difference / onset / offset / join, used as the shared
 //!   representation behind large valid-set relations;
+//! * [`ConcurrentZdd`] — the `Send + Sync` sharded-lock sibling of [`Zdd`]
+//!   (same canonical structure, `&self` operations), shareable across the
+//!   worker threads of a parallel exploration;
 //! * [`SymbolicReachability`] — BDD-based breadth-first reachability and
 //!   deadlock detection with peak-node tracking, in either an interleaved
 //!   or a deliberately bad variable order (for the ablation bench).
@@ -29,9 +32,11 @@
 #![warn(missing_docs)]
 
 mod bdd;
+mod czdd;
 mod reach;
 mod zdd;
 
 pub use bdd::{Bdd, BddRef, BDD_FALSE, BDD_TRUE};
+pub use czdd::ConcurrentZdd;
 pub use reach::{SymbolicOptions, SymbolicReachability, VariableOrder};
 pub use zdd::{Zdd, ZddRef, ZDD_EMPTY, ZDD_UNIT};

@@ -13,13 +13,24 @@
 
 use std::collections::HashMap;
 
-/// Index of a ZDD node within its [`Zdd`] manager.
+/// Index of a ZDD node within its manager ([`Zdd`] or
+/// [`ConcurrentZdd`](crate::ConcurrentZdd)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ZddRef(u32);
 
 impl ZddRef {
     fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Wraps a raw node id (manager-specific encoding).
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        ZddRef(raw)
+    }
+
+    /// The raw node id.
+    pub(crate) fn raw(self) -> u32 {
+        self.0
     }
 }
 
@@ -28,17 +39,17 @@ pub const ZDD_EMPTY: ZddRef = ZddRef(0);
 /// The family `{∅}` containing just the empty set.
 pub const ZDD_UNIT: ZddRef = ZddRef(1);
 
-const TERMINAL_VAR: u32 = u32::MAX;
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    var: u32,
-    lo: ZddRef,
-    hi: ZddRef,
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: ZddRef,
+    pub(crate) hi: ZddRef,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Op {
+pub(crate) enum Op {
     Union,
     Intersect,
     Diff,
@@ -57,7 +68,7 @@ enum Op {
 /// let a = z.family(&[vec![0, 1], vec![2]]);
 /// let b = z.family(&[vec![2], vec![0]]);
 /// let u = z.union(a, b);
-/// assert_eq!(z.count(u), 3.0);
+/// assert_eq!(z.count(u), 3);
 /// let i = z.intersect(a, b);
 /// assert_eq!(z.sets(i), vec![vec![2]]);
 /// ```
@@ -310,24 +321,33 @@ impl Zdd {
         r
     }
 
-    /// Number of sets in the family.
-    pub fn count(&self, f: ZddRef) -> f64 {
-        let mut cache: HashMap<ZddRef, f64> = HashMap::new();
+    /// Number of sets in the family, exact up to `u128::MAX` (saturating
+    /// beyond — a family over ≤ 128 elements can never saturate).
+    pub fn count(&self, f: ZddRef) -> u128 {
+        let mut cache: HashMap<ZddRef, u128> = HashMap::new();
         self.count_rec(f, &mut cache)
     }
 
-    fn count_rec(&self, f: ZddRef, cache: &mut HashMap<ZddRef, f64>) -> f64 {
+    /// Approximate set count as a float, for display of astronomically
+    /// large families (loses precision above 2⁵³).
+    pub fn count_f64(&self, f: ZddRef) -> f64 {
+        self.count(f) as f64
+    }
+
+    fn count_rec(&self, f: ZddRef, cache: &mut HashMap<ZddRef, u128>) -> u128 {
         if f == ZDD_EMPTY {
-            return 0.0;
+            return 0;
         }
         if f == ZDD_UNIT {
-            return 1.0;
+            return 1;
         }
         if let Some(&c) = cache.get(&f) {
             return c;
         }
         let n = self.nodes[f.index()];
-        let c = self.count_rec(n.lo, cache) + self.count_rec(n.hi, cache);
+        let c = self
+            .count_rec(n.lo, cache)
+            .saturating_add(self.count_rec(n.hi, cache));
         cache.insert(f, c);
         c
     }
@@ -448,8 +468,8 @@ mod tests {
         let z = Zdd::new(2);
         assert!(z.is_empty(ZDD_EMPTY));
         assert!(!z.is_empty(ZDD_UNIT));
-        assert_eq!(z.count(ZDD_EMPTY), 0.0);
-        assert_eq!(z.count(ZDD_UNIT), 1.0);
+        assert_eq!(z.count(ZDD_EMPTY), 0);
+        assert_eq!(z.count(ZDD_UNIT), 1);
         assert!(z.contains_set(ZDD_UNIT, &[]));
         assert!(!z.contains_set(ZDD_EMPTY, &[]));
     }
@@ -458,7 +478,7 @@ mod tests {
     fn singleton_round_trips() {
         let mut z = Zdd::new(5);
         let s = z.singleton(&[3, 1]);
-        assert_eq!(z.count(s), 1.0);
+        assert_eq!(z.count(s), 1);
         assert!(z.contains_set(s, &[1, 3]));
         assert!(!z.contains_set(s, &[1]));
         assert_eq!(z.sets(s), vec![vec![1, 3]]);
@@ -478,7 +498,7 @@ mod tests {
         let f = z.family(&[vec![0], vec![1, 2], vec![3]]);
         let g = z.family(&[vec![1, 2], vec![0, 3]]);
         let u = z.union(f, g);
-        assert_eq!(z.count(u), 4.0);
+        assert_eq!(z.count(u), 4);
         let i = z.intersect(f, g);
         assert_eq!(z.sets(i), vec![vec![1, 2]]);
         let d = z.diff(f, g);
@@ -555,7 +575,7 @@ mod tests {
             let pair = z.family(&[vec![2 * i], vec![2 * i + 1]]);
             f = z.join(f, pair);
         }
-        assert_eq!(z.count(f), 256.0);
+        assert_eq!(z.count(f), 256);
         assert!(z.size(f) <= 16, "ZDD stays linear: {} nodes", z.size(f));
     }
 
