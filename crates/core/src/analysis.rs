@@ -19,14 +19,15 @@
 //!    over every single-enabled transition.
 
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use petri::parallel::{explore_frontier, FrontierOptions};
+use petri::checkpoint::{write_checkpoint, ByteReader, ByteWriter, CheckpointError, EngineKind};
+use petri::parallel::{explore_frontier_seeded, FrontierOptions, FrontierSeed};
 use petri::{
-    Budget, ConflictInfo, CoverageStats, ExhaustionReason, Marking, Outcome, PetriNet, PlaceId,
-    TransitionId,
+    Budget, CheckpointConfig, ConflictInfo, CoverageStats, ExhaustionReason, Marking, Outcome,
+    PetriNet, PlaceId, Snapshot, TransitionId,
 };
 
 use crate::error::GpoError;
@@ -44,6 +45,28 @@ pub enum Representation {
     Explicit,
     /// Zero-suppressed decision diagrams (shared structure).
     Zdd,
+}
+
+/// Section tags of a generalized-analysis snapshot (both
+/// [`EngineKind::GpoExplicit`] and [`EngineKind::GpoZdd`], whose formats
+/// differ only inside the `FAMILIES` payload).
+mod section {
+    pub const META: u32 = 1;
+    pub const FAMILIES: u32 = 2;
+    pub const EXPANDED: u32 = 3;
+    pub const PRED: u32 = 4;
+    pub const BLOCKED: u32 = 5;
+    pub const COUNTERS: u32 = 6;
+}
+
+/// The snapshot engine tag of a representation: resuming an explicit
+/// snapshot under the ZDD representation (or vice versa) is rejected,
+/// because the `FAMILIES` payloads are not interchangeable.
+fn engine_kind(repr: Representation) -> EngineKind {
+    match repr {
+        Representation::Explicit => EngineKind::GpoExplicit,
+        Representation::Zdd => EngineKind::GpoZdd,
+    }
 }
 
 /// Options for [`analyze_with`].
@@ -141,6 +164,10 @@ pub struct GpoReport {
     pub unique_hits: u64,
     /// Operation-cache hits in the shared ZDD manager (0 under explicit).
     pub op_cache_hits: u64,
+    /// Memoized results discarded by the ZDD manager's generational
+    /// op-cache eviction (0 under explicit, and 0 until a cache first
+    /// fills its capacity).
+    pub op_cache_evictions: u64,
 }
 
 impl GpoReport {
@@ -200,29 +227,120 @@ pub fn analyze_bounded(
     opts: &GpoOptions,
     budget: &Budget,
 ) -> Result<Outcome<GpoReport>, GpoError> {
+    analyze_checkpointed(net, opts, budget, &CheckpointConfig::default(), None)
+}
+
+/// Like [`analyze_bounded`], but optionally resuming a prior partial
+/// analysis and/or writing crash-safe snapshots (see [`petri::checkpoint`]
+/// and [`ReachabilityGraph::explore_checkpointed`] for the segmenting
+/// protocol, which is identical here).
+///
+/// The snapshot engine tag records the family representation; resuming an
+/// explicit snapshot under `Representation::Zdd` (or vice versa) fails
+/// with a typed mismatch. A resumed run reaches the same verdict, state
+/// count, and witness markings as the uninterrupted run for every thread
+/// count, under both representations.
+///
+/// [`ReachabilityGraph::explore_checkpointed`]: petri::ReachabilityGraph::explore_checkpointed
+///
+/// # Errors
+///
+/// Everything [`analyze_bounded`] returns, plus
+/// [`GpoError::Checkpoint`] for unusable snapshots.
+pub fn analyze_checkpointed(
+    net: &PetriNet,
+    opts: &GpoOptions,
+    budget: &Budget,
+    ckpt: &CheckpointConfig,
+    resume: Option<&Snapshot>,
+) -> Result<Outcome<GpoReport>, GpoError> {
     let budget = budget.clone().cap_states(opts.max_states);
     match opts.representation {
-        Representation::Explicit => run::<ExplicitFamily>(net, opts, &budget),
-        Representation::Zdd => run::<ZddFamily>(net, opts, &budget),
+        Representation::Explicit => run::<ExplicitFamily>(net, opts, &budget, ckpt, resume),
+        Representation::Zdd => run::<ZddFamily>(net, opts, &budget, ckpt, resume),
     }
 }
 
 fn run<F: SetFamily>(
     net: &PetriNet,
     opts: &GpoOptions,
-    budget: &Budget,
+    real_budget: &Budget,
+    ckpt: &CheckpointConfig,
+    resume: Option<&Snapshot>,
 ) -> Result<Outcome<GpoReport>, GpoError> {
     let start = Instant::now();
     let conflicts = ConflictInfo::new(net);
     let ctx = F::new_context(net.transition_count());
     let s0 = GpnState::<F>::initial_with_conflicts(net, &conflicts, &ctx, opts.valid_set_limit)?;
     let valid_set_count = s0.valid().count();
+    let engine = engine_kind(opts.representation);
 
     let counters = Counters::default();
-    let explored = if opts.threads > 1 {
-        explore_parallel(net, &conflicts, s0, opts, budget, &counters)?
-    } else {
-        explore_serial(net, &conflicts, &ctx, s0, budget, &counters)
+    let (mut prior, base_elapsed) = match resume {
+        Some(snap) => {
+            let (explored, elapsed) = from_snapshot::<F>(net, &ctx, engine, snap, &s0, &counters)
+                .map_err(|e| GpoError::Checkpoint(e.to_string()))?;
+            (Some(explored), elapsed)
+        }
+        None => (None, Duration::ZERO),
+    };
+
+    // segmented exploration: with a periodic checkpoint configured, each
+    // segment caps stored states at `stored + every`, snapshots the
+    // quiesced exploration on the synthetic exhaustion, and continues
+    // in-process; a real exhaustion also snapshots, then surfaces
+    let explored = loop {
+        let mut segment = real_budget.clone();
+        if let (Some(every), Some(_)) = (ckpt.every, &ckpt.path) {
+            let stored = prior.as_ref().map_or(1, |p: &Explored<F>| p.states.len());
+            segment.max_states = segment.max_states.min(stored.saturating_add(every.max(1)));
+        }
+        let mut explored = if opts.threads > 1 {
+            explore_parallel(
+                net,
+                &conflicts,
+                s0.clone(),
+                opts,
+                &segment,
+                &counters,
+                prior.take(),
+            )?
+        } else {
+            explore_serial(
+                net,
+                &conflicts,
+                &ctx,
+                s0.clone(),
+                &segment,
+                &counters,
+                prior.take(),
+            )
+        };
+        match explored.exhausted.take() {
+            None => break explored,
+            Some((_, coverage)) => {
+                if let Some(path) = &ckpt.path {
+                    let snap = to_snapshot(
+                        net,
+                        &ctx,
+                        engine,
+                        &explored,
+                        &counters,
+                        base_elapsed + start.elapsed(),
+                    );
+                    write_checkpoint(path, &snap).map_err(|e| {
+                        GpoError::Checkpoint(format!("writing {}: {e}", path.display()))
+                    })?;
+                }
+                match real_budget.exceeded(coverage.states_stored, coverage.bytes_estimate) {
+                    None => prior = Some(explored),
+                    Some(real_reason) => {
+                        explored.exhausted = Some((real_reason, coverage));
+                        break explored;
+                    }
+                }
+            }
+        }
     };
 
     let stats = F::context_stats(&ctx);
@@ -242,6 +360,7 @@ fn run<F: SetFamily>(
         zdd_nodes_allocated: stats.nodes_allocated,
         unique_hits: stats.unique_hits,
         op_cache_hits: stats.op_cache_hits,
+        op_cache_evictions: stats.op_cache_evictions,
     };
 
     extract_witnesses(net, &explored, opts.max_witnesses, &mut report);
@@ -256,7 +375,7 @@ fn run<F: SetFamily>(
             .min();
     }
 
-    report.elapsed = start.elapsed();
+    report.elapsed = base_elapsed + start.elapsed();
     Ok(match explored.exhausted {
         None => Outcome::Complete(report),
         Some((reason, mut coverage)) => {
@@ -304,12 +423,16 @@ struct Explored<F: SetFamily> {
     pred: Vec<Option<(usize, Firing)>>,
     /// Ids of expanded states whose deadlock-possibility check fired.
     blocked: Vec<usize>,
+    /// Per-state "successors computed" flag; `false` entries are the
+    /// frontier a checkpointed run resumes from.
+    expanded: Vec<bool>,
     /// Budget exhaustion, if the run is partial.
     exhausted: Option<(ExhaustionReason, CoverageStats)>,
 }
 
 /// The historical breadth-first serial loop (exact same exploration order
-/// and budget-check placement as before the parallel engine existed).
+/// and budget-check placement as before the parallel engine existed),
+/// optionally continuing a prior partial exploration.
 fn explore_serial<F: SetFamily>(
     net: &PetriNet,
     conflicts: &ConflictInfo,
@@ -317,22 +440,29 @@ fn explore_serial<F: SetFamily>(
     s0: GpnState<F>,
     budget: &Budget,
     counters: &Counters,
+    prior: Option<Explored<F>>,
 ) -> Explored<F> {
     let start = Instant::now();
-    let mut states: Vec<GpnState<F>> = vec![s0.clone()];
-    let mut index: HashMap<GpnState<F>, usize> = HashMap::new();
-    index.insert(s0, 0);
-    let mut pred: Vec<Option<(usize, Firing)>> = vec![None];
-    let mut blocked: Vec<usize> = Vec::new();
+    let (mut states, mut pred, mut blocked, mut expanded) = match prior {
+        Some(p) => (p.states, p.pred, p.blocked, p.expanded),
+        None => (vec![s0], vec![None], Vec::new(), vec![false]),
+    };
+    let mut index: HashMap<GpnState<F>, usize> = states
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.clone(), i))
+        .collect();
+    let mut worklist: VecDeque<usize> = (0..states.len()).filter(|&i| !expanded[i]).collect();
+    let mut expanded_count = states.len() - worklist.len();
+    let mut bytes: usize = states.iter().map(GpnState::footprint).sum();
 
-    let mut bytes = states[0].footprint();
     let mut exhausted = None;
-    let mut frontier = 0;
-    while frontier < states.len() {
+    while let Some(&frontier) = worklist.front() {
         if let Some(reason) = budget.exceeded(states.len(), bytes) {
             exhausted = Some(reason);
             break;
         }
+        worklist.pop_front();
         // take the state out instead of cloning it; the index still holds
         // an equal key, so the dedup lookups during expansion are unaffected
         let s = std::mem::replace(
@@ -349,11 +479,14 @@ fn explore_serial<F: SetFamily>(
                 bytes += e.key().footprint();
                 states.push(e.key().clone());
                 pred.push(Some((frontier, firing)));
+                expanded.push(false);
+                worklist.push_back(states.len() - 1);
                 e.insert(states.len() - 1);
             }
         }
         states[frontier] = s;
-        frontier += 1;
+        expanded[frontier] = true;
+        expanded_count += 1;
     }
 
     let exhausted = exhausted.map(|reason| {
@@ -361,8 +494,8 @@ fn explore_serial<F: SetFamily>(
             reason,
             CoverageStats {
                 states_stored: states.len(),
-                states_expanded: frontier,
-                frontier_len: states.len() - frontier,
+                states_expanded: expanded_count,
+                frontier_len: states.len() - expanded_count,
                 bytes_estimate: bytes,
                 elapsed: start.elapsed(),
             },
@@ -372,6 +505,7 @@ fn explore_serial<F: SetFamily>(
         states,
         pred,
         blocked,
+        expanded,
         exhausted,
     }
 }
@@ -387,6 +521,7 @@ fn explore_parallel<F: SetFamily>(
     opts: &GpoOptions,
     budget: &Budget,
     counters: &Counters,
+    prior: Option<Explored<F>>,
 ) -> Result<Explored<F>, GpoError> {
     // the spread fills the cfg-gated fault-injection field in test builds
     #[allow(clippy::needless_update)]
@@ -396,8 +531,24 @@ fn explore_parallel<F: SetFamily>(
         budget: budget.clone(),
         ..FrontierOptions::default()
     };
-    let outcome = explore_frontier(
-        s0,
+    let (seed, prior_pred) = match prior {
+        Some(p) => (
+            FrontierSeed {
+                // the snapshot stores the reach tree, not the edge lists,
+                // so prior states get empty succ placeholders; their
+                // parent pointers re-enter through `prior_pred` below
+                succ: vec![Vec::new(); p.states.len()],
+                states: p.states,
+                expanded: p.expanded,
+                deadlocks: p.blocked.iter().map(|&b| b as u32).collect(),
+                edge_count: 0,
+            },
+            p.pred,
+        ),
+        None => (FrontierSeed::initial(s0), vec![None]),
+    };
+    let outcome = explore_frontier_seeded(
+        seed,
         &fopts,
         |s: &GpnState<F>, out: &mut Vec<(Firing, GpnState<F>)>| {
             counters.observe_footprint(s.footprint());
@@ -419,24 +570,29 @@ fn explore_parallel<F: SetFamily>(
         } => (result, Some((reason, coverage))),
     };
     Ok(Explored {
-        pred: first_reach_tree(&result.succ),
+        pred: extend_reach_tree(prior_pred, &result.succ),
         blocked: result.deadlocks.iter().map(|&d| d as usize).collect(),
+        expanded: result.expanded,
         states: result.states,
         exhausted,
     })
 }
 
-/// Rebuilds parent pointers from the recorded edge lists by breadth-first
-/// search from the initial state: every discovered state was first reached
-/// over some recorded edge, so the tree spans all of them.
-fn first_reach_tree(succ: &[Vec<(Firing, u32)>]) -> Vec<Option<(usize, Firing)>> {
-    let mut pred: Vec<Option<(usize, Firing)>> = vec![None; succ.len()];
-    let mut seen = vec![false; succ.len()];
-    if seen.is_empty() {
-        return pred;
-    }
-    seen[0] = true;
-    let mut queue = VecDeque::from([0usize]);
+/// Extends a (possibly restored) reach tree over freshly recorded edge
+/// lists by breadth-first search with every prior state as a root: each
+/// newly discovered state was first reached from some already-known state
+/// over a recorded edge, so the tree spans all of them. A fresh run passes
+/// the singleton tree `[None]`, making this exactly the classical
+/// first-reach BFS from the initial state.
+fn extend_reach_tree(
+    prior: Vec<Option<(usize, Firing)>>,
+    succ: &[Vec<(Firing, u32)>],
+) -> Vec<Option<(usize, Firing)>> {
+    let known = prior.len();
+    let mut pred = prior;
+    pred.resize_with(succ.len(), || None);
+    let mut seen: Vec<bool> = (0..succ.len()).map(|i| i < known).collect();
+    let mut queue: VecDeque<usize> = (0..known).collect();
     while let Some(cur) = queue.pop_front() {
         for (firing, dst) in &succ[cur] {
             let d = *dst as usize;
@@ -448,6 +604,256 @@ fn first_reach_tree(succ: &[Vec<(Firing, u32)>]) -> Vec<Option<(usize, Firing)>>
         }
     }
     pred
+}
+
+/// Serializes a (typically partial) exploration as a snapshot. The family
+/// payload delegates to [`SetFamily::encode_families`] over every per-place
+/// family and valid-set relation in state order, so the explicit backend
+/// writes enumerated sets while the ZDD backend writes one shared node
+/// table for the entire exploration.
+fn to_snapshot<F: SetFamily>(
+    net: &PetriNet,
+    ctx: &F::Context,
+    engine: EngineKind,
+    explored: &Explored<F>,
+    counters: &Counters,
+    elapsed: Duration,
+) -> Snapshot {
+    let universe = net.transition_count();
+    let mut snap = Snapshot::new(engine, net);
+
+    let mut w = ByteWriter::new();
+    w.u32(net.place_count() as u32);
+    w.u32(universe as u32);
+    w.usize(explored.states.len());
+    snap.push_section(section::META, w.into_bytes());
+
+    let mut families: Vec<&F> = Vec::with_capacity(explored.states.len() * (net.place_count() + 1));
+    for s in &explored.states {
+        families.extend(s.marking().iter());
+        families.push(s.valid());
+    }
+    snap.push_section(
+        section::FAMILIES,
+        F::encode_families(ctx, universe, &families),
+    );
+
+    let mut w = ByteWriter::new();
+    w.bools(&explored.expanded);
+    snap.push_section(section::EXPANDED, w.into_bytes());
+
+    let mut w = ByteWriter::new();
+    w.usize(explored.pred.len());
+    for p in &explored.pred {
+        match p {
+            None => w.u8(0),
+            Some((parent, Firing::Multiple(ts))) => {
+                w.u8(1);
+                w.usize(*parent);
+                w.u32(ts.len() as u32);
+                for t in ts {
+                    w.u32(t.index() as u32);
+                }
+            }
+            Some((parent, Firing::Single(t))) => {
+                w.u8(2);
+                w.usize(*parent);
+                w.u32(t.index() as u32);
+            }
+        }
+    }
+    snap.push_section(section::PRED, w.into_bytes());
+
+    let mut w = ByteWriter::new();
+    w.usize(explored.blocked.len());
+    for &b in &explored.blocked {
+        w.usize(b);
+    }
+    snap.push_section(section::BLOCKED, w.into_bytes());
+
+    let mut w = ByteWriter::new();
+    w.u64(counters.enabling_computed.load(Ordering::Relaxed) as u64);
+    w.u64(counters.enabling_reused.load(Ordering::Relaxed) as u64);
+    w.u64(counters.multiple_firings.load(Ordering::Relaxed) as u64);
+    w.u64(counters.single_firings.load(Ordering::Relaxed) as u64);
+    w.u64(counters.peak_footprint.load(Ordering::Relaxed) as u64);
+    w.u64(elapsed.as_nanos() as u64);
+    snap.push_section(section::COUNTERS, w.into_bytes());
+
+    snap
+}
+
+/// Rebuilds an exploration from a validated snapshot, restoring the work
+/// counters into `counters` and returning the accumulated elapsed time.
+/// Every structural invariant the seeded engines rely on is re-checked
+/// here with typed errors, so a corrupt-but-checksummed snapshot can never
+/// panic the exploration or silently change a verdict.
+fn from_snapshot<F: SetFamily>(
+    net: &PetriNet,
+    ctx: &F::Context,
+    engine: EngineKind,
+    snap: &Snapshot,
+    s0: &GpnState<F>,
+    counters: &Counters,
+) -> Result<(Explored<F>, Duration), CheckpointError> {
+    snap.validate(engine, net.fingerprint())?;
+    let places = net.place_count();
+    let universe = net.transition_count();
+
+    let mut r = ByteReader::new(snap.require_section(section::META)?, section::META);
+    if r.u32()? as usize != places || r.u32()? as usize != universe {
+        return Err(r.malformed("place/transition counts do not match the net"));
+    }
+    let n = r.usize()?;
+    r.finish()?;
+    if n == 0 {
+        return Err(CheckpointError::Malformed {
+            section: section::META,
+            detail: "snapshot holds no states".into(),
+        });
+    }
+
+    let families = F::decode_families(ctx, universe, snap.require_section(section::FAMILIES)?)
+        .map_err(|detail| CheckpointError::Malformed {
+            section: section::FAMILIES,
+            detail,
+        })?;
+    if families.len() != n * (places + 1) {
+        return Err(CheckpointError::Malformed {
+            section: section::FAMILIES,
+            detail: format!(
+                "expected {} families for {n} states over {places} places, found {}",
+                n * (places + 1),
+                families.len()
+            ),
+        });
+    }
+    let mut states: Vec<GpnState<F>> = Vec::with_capacity(n);
+    let mut it = families.into_iter();
+    for _ in 0..n {
+        let marking: Vec<F> = it.by_ref().take(places).collect();
+        let valid = it.next().expect("family count checked above");
+        states.push(GpnState::from_parts(marking, valid));
+    }
+    if states[0] != *s0 {
+        return Err(CheckpointError::Malformed {
+            section: section::FAMILIES,
+            detail: "snapshot initial state does not match the net's".into(),
+        });
+    }
+    let mut seen: HashSet<&GpnState<F>> = HashSet::with_capacity(n);
+    if !states.iter().all(|s| seen.insert(s)) {
+        return Err(CheckpointError::Malformed {
+            section: section::FAMILIES,
+            detail: "duplicate GPN states".into(),
+        });
+    }
+
+    let mut r = ByteReader::new(snap.require_section(section::EXPANDED)?, section::EXPANDED);
+    let expanded = r.bools()?;
+    r.finish()?;
+    if expanded.len() != n {
+        return Err(CheckpointError::Malformed {
+            section: section::EXPANDED,
+            detail: format!("{} flags for {n} states", expanded.len()),
+        });
+    }
+
+    let mut r = ByteReader::new(snap.require_section(section::PRED)?, section::PRED);
+    let count = r.usize()?;
+    if count != n {
+        return Err(r.malformed(format!("{count} parent entries for {n} states")));
+    }
+    let mut pred: Vec<Option<(usize, Firing)>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let tag = r.u8()?;
+        if tag == 0 {
+            pred.push(None);
+            continue;
+        }
+        let parent = r.usize()?;
+        if parent >= n || parent == i {
+            return Err(r.malformed(format!("state {i}: bad parent {parent}")));
+        }
+        let transition = |r: &mut ByteReader<'_>| -> Result<TransitionId, CheckpointError> {
+            let t = r.u32()? as usize;
+            if t >= universe {
+                return Err(r.malformed(format!("state {i}: transition {t} out of range")));
+            }
+            Ok(TransitionId::new(t))
+        };
+        let firing = match tag {
+            1 => {
+                let k = r.u32()? as usize;
+                if k > universe {
+                    return Err(r.malformed(format!("state {i}: {k} fired transitions")));
+                }
+                let mut ts = Vec::with_capacity(k);
+                for _ in 0..k {
+                    ts.push(transition(&mut r)?);
+                }
+                Firing::Multiple(ts)
+            }
+            2 => Firing::Single(transition(&mut r)?),
+            other => return Err(r.malformed(format!("unknown firing tag {other}"))),
+        };
+        pred.push(Some((parent, firing)));
+    }
+    r.finish()?;
+    if pred[0].is_some() {
+        return Err(CheckpointError::Malformed {
+            section: section::PRED,
+            detail: "initial state has a parent".into(),
+        });
+    }
+
+    let mut r = ByteReader::new(snap.require_section(section::BLOCKED)?, section::BLOCKED);
+    let k = r.usize()?;
+    if k > n {
+        return Err(r.malformed(format!("{k} blocked ids for {n} states")));
+    }
+    let mut blocked = Vec::with_capacity(k);
+    let mut blocked_seen = vec![false; n];
+    for _ in 0..k {
+        let b = r.usize()?;
+        if b >= n || !expanded[b] || blocked_seen[b] {
+            return Err(r.malformed(format!("bad blocked id {b}")));
+        }
+        blocked_seen[b] = true;
+        blocked.push(b);
+    }
+    r.finish()?;
+
+    let mut r = ByteReader::new(snap.require_section(section::COUNTERS)?, section::COUNTERS);
+    let computed = r.u64()? as usize;
+    let reused = r.u64()? as usize;
+    let multiple = r.u64()? as usize;
+    let single = r.u64()? as usize;
+    let peak = r.u64()? as usize;
+    let elapsed = Duration::from_nanos(r.u64()?);
+    r.finish()?;
+    counters
+        .enabling_computed
+        .fetch_add(computed, Ordering::Relaxed);
+    counters
+        .enabling_reused
+        .fetch_add(reused, Ordering::Relaxed);
+    counters
+        .multiple_firings
+        .fetch_add(multiple, Ordering::Relaxed);
+    counters.single_firings.fetch_add(single, Ordering::Relaxed);
+    counters.peak_footprint.fetch_max(peak, Ordering::Relaxed);
+
+    Ok((
+        Explored {
+            states,
+            pred,
+            blocked,
+            expanded,
+            exhausted: None,
+        },
+        elapsed,
+    ))
 }
 
 /// Materializes witness markings (and their projected classical traces)
@@ -964,6 +1370,153 @@ mod tests {
         assert_eq!(e.zdd_nodes_allocated, 0);
         assert_eq!(e.unique_hits, 0);
         assert_eq!(e.op_cache_hits, 0);
+    }
+
+    fn ckpt_dir(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpo-{label}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        let dir = ckpt_dir("ckpt");
+        // caps chosen to interrupt mid-run: GPO collapses these models to
+        // 3 and 2 states, so the partial run stores some but not all of them
+        for (i, (net, cap)) in [(models::nsdp(3), 2), (models::figures::fig2(4), 1)]
+            .iter()
+            .enumerate()
+        {
+            for repr in [Representation::Explicit, Representation::Zdd] {
+                for threads in [1usize, 2] {
+                    let tag = format!("{} {repr:?} threads={threads}", net.name());
+                    let opts = GpoOptions {
+                        representation: repr,
+                        threads,
+                        max_witnesses: 2,
+                        ..Default::default()
+                    };
+                    let reference = analyze_bounded(net, &opts, &Budget::default())
+                        .unwrap()
+                        .into_value();
+                    let path = dir.join(format!("{i}-{repr:?}-{threads}.ckpt"));
+                    let partial = analyze_checkpointed(
+                        net,
+                        &opts,
+                        &Budget::default().cap_states(*cap),
+                        &CheckpointConfig::at(&path),
+                        None,
+                    )
+                    .unwrap();
+                    assert!(!partial.is_complete(), "{tag}");
+                    let snap = petri::checkpoint::read_checkpoint(&path).unwrap();
+                    let resumed = analyze_checkpointed(
+                        net,
+                        &opts,
+                        &Budget::default(),
+                        &CheckpointConfig::default(),
+                        Some(&snap),
+                    )
+                    .unwrap();
+                    assert!(resumed.is_complete(), "{tag}");
+                    let resumed = resumed.into_value();
+                    assert_eq!(resumed.state_count, reference.state_count, "{tag}");
+                    assert_eq!(
+                        resumed.deadlock_possible, reference.deadlock_possible,
+                        "{tag}"
+                    );
+                    assert_eq!(resumed.valid_set_count, reference.valid_set_count, "{tag}");
+                    assert_eq!(
+                        resumed.deadlock_witnesses, reference.deadlock_witnesses,
+                        "{tag}"
+                    );
+                    assert_eq!(resumed.deadlock_traces, reference.deadlock_traces, "{tag}");
+                    assert_eq!(
+                        resumed.multiple_firings, reference.multiple_firings,
+                        "{tag}"
+                    );
+                    assert_eq!(resumed.single_firings, reference.single_firings, "{tag}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn periodic_checkpoints_written_and_resumable() {
+        let dir = ckpt_dir("periodic");
+        let net = models::nsdp(4);
+        let path = dir.join("periodic.ckpt");
+        let opts = GpoOptions::default();
+        let outcome = analyze_checkpointed(
+            &net,
+            &opts,
+            &Budget::default(),
+            &CheckpointConfig::periodic(&path, 1),
+            None,
+        )
+        .unwrap();
+        assert!(
+            outcome.is_complete(),
+            "periodic snapshots must not stop the run"
+        );
+        let reference = outcome.into_value();
+        // the last periodic snapshot resumes to the identical verdict
+        let snap = petri::checkpoint::read_checkpoint(&path).unwrap();
+        let resumed = analyze_checkpointed(
+            &net,
+            &opts,
+            &Budget::default(),
+            &CheckpointConfig::default(),
+            Some(&snap),
+        )
+        .unwrap()
+        .into_value();
+        assert_eq!(resumed.state_count, reference.state_count);
+        assert_eq!(resumed.deadlock_possible, reference.deadlock_possible);
+        assert_eq!(resumed.deadlock_witnesses, reference.deadlock_witnesses);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_snapshots_rejected() {
+        let dir = ckpt_dir("mismatch");
+        let net = models::nsdp(3);
+        let path = dir.join("explicit.ckpt");
+        analyze_checkpointed(
+            &net,
+            &GpoOptions::default(),
+            &Budget::default().cap_states(1),
+            &CheckpointConfig::at(&path),
+            None,
+        )
+        .unwrap();
+        let snap = petri::checkpoint::read_checkpoint(&path).unwrap();
+        // wrong representation: the engine kind embedded in the snapshot
+        // does not match the requested backend
+        let err = analyze_checkpointed(
+            &net,
+            &GpoOptions {
+                representation: Representation::Zdd,
+                ..Default::default()
+            },
+            &Budget::default(),
+            &CheckpointConfig::default(),
+            Some(&snap),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GpoError::Checkpoint(_)), "{err}");
+        // wrong net: the fingerprint check refuses to resume
+        let err = analyze_checkpointed(
+            &models::figures::fig2(4),
+            &GpoOptions::default(),
+            &Budget::default(),
+            &CheckpointConfig::default(),
+            Some(&snap),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GpoError::Checkpoint(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

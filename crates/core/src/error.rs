@@ -16,6 +16,8 @@ pub enum GpoError {
     /// The parallel frontier engine failed (a worker panicked or the
     /// dense state-id space overflowed).
     Engine(petri::NetError),
+    /// A checkpoint snapshot could not be written, read, or validated.
+    Checkpoint(String),
 }
 
 impl fmt::Display for GpoError {
@@ -32,6 +34,7 @@ impl fmt::Display for GpoError {
                 )
             }
             GpoError::Engine(e) => write!(f, "parallel exploration failed: {e}"),
+            GpoError::Checkpoint(detail) => write!(f, "checkpoint error: {detail}"),
         }
     }
 }
@@ -58,6 +61,10 @@ mod tests {
         assert_eq!(
             GpoError::StateLimit(5).to_string(),
             "state limit of 5 GPN states exceeded during exploration"
+        );
+        assert_eq!(
+            GpoError::Checkpoint("bad magic".into()).to_string(),
+            "checkpoint error: bad magic"
         );
     }
 

@@ -30,6 +30,9 @@ pub struct FamilyStats {
     pub unique_hits: u64,
     /// Algebra operations answered from the memo caches.
     pub op_cache_hits: u64,
+    /// Memoized operation results discarded by generational cache
+    /// eviction (0 until the manager's op cache first fills).
+    pub op_cache_evictions: u64,
 }
 
 /// Operations a family-of-transition-sets representation must support.
@@ -113,6 +116,113 @@ pub trait SetFamily: Clone + Eq + Hash + fmt::Debug + Send + Sync {
     /// representation tracks any (ZDD manager counters; zeros otherwise).
     fn context_stats(_ctx: &Self::Context) -> FamilyStats {
         FamilyStats::default()
+    }
+
+    /// Serializes a batch of families into a flat byte blob for the
+    /// checkpoint layer. The default enumerates every family's sets —
+    /// portable but exponential for shared representations, which should
+    /// override this (the ZDD backend serializes one shared node table
+    /// for the whole batch instead).
+    fn encode_families(_ctx: &Self::Context, universe: usize, families: &[&Self]) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_u64(&mut out, families.len() as u64);
+        for f in families {
+            let sets = f.sets();
+            push_u64(&mut out, sets.len() as u64);
+            for s in &sets {
+                debug_assert_eq!(s.capacity(), universe);
+                for &b in s.as_blocks() {
+                    push_u64(&mut out, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a batch of families from [`encode_families`] output, in
+    /// order. Implementations must validate the bytes structurally and
+    /// report the first violation as an error string — a blob that decodes
+    /// cleanly always denotes well-formed families over `universe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation (truncated
+    /// input, out-of-range bits, trailing bytes, …).
+    fn decode_families(
+        ctx: &Self::Context,
+        universe: usize,
+        bytes: &[u8],
+    ) -> Result<Vec<Self>, String> {
+        let mut r = Cursor::new(bytes);
+        let nfamilies = r.u64()? as usize;
+        let blocks_per_set = universe.div_ceil(64);
+        let mut out = Vec::with_capacity(nfamilies.min(1 << 20));
+        for i in 0..nfamilies {
+            let nsets = r.u64()? as usize;
+            let mut sets = Vec::with_capacity(nsets.min(1 << 20));
+            for j in 0..nsets {
+                let mut blocks = Vec::with_capacity(blocks_per_set);
+                for _ in 0..blocks_per_set {
+                    blocks.push(r.u64()?);
+                }
+                let set = BitSet::from_blocks(universe, blocks).ok_or_else(|| {
+                    format!("family {i} set {j}: bits outside the universe of {universe}")
+                })?;
+                sets.push(set);
+            }
+            out.push(Self::from_sets(ctx, universe, &sets));
+        }
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+/// Little-endian u64 append for the family encoders.
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Little-endian u32 append for the family encoders.
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader for the family decoders.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or("truncated family blob")?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes after family blob".into())
+        }
     }
 }
 
@@ -440,7 +550,59 @@ impl SetFamily for ZddFamily {
             nodes_allocated: ctx.allocated_nodes() as u64,
             unique_hits: ctx.unique_hits(),
             op_cache_hits: ctx.op_cache_hits(),
+            op_cache_evictions: ctx.op_cache_evictions(),
         }
+    }
+
+    /// One shared node table for the whole batch: families with
+    /// exponentially many sets stay polynomial on disk, exactly as they do
+    /// in memory.
+    fn encode_families(ctx: &Self::Context, _universe: usize, families: &[&Self]) -> Vec<u8> {
+        let roots: Vec<ZddRef> = families.iter().map(|f| f.node).collect();
+        let (table, root_ids) = ctx.export(&roots);
+        let mut out = Vec::new();
+        push_u64(&mut out, families.len() as u64);
+        push_u64(&mut out, table.len() as u64);
+        for &(var, lo, hi) in &table {
+            push_u32(&mut out, var);
+            push_u32(&mut out, lo);
+            push_u32(&mut out, hi);
+        }
+        for &r in &root_ids {
+            push_u32(&mut out, r);
+        }
+        out
+    }
+
+    fn decode_families(
+        ctx: &Self::Context,
+        universe: usize,
+        bytes: &[u8],
+    ) -> Result<Vec<Self>, String> {
+        let mut r = Cursor::new(bytes);
+        let nfamilies = r.u64()? as usize;
+        let nnodes = r.u64()? as usize;
+        let mut table = Vec::with_capacity(nnodes.min(1 << 20));
+        for _ in 0..nnodes {
+            table.push((r.u32()?, r.u32()?, r.u32()?));
+        }
+        let mut roots = Vec::with_capacity(nfamilies.min(1 << 20));
+        for _ in 0..nfamilies {
+            roots.push(r.u32()?);
+        }
+        r.finish()?;
+        // import re-canonicalizes every node through the shared manager's
+        // hash-consing, so decoded families compare equal (by node id) to
+        // families built natively in `ctx`
+        let refs = ctx.import(&table, &roots)?;
+        Ok(refs
+            .into_iter()
+            .map(|node| ZddFamily {
+                mgr: Arc::clone(ctx),
+                node,
+                universe,
+            })
+            .collect())
     }
 }
 
@@ -578,6 +740,86 @@ mod tests {
         let _ = a.union(&b);
         let _ = a.union(&b);
         assert!(ZddFamily::context_stats(&ctx).op_cache_hits >= 1);
+    }
+
+    /// Round-trips a batch through encode/decode in a fresh context and
+    /// checks set-level equality.
+    fn round_trip<F: SetFamily>() {
+        let u = 6;
+        let ctx = F::new_context(u);
+        let fams = vec![
+            F::from_sets(&ctx, u, &sample_sets(u)),
+            F::empty(&ctx, u),
+            F::from_sets(&ctx, u, &[bs(u, &[])]),
+            F::from_sets(&ctx, u, &[bs(u, &[5]), bs(u, &[0, 1, 2, 3, 4, 5])]),
+        ];
+        let refs: Vec<&F> = fams.iter().collect();
+        let blob = F::encode_families(&ctx, u, &refs);
+
+        // same-context decode: families compare equal directly
+        let back = F::decode_families(&ctx, u, &blob).unwrap();
+        assert_eq!(back, fams);
+
+        // fresh-context decode: compare materialized sets
+        let fresh = F::new_context(u);
+        let again = F::decode_families(&fresh, u, &blob).unwrap();
+        assert_eq!(again.len(), fams.len());
+        for (a, b) in again.iter().zip(&fams) {
+            assert_eq!(a.sets(), b.sets());
+        }
+    }
+
+    #[test]
+    fn explicit_families_round_trip() {
+        round_trip::<ExplicitFamily>();
+    }
+
+    #[test]
+    fn zdd_families_round_trip() {
+        round_trip::<ZddFamily>();
+    }
+
+    #[test]
+    fn zdd_blob_stays_polynomial_on_products() {
+        // 2^10 sets must not enumerate on disk
+        let u = 20;
+        let groups: Vec<Vec<BitSet>> = (0..10)
+            .map(|i| vec![bs(u, &[2 * i]), bs(u, &[2 * i + 1])])
+            .collect();
+        let ctx = ZddFamily::new_context(u);
+        let big = ZddFamily::from_choice_groups(&ctx, u, &groups);
+        assert_eq!(big.count(), 1024);
+        let blob = ZddFamily::encode_families(&ctx, u, &[&big]);
+        assert!(
+            blob.len() < 1024,
+            "shared node table, not 1024 enumerated sets: {} bytes",
+            blob.len()
+        );
+        let back = ZddFamily::decode_families(&ctx, u, &blob).unwrap();
+        assert_eq!(back[0], big, "canonical node id restored");
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_blobs() {
+        let u = 4;
+        let fams = [ExplicitFamily::from_sets(&(), u, &sample_sets(u))];
+        let refs: Vec<&ExplicitFamily> = fams.iter().collect();
+        let blob = ExplicitFamily::encode_families(&(), u, &refs);
+        assert!(ExplicitFamily::decode_families(&(), u, &blob[..blob.len() - 1]).is_err());
+        let mut trailing = blob.clone();
+        trailing.push(0);
+        assert!(ExplicitFamily::decode_families(&(), u, &trailing).is_err());
+        // a set with bits outside the universe
+        let mut bad = blob;
+        let last = bad.len() - 1;
+        bad[last] = 0xff;
+        assert!(ExplicitFamily::decode_families(&(), u, &bad).is_err());
+
+        let zctx = ZddFamily::new_context(u);
+        let zfams = [ZddFamily::from_sets(&zctx, u, &sample_sets(u))];
+        let zrefs: Vec<&ZddFamily> = zfams.iter().collect();
+        let zblob = ZddFamily::encode_families(&zctx, u, &zrefs);
+        assert!(ZddFamily::decode_families(&zctx, u, &zblob[..zblob.len() - 1]).is_err());
     }
 
     #[test]

@@ -48,7 +48,10 @@ mod family;
 mod semantics;
 mod state;
 
-pub use analysis::{analyze, analyze_bounded, analyze_with, GpoOptions, GpoReport, Representation};
+pub use analysis::{
+    analyze, analyze_bounded, analyze_checkpointed, analyze_with, GpoOptions, GpoReport,
+    Representation,
+};
 pub use error::GpoError;
 pub use family::{ExplicitFamily, FamilyStats, SetFamily, ZddFamily};
 pub use semantics::{

@@ -15,6 +15,9 @@
 //!   --mem-limit=MB                 approximate memory budget
 //!   --witnesses=K                  deadlock witness markings to print (default: 1)
 //!   --threads=N                    worker threads for the full/po/gpo engines
+//!   --checkpoint=PATH              write crash-safe snapshots (full/po/gpo engines)
+//!   --checkpoint-every=N           also snapshot about every N stored states
+//!   --resume=PATH                  resume from a snapshot written by --checkpoint
 //!   <net> is a file in the `.net` text format, or `-` for stdin
 //! ```
 //!
@@ -24,14 +27,17 @@
 //! reported with coverage statistics instead of being discarded.
 
 use std::io::Read;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use gpo_core::{analyze_bounded, GpoOptions, Representation};
+use gpo_core::{analyze_checkpointed, GpoOptions, Representation};
 use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
+use petri::checkpoint::read_checkpoint_with_fallback;
 use petri::{
-    net_to_dot, parse_net, place_invariants, reachability_to_dot, to_text, Budget, ConflictInfo,
-    ExploreOptions, Outcome, PetriNet, ReachabilityGraph, Verdict,
+    net_to_dot, parse_net, place_invariants, reachability_to_dot, to_text, Budget,
+    CheckpointConfig, ConflictInfo, ExploreOptions, Outcome, PetriNet, ReachabilityGraph, Snapshot,
+    Verdict,
 };
 use symbolic::{SymbolicOptions, SymbolicReachability};
 use timed::{ClassGraph, TimedNet};
@@ -62,6 +68,9 @@ fn run(args: &[String]) -> Result<u8, String> {
             "mem-limit",
             "witnesses",
             "threads",
+            "checkpoint",
+            "checkpoint-every",
+            "resume",
         ],
         "dot" => &["rg"],
         "unfold" => &["dot"],
@@ -133,6 +142,15 @@ options:
   --witnesses=K                deadlock witnesses to print (default: 1)
   --threads=N                  worker threads for the full/po/gpo engines
                                (default: available parallelism)
+  --checkpoint=PATH            write crash-safe snapshots to PATH so an
+                               interrupted run can resume (full/po/gpo);
+                               written on budget exhaustion, atomically,
+                               keeping the previous snapshot as PATH.prev
+  --checkpoint-every=N         also snapshot about every N stored states
+                               (requires --checkpoint)
+  --resume=PATH                resume from a snapshot written by
+                               --checkpoint; falls back to PATH.prev if
+                               PATH is corrupt
 
 exit codes (julie check):
   0  verified: the whole state space was explored, no deadlock exists
@@ -257,6 +275,34 @@ fn budget_from_args(args: &[String]) -> Result<Budget, String> {
     Ok(budget)
 }
 
+/// Builds the checkpoint configuration and optional resume snapshot from
+/// the `--checkpoint`, `--checkpoint-every` and `--resume` flags.
+fn checkpoint_from_args(args: &[String]) -> Result<(CheckpointConfig, Option<Snapshot>), String> {
+    let mut ckpt = CheckpointConfig::default();
+    if let Some(path) = option(args, "checkpoint") {
+        ckpt.path = Some(path.into());
+    }
+    if let Some(s) = option(args, "checkpoint-every") {
+        let every: usize = s
+            .parse()
+            .map_err(|_| format!("bad --checkpoint-every `{s}`"))?;
+        if every == 0 {
+            return Err("bad --checkpoint-every `0` (must be at least 1)".into());
+        }
+        if ckpt.path.is_none() {
+            return Err("--checkpoint-every requires --checkpoint=PATH".into());
+        }
+        ckpt.every = Some(every);
+    }
+    let resume = option(args, "resume")
+        .map(|p| {
+            read_checkpoint_with_fallback(Path::new(p))
+                .map_err(|e| format!("cannot resume from `{p}`: {e}"))
+        })
+        .transpose()?;
+    Ok((ckpt, resume))
+}
+
 /// Prints the budget line of a partial run and returns the verdict inputs
 /// (`complete`, `frontier`) shared by every engine.
 fn report_partial<T>(outcome: &Outcome<T>) -> (bool, usize) {
@@ -282,6 +328,12 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
         .map(|s| s.parse().map_err(|_| format!("bad --threads `{s}`")))
         .transpose()?
         .unwrap_or_else(petri::parallel::default_threads);
+    let (ckpt, resume) = checkpoint_from_args(args)?;
+    if !matches!(engine, "full" | "po" | "gpo") && (!ckpt.is_disabled() || resume.is_some()) {
+        return Err(format!(
+            "engine `{engine}` does not support --checkpoint/--resume (use full, po, or gpo)"
+        ));
+    }
 
     let verdict = match engine {
         "full" => {
@@ -290,8 +342,14 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
                 record_edges: true,
                 threads,
             };
-            let outcome = ReachabilityGraph::explore_bounded(net, &opts, &budget)
-                .map_err(|e| e.to_string())?;
+            let outcome = ReachabilityGraph::explore_checkpointed(
+                net,
+                &opts,
+                &budget,
+                &ckpt,
+                resume.as_ref(),
+            )
+            .map_err(|e| e.to_string())?;
             println!("engine: exhaustive reachability");
             let (complete, frontier) = report_partial(&outcome);
             let rg = outcome.into_value();
@@ -313,8 +371,14 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
                 max_states: usize::MAX,
                 threads,
             };
-            let outcome = ReducedReachability::explore_bounded(net, &opts, &budget)
-                .map_err(|e| e.to_string())?;
+            let outcome = ReducedReachability::explore_checkpointed(
+                net,
+                &opts,
+                &budget,
+                &ckpt,
+                resume.as_ref(),
+            )
+            .map_err(|e| e.to_string())?;
             println!("engine: stubborn-set partial-order reduction");
             let (complete, frontier) = report_partial(&outcome);
             let red = outcome.into_value();
@@ -351,7 +415,8 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
                 threads,
                 coverage_query: Vec::new(),
             };
-            let outcome = analyze_bounded(net, &opts, &budget).map_err(|e| e.to_string())?;
+            let outcome = analyze_checkpointed(net, &opts, &budget, &ckpt, resume.as_ref())
+                .map_err(|e| e.to_string())?;
             println!("engine: generalized partial order analysis");
             let (complete, frontier) = report_partial(&outcome);
             let report = outcome.into_value();
@@ -359,8 +424,12 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
             println!("valid sets |r0|: {}", report.valid_set_count);
             if report.zdd_nodes_allocated > 0 {
                 println!(
-                    "zdd: {} nodes allocated, {} unique-table hits, {} op-cache hits",
-                    report.zdd_nodes_allocated, report.unique_hits, report.op_cache_hits
+                    "zdd: {} nodes allocated, {} unique-table hits, {} op-cache hits, \
+                     {} op-cache evictions",
+                    report.zdd_nodes_allocated,
+                    report.unique_hits,
+                    report.op_cache_hits,
+                    report.op_cache_evictions
                 );
             }
             let verdict = Verdict::from_observation(report.deadlock_possible, complete, frontier);

@@ -1,0 +1,184 @@
+//! The kill-and-resume invariant of the checkpoint layer, pinned across
+//! the model zoo, every checkpointing engine, and thread counts: a run
+//! interrupted by a budget, checkpointed to disk, and resumed from the
+//! decoded snapshot reaches exactly the same verdict, state count, and
+//! witnesses as an uninterrupted run.
+
+use std::path::PathBuf;
+
+use gpo_core::{analyze_checkpointed, GpoOptions, Representation};
+use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
+use petri::checkpoint::read_checkpoint;
+use petri::{Budget, CheckpointConfig, ExploreOptions, PetriNet, ReachabilityGraph};
+
+fn zoo() -> Vec<PetriNet> {
+    vec![
+        models::nsdp(4),
+        models::readers_writers(4),
+        models::figures::fig2(5),
+        models::scheduler(4),
+    ]
+}
+
+fn ckpt_path(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("julie-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{label}.ckpt"))
+}
+
+#[test]
+fn full_engine_kill_and_resume_is_equivalent() {
+    for net in zoo() {
+        for threads in [1usize, 2] {
+            let tag = format!("{} threads={threads}", net.name());
+            let opts = ExploreOptions {
+                max_states: usize::MAX,
+                record_edges: true,
+                threads,
+            };
+            let reference = ReachabilityGraph::explore_bounded(&net, &opts, &Budget::default())
+                .unwrap()
+                .into_value();
+            let path = ckpt_path(&format!("full-{tag}").replace(' ', "-"));
+            let partial = ReachabilityGraph::explore_checkpointed(
+                &net,
+                &opts,
+                &Budget::default().cap_states(5),
+                &CheckpointConfig::at(&path),
+                None,
+            )
+            .unwrap();
+            assert!(!partial.is_complete(), "{tag}");
+            let snap = read_checkpoint(&path).unwrap();
+            let resumed = ReachabilityGraph::explore_checkpointed(
+                &net,
+                &opts,
+                &Budget::default(),
+                &CheckpointConfig::default(),
+                Some(&snap),
+            )
+            .unwrap();
+            assert!(resumed.is_complete(), "{tag}");
+            let resumed = resumed.into_value();
+            assert_eq!(resumed.state_count(), reference.state_count(), "{tag}");
+            assert_eq!(resumed.edge_count(), reference.edge_count(), "{tag}");
+            assert_eq!(resumed.has_deadlock(), reference.has_deadlock(), "{tag}");
+            let dead = |rg: &ReachabilityGraph| {
+                let mut ms: Vec<String> = rg
+                    .deadlocks()
+                    .iter()
+                    .map(|&d| rg.marking(d).to_string())
+                    .collect();
+                ms.sort();
+                ms
+            };
+            assert_eq!(dead(&resumed), dead(&reference), "{tag}");
+        }
+    }
+}
+
+#[test]
+fn reduced_engine_kill_and_resume_is_equivalent() {
+    for net in zoo() {
+        for threads in [1usize, 2] {
+            let tag = format!("{} threads={threads}", net.name());
+            let opts = ReducedOptions {
+                strategy: SeedStrategy::BestOfEnabled,
+                max_states: usize::MAX,
+                threads,
+            };
+            let reference = ReducedReachability::explore_bounded(&net, &opts, &Budget::default())
+                .unwrap()
+                .into_value();
+            let path = ckpt_path(&format!("po-{tag}").replace(' ', "-"));
+            let partial = ReducedReachability::explore_checkpointed(
+                &net,
+                &opts,
+                &Budget::default().cap_states(5),
+                &CheckpointConfig::at(&path),
+                None,
+            )
+            .unwrap();
+            assert!(!partial.is_complete(), "{tag}");
+            let snap = read_checkpoint(&path).unwrap();
+            let resumed = ReducedReachability::explore_checkpointed(
+                &net,
+                &opts,
+                &Budget::default(),
+                &CheckpointConfig::default(),
+                Some(&snap),
+            )
+            .unwrap();
+            assert!(resumed.is_complete(), "{tag}");
+            let resumed = resumed.into_value();
+            assert_eq!(resumed.state_count(), reference.state_count(), "{tag}");
+            assert_eq!(resumed.has_deadlock(), reference.has_deadlock(), "{tag}");
+            let dead = |red: &ReducedReachability| {
+                let mut ms: Vec<String> = red.deadlock_markings().map(|m| m.to_string()).collect();
+                ms.sort();
+                ms
+            };
+            assert_eq!(dead(&resumed), dead(&reference), "{tag}");
+        }
+    }
+}
+
+#[test]
+fn gpo_engine_kill_and_resume_is_equivalent() {
+    for net in zoo() {
+        for repr in [Representation::Explicit, Representation::Zdd] {
+            for threads in [1usize, 2] {
+                let tag = format!("{} {repr:?} threads={threads}", net.name());
+                let opts = GpoOptions {
+                    representation: repr,
+                    threads,
+                    max_witnesses: 2,
+                    ..Default::default()
+                };
+                let reference = analyze_checkpointed(
+                    &net,
+                    &opts,
+                    &Budget::default(),
+                    &CheckpointConfig::default(),
+                    None,
+                )
+                .unwrap()
+                .into_value();
+                let path = ckpt_path(&format!("gpo-{tag}").replace(' ', "-"));
+                // GPO collapses the zoo to a handful of GPN states, so a
+                // one-state budget reliably interrupts every model
+                let partial = analyze_checkpointed(
+                    &net,
+                    &opts,
+                    &Budget::default().cap_states(1),
+                    &CheckpointConfig::at(&path),
+                    None,
+                )
+                .unwrap();
+                assert!(!partial.is_complete(), "{tag}");
+                let snap = read_checkpoint(&path).unwrap();
+                let resumed = analyze_checkpointed(
+                    &net,
+                    &opts,
+                    &Budget::default(),
+                    &CheckpointConfig::default(),
+                    Some(&snap),
+                )
+                .unwrap();
+                assert!(resumed.is_complete(), "{tag}");
+                let resumed = resumed.into_value();
+                assert_eq!(resumed.state_count, reference.state_count, "{tag}");
+                assert_eq!(
+                    resumed.deadlock_possible, reference.deadlock_possible,
+                    "{tag}"
+                );
+                assert_eq!(resumed.valid_set_count, reference.valid_set_count, "{tag}");
+                assert_eq!(
+                    resumed.deadlock_witnesses, reference.deadlock_witnesses,
+                    "{tag}"
+                );
+                assert_eq!(resumed.deadlock_traces, reference.deadlock_traces, "{tag}");
+            }
+        }
+    }
+}

@@ -243,10 +243,15 @@ fn dot_outputs_graphviz() {
 }
 
 #[test]
-fn parse_errors_are_reported_with_line() {
+fn parse_errors_are_reported_with_line_and_column() {
     let out = julie_stdin(&["info", "-"], "pl p\ntr broken p -> q\n");
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("line 2"));
+    let err = stderr(&out);
+    assert!(err.contains("line 2, column 11"), "{err}");
+    assert!(
+        err.contains("found `p`"),
+        "names the offending token: {err}"
+    );
 }
 
 #[test]
@@ -306,6 +311,188 @@ fn unfold_and_classes_engines_in_check() {
         );
         assert!(stdout(&out).contains("DEADLOCK possible"), "{engine}");
     }
+}
+
+fn temp_dir(label: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("julie-cli-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Extracts the `states: N` line from a check run's output.
+fn states_line(text: &str) -> String {
+    text.lines()
+        .find(|l| l.starts_with("states:") || l.starts_with("GPN states:"))
+        .expect("a states line")
+        .to_string()
+}
+
+#[test]
+fn checkpoint_flags_round_trip_via_cli() {
+    let dir = temp_dir("roundtrip");
+    let net_path = dir.join("nsdp4.net");
+    std::fs::write(&net_path, petri::to_text(&models::nsdp(4))).unwrap();
+    let net = net_path.to_str().unwrap();
+    for engine in ["full", "po", "gpo"] {
+        let ckpt = dir.join(format!("{engine}.ckpt"));
+        let ckpt = ckpt.to_str().unwrap();
+        let reference = julie(&["check", net, &format!("--engine={engine}")]);
+        assert_eq!(reference.status.code(), Some(1), "{engine}: nsdp deadlocks");
+        // interrupt with a state budget, leaving a snapshot behind
+        let partial = julie(&[
+            "check",
+            net,
+            &format!("--engine={engine}"),
+            "--max-states=2",
+            &format!("--checkpoint={ckpt}"),
+        ]);
+        assert_eq!(
+            partial.status.code(),
+            Some(2),
+            "{engine}: inconclusive exits 2: {}",
+            stderr(&partial)
+        );
+        // resume to the same verdict and state count as the reference
+        let resumed = julie(&[
+            "check",
+            net,
+            &format!("--engine={engine}"),
+            &format!("--resume={ckpt}"),
+        ]);
+        assert_eq!(
+            resumed.status.code(),
+            Some(1),
+            "{engine}: resumed run finds the deadlock: {}",
+            stderr(&resumed)
+        );
+        assert_eq!(
+            states_line(&stdout(&resumed)),
+            states_line(&stdout(&reference)),
+            "{engine}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_flag_misuse_is_rejected() {
+    let every = julie_stdin(&["check", "-", "--checkpoint-every=5"], CYCLE);
+    assert_eq!(every.status.code(), Some(3));
+    assert!(
+        stderr(&every).contains("requires --checkpoint"),
+        "{}",
+        stderr(&every)
+    );
+
+    let missing = julie_stdin(&["check", "-", "--resume=/nonexistent/x.ckpt"], CYCLE);
+    assert_eq!(missing.status.code(), Some(3));
+    assert!(
+        stderr(&missing).contains("cannot resume"),
+        "{}",
+        stderr(&missing)
+    );
+
+    let bdd = julie_stdin(
+        &["check", "-", "--engine=bdd", "--checkpoint=/tmp/x.ckpt"],
+        CYCLE,
+    );
+    assert_eq!(bdd.status.code(), Some(3));
+    assert!(
+        stderr(&bdd).contains("does not support"),
+        "{}",
+        stderr(&bdd)
+    );
+}
+
+#[test]
+fn corrupt_checkpoints_are_rejected_with_a_clean_error() {
+    let dir = temp_dir("corrupt");
+    let net_path = dir.join("nsdp4.net");
+    std::fs::write(&net_path, petri::to_text(&models::nsdp(4))).unwrap();
+    let net = net_path.to_str().unwrap();
+    let ckpt_path = dir.join("snap.ckpt");
+    let ckpt = ckpt_path.to_str().unwrap();
+    let partial = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--max-states=2",
+        &format!("--checkpoint={ckpt}"),
+    ]);
+    assert_eq!(partial.status.code(), Some(2), "{}", stderr(&partial));
+    // flip a byte in the middle of the snapshot
+    let mut bytes = std::fs::read(&ckpt_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&ckpt_path, &bytes).unwrap();
+    let resumed = julie(&["check", net, "--engine=full", &format!("--resume={ckpt}")]);
+    assert_eq!(resumed.status.code(), Some(3), "corrupt snapshots exit 3");
+    // rejected either while reading the file or while validating the
+    // decoded snapshot — both are typed checkpoint errors
+    assert!(
+        stderr(&resumed).contains("checkpoint"),
+        "{}",
+        stderr(&resumed)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The headline robustness invariant, end to end: a verification run
+/// killed with SIGKILL mid-exploration resumes from its last periodic
+/// snapshot and reaches the same verdict and state count as a run that
+/// was never interrupted.
+#[test]
+fn sigkill_and_resume_reaches_the_uninterrupted_verdict() {
+    use std::time::{Duration, Instant};
+    let dir = temp_dir("sigkill");
+    let net_path = dir.join("nsdp8.net");
+    std::fs::write(&net_path, petri::to_text(&models::nsdp(8))).unwrap();
+    let net = net_path.to_str().unwrap();
+    let ckpt_path = dir.join("run.ckpt");
+    let ckpt = ckpt_path.to_str().unwrap();
+
+    let reference = julie(&["check", net, "--engine=full", "--threads=2"]);
+    assert_eq!(reference.status.code(), Some(1), "{}", stderr(&reference));
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_julie"))
+        .args([
+            "check",
+            net,
+            "--engine=full",
+            "--threads=2",
+            &format!("--checkpoint={ckpt}"),
+            "--checkpoint-every=5000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    // wait for the first periodic snapshot, then kill without warning
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !ckpt_path.exists() && child.try_wait().expect("child polls").is_none() {
+        assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().ok(); // SIGKILL on unix; a no-op if it already finished
+    child.wait().expect("child reaped");
+    assert!(ckpt_path.exists(), "a snapshot survived the kill");
+
+    let resumed = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--threads=2",
+        &format!("--resume={ckpt}"),
+    ]);
+    assert_eq!(resumed.status.code(), Some(1), "{}", stderr(&resumed));
+    let text = stdout(&resumed);
+    assert!(text.contains("DEADLOCK possible"), "{text}");
+    assert_eq!(
+        states_line(&text),
+        states_line(&stdout(&reference)),
+        "resumed run explored the identical state space"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -6,13 +6,39 @@
 //! interleavings of independent transitions.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
-use petri::parallel::{default_threads, explore_frontier, FrontierOptions, STATE_OVERHEAD_BYTES};
-use petri::{Budget, CoverageStats, Marking, NetError, Outcome, PetriNet, TransitionId};
+use petri::checkpoint::{
+    read_marking, write_checkpoint, write_marking, ByteReader, ByteWriter, CheckpointError,
+    EngineKind,
+};
+use petri::parallel::{
+    default_threads, explore_frontier_seeded, FrontierOptions, FrontierSeed, STATE_OVERHEAD_BYTES,
+};
+use petri::{
+    Budget, CheckpointConfig, CoverageStats, Marking, NetError, Outcome, PetriNet, Snapshot,
+    TransitionId,
+};
 
 use crate::stubborn::{SeedStrategy, StubbornSets};
+
+/// Section tags of a [`EngineKind::Reduced`] snapshot.
+mod section {
+    pub const STATES: u32 = 1;
+    pub const EXPANDED: u32 = 2;
+    pub const DEADLOCKS: u32 = 3;
+    pub const COUNTERS: u32 = 4;
+    pub const STRATEGY: u32 = 5;
+}
+
+fn strategy_tag(s: SeedStrategy) -> u8 {
+    match s {
+        SeedStrategy::FirstEnabled => 0,
+        SeedStrategy::BestOfEnabled => 1,
+        SeedStrategy::ConflictCluster => 2,
+    }
+}
 
 /// Options for [`ReducedReachability::explore_with`].
 #[derive(Debug, Clone)]
@@ -68,6 +94,9 @@ impl Default for ReducedOptions {
 #[derive(Debug, Clone)]
 pub struct ReducedReachability {
     states: Vec<Marking>,
+    /// Per-state "successors computed" flag; `false` entries are the
+    /// frontier a checkpointed run resumes from.
+    expanded: Vec<bool>,
     deadlocks: Vec<usize>,
     edge_count: usize,
     elapsed: Duration,
@@ -118,15 +147,102 @@ impl ReducedReachability {
         opts: &ReducedOptions,
         budget: &Budget,
     ) -> Result<Outcome<Self>, NetError> {
-        let start = Instant::now();
         let budget = budget.clone().cap_states(opts.max_states);
+        Self::explore_resumed(net, opts, &budget, None)
+    }
+
+    /// Like [`explore_bounded`](Self::explore_bounded), but optionally
+    /// resuming a prior partial graph and/or writing crash-safe snapshots
+    /// (see [`petri::checkpoint`] and
+    /// [`ReachabilityGraph::explore_checkpointed`](petri::ReachabilityGraph::explore_checkpointed)
+    /// for the segmenting protocol, which is identical here).
+    ///
+    /// The snapshot records the [`SeedStrategy`]; resuming under a
+    /// different strategy is rejected, since mixing reduction rules
+    /// mid-run would void the deadlock-preservation argument.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`explore_bounded`](Self::explore_bounded) returns, plus
+    /// [`NetError::Checkpoint`] for unusable snapshots.
+    pub fn explore_checkpointed(
+        net: &PetriNet,
+        opts: &ReducedOptions,
+        budget: &Budget,
+        ckpt: &CheckpointConfig,
+        resume: Option<&Snapshot>,
+    ) -> Result<Outcome<Self>, NetError> {
+        let real_budget = budget.clone().cap_states(opts.max_states);
+        let mut prior = match resume {
+            Some(snap) => Some(
+                Self::from_snapshot(net, snap, opts.strategy)
+                    .map_err(|e| NetError::Checkpoint(e.to_string()))?,
+            ),
+            None => None,
+        };
+        loop {
+            let mut segment = real_budget.clone();
+            if let (Some(every), Some(_)) = (ckpt.every, &ckpt.path) {
+                let stored = prior.as_ref().map_or(1, ReducedReachability::state_count);
+                segment.max_states = segment.max_states.min(stored.saturating_add(every.max(1)));
+            }
+            match Self::explore_resumed(net, opts, &segment, prior.take())? {
+                Outcome::Complete(red) => return Ok(Outcome::Complete(red)),
+                Outcome::Partial {
+                    result, coverage, ..
+                } => {
+                    if let Some(path) = &ckpt.path {
+                        write_checkpoint(path, &result.to_snapshot(net, opts.strategy))
+                            .map_err(|e| NetError::Checkpoint(e.to_string()))?;
+                    }
+                    match real_budget.exceeded(coverage.states_stored, coverage.bytes_estimate) {
+                        None => prior = Some(result),
+                        Some(real_reason) => {
+                            return Ok(Outcome::Partial {
+                                result,
+                                reason: real_reason,
+                                coverage,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Continues exploring `prior` (or starts fresh) under `budget`.
+    fn explore_resumed(
+        net: &PetriNet,
+        opts: &ReducedOptions,
+        budget: &Budget,
+        prior: Option<Self>,
+    ) -> Result<Outcome<Self>, NetError> {
+        let start = Instant::now();
         let stubborn = StubbornSets::new_with_threads(net, opts.strategy, opts.threads.max(1));
 
         if opts.threads.max(1) > 1 {
+            let (seed, base_elapsed) = match prior {
+                Some(red) => (
+                    FrontierSeed {
+                        // the reduced engine never records edges, so the
+                        // seed's succ lists are empty placeholders
+                        succ: vec![Vec::new(); red.states.len()],
+                        states: red.states,
+                        expanded: red.expanded,
+                        deadlocks: red.deadlocks.into_iter().map(|i| i as u32).collect(),
+                        edge_count: red.edge_count,
+                    },
+                    red.elapsed,
+                ),
+                None => (
+                    FrontierSeed::initial(net.initial_marking().clone()),
+                    Duration::ZERO,
+                ),
+            };
             // the spread fills the cfg-gated fault-injection field in test builds
             #[allow(clippy::needless_update)]
-            let outcome = explore_frontier(
-                net.initial_marking().clone(),
+            let outcome = explore_frontier_seeded(
+                seed,
                 &FrontierOptions {
                     threads: opts.threads,
                     record_edges: false,
@@ -142,27 +258,49 @@ impl ReducedReachability {
             )?;
             return Ok(outcome.map(|result| ReducedReachability {
                 states: result.states,
+                expanded: result.expanded,
                 deadlocks: result.deadlocks.into_iter().map(|i| i as usize).collect(),
                 edge_count: result.edge_count,
-                elapsed: start.elapsed(),
+                elapsed: base_elapsed + start.elapsed(),
                 threads_used: opts.threads,
             }));
         }
 
-        let mut states: Vec<Marking> = vec![net.initial_marking().clone()];
-        let mut index: HashMap<Marking, usize> = HashMap::new();
-        index.insert(net.initial_marking().clone(), 0);
-        let mut deadlocks = Vec::new();
-        let mut edge_count = 0;
-        let mut bytes = net.initial_marking().approx_bytes() + STATE_OVERHEAD_BYTES;
+        let (mut states, mut expanded, mut deadlocks, mut edge_count, base_elapsed) = match prior {
+            Some(red) => (
+                red.states,
+                red.expanded,
+                red.deadlocks,
+                red.edge_count,
+                red.elapsed,
+            ),
+            None => (
+                vec![net.initial_marking().clone()],
+                vec![false],
+                Vec::new(),
+                0,
+                Duration::ZERO,
+            ),
+        };
+        let mut index: HashMap<Marking, usize> = states
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i))
+            .collect();
+        let mut bytes = states
+            .iter()
+            .map(|m| m.approx_bytes() + STATE_OVERHEAD_BYTES)
+            .sum::<usize>();
+        let mut worklist: VecDeque<usize> = (0..states.len()).filter(|&i| !expanded[i]).collect();
+        let mut expanded_count = states.len() - worklist.len();
 
         let mut exhausted = None;
-        let mut frontier = 0;
-        while frontier < states.len() {
+        while let Some(&frontier) = worklist.front() {
             if let Some(reason) = budget.exceeded(states.len(), bytes) {
                 exhausted = Some(reason);
                 break;
             }
+            worklist.pop_front();
             // take the marking out instead of cloning it; the index still
             // holds an equal key, so lookups during expansion are unaffected
             let m = std::mem::replace(&mut states[frontier], Marking::empty(0));
@@ -176,17 +314,21 @@ impl ReducedReachability {
                 if let Entry::Vacant(e) = index.entry(next) {
                     bytes += e.key().approx_bytes() + STATE_OVERHEAD_BYTES;
                     states.push(e.key().clone());
+                    expanded.push(false);
+                    worklist.push_back(states.len() - 1);
                     e.insert(states.len() - 1);
                 }
             }
             states[frontier] = m;
-            frontier += 1;
+            expanded[frontier] = true;
+            expanded_count += 1;
         }
 
-        let elapsed = start.elapsed();
+        let elapsed = base_elapsed + start.elapsed();
         let stored = states.len();
         let red = ReducedReachability {
             states,
+            expanded,
             deadlocks,
             edge_count,
             elapsed,
@@ -199,12 +341,143 @@ impl ReducedReachability {
                 reason,
                 coverage: CoverageStats {
                     states_stored: stored,
-                    states_expanded: frontier,
-                    frontier_len: stored - frontier,
+                    states_expanded: expanded_count,
+                    frontier_len: stored - expanded_count,
                     bytes_estimate: bytes,
                     elapsed,
                 },
             },
+        })
+    }
+
+    /// Serializes this (typically partial) reduced graph as a snapshot.
+    pub fn to_snapshot(&self, net: &PetriNet, strategy: SeedStrategy) -> Snapshot {
+        let mut snap = Snapshot::new(EngineKind::Reduced, net);
+
+        let mut w = ByteWriter::new();
+        w.u32(net.place_count() as u32);
+        w.usize(self.states.len());
+        for m in &self.states {
+            write_marking(&mut w, m);
+        }
+        snap.push_section(section::STATES, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.bools(&self.expanded);
+        snap.push_section(section::EXPANDED, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.usize(self.deadlocks.len());
+        for &d in &self.deadlocks {
+            w.u32(d as u32);
+        }
+        snap.push_section(section::DEADLOCKS, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.usize(self.edge_count);
+        w.u64(self.elapsed.as_nanos() as u64);
+        snap.push_section(section::COUNTERS, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.u8(strategy_tag(strategy));
+        snap.push_section(section::STRATEGY, w.into_bytes());
+
+        snap
+    }
+
+    /// Rebuilds a (typically partial) reduced graph from a snapshot,
+    /// validating engine kind, net fingerprint, stored strategy, and all
+    /// structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] for foreign, mismatched, or
+    /// inconsistent snapshots.
+    pub fn from_snapshot(
+        net: &PetriNet,
+        snap: &Snapshot,
+        strategy: SeedStrategy,
+    ) -> Result<Self, CheckpointError> {
+        snap.validate(EngineKind::Reduced, net.fingerprint())?;
+
+        let mut r = ByteReader::new(snap.require_section(section::STRATEGY)?, section::STRATEGY);
+        let stored_strategy = r.u8()?;
+        r.finish()?;
+        if stored_strategy != strategy_tag(strategy) {
+            return Err(CheckpointError::Malformed {
+                section: section::STRATEGY,
+                detail: format!(
+                    "snapshot uses stubborn-set strategy {stored_strategy}, run uses {}",
+                    strategy_tag(strategy)
+                ),
+            });
+        }
+
+        let mut r = ByteReader::new(snap.require_section(section::STATES)?, section::STATES);
+        let place_count = r.u32()? as usize;
+        if place_count != net.place_count() {
+            return Err(r.malformed(format!(
+                "snapshot has {place_count} places, net has {}",
+                net.place_count()
+            )));
+        }
+        let count = r.usize()?;
+        let mut states = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            states.push(read_marking(&mut r, place_count)?);
+        }
+        r.finish()?;
+        if states.is_empty() || &states[0] != net.initial_marking() {
+            return Err(CheckpointError::Malformed {
+                section: section::STATES,
+                detail: "state 0 is not the net's initial marking".into(),
+            });
+        }
+        let distinct: std::collections::HashSet<&Marking> = states.iter().collect();
+        if distinct.len() != states.len() {
+            return Err(CheckpointError::Malformed {
+                section: section::STATES,
+                detail: "duplicate markings in state table".into(),
+            });
+        }
+
+        let mut r = ByteReader::new(snap.require_section(section::EXPANDED)?, section::EXPANDED);
+        let expanded = r.bools()?;
+        r.finish()?;
+        if expanded.len() != count {
+            return Err(CheckpointError::Malformed {
+                section: section::EXPANDED,
+                detail: "expanded bitmap length disagrees with state count".into(),
+            });
+        }
+
+        let mut r = ByteReader::new(
+            snap.require_section(section::DEADLOCKS)?,
+            section::DEADLOCKS,
+        );
+        let ndead = r.usize()?;
+        let mut deadlocks = Vec::with_capacity(ndead.min(count));
+        for _ in 0..ndead {
+            let d = r.u32()? as usize;
+            if d >= count || !expanded[d] {
+                return Err(r.malformed("deadlock id out of range or unexpanded"));
+            }
+            deadlocks.push(d);
+        }
+        r.finish()?;
+
+        let mut r = ByteReader::new(snap.require_section(section::COUNTERS)?, section::COUNTERS);
+        let edge_count = r.usize()?;
+        let elapsed = Duration::from_nanos(r.u64()?);
+        r.finish()?;
+
+        Ok(ReducedReachability {
+            states,
+            expanded,
+            deadlocks,
+            edge_count,
+            elapsed,
+            threads_used: 1,
         })
     }
 
@@ -406,6 +679,60 @@ mod tests {
         for m in result.markings() {
             assert!(reachable.contains(m));
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        use std::collections::BTreeSet;
+        let net = fig2(4);
+        for threads in [1usize, 2] {
+            let opts = ReducedOptions {
+                strategy: SeedStrategy::BestOfEnabled,
+                max_states: usize::MAX,
+                threads,
+            };
+            let reference = ReducedReachability::explore_bounded(&net, &opts, &Budget::default())
+                .unwrap()
+                .into_value();
+            let partial =
+                ReducedReachability::explore_bounded(&net, &opts, &Budget::default().cap_states(5))
+                    .unwrap();
+            assert!(!partial.is_complete(), "threads={threads}");
+            let snap = partial.value().to_snapshot(&net, opts.strategy);
+            let decoded = petri::Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            let resumed = ReducedReachability::explore_checkpointed(
+                &net,
+                &opts,
+                &Budget::default(),
+                &petri::CheckpointConfig::default(),
+                Some(&decoded),
+            )
+            .unwrap();
+            assert!(resumed.is_complete(), "threads={threads}");
+            let resumed = resumed.into_value();
+            assert_eq!(resumed.state_count(), reference.state_count());
+            assert_eq!(resumed.edge_count(), reference.edge_count());
+            let ref_dead: BTreeSet<&Marking> = reference.deadlock_markings().collect();
+            let res_dead: BTreeSet<&Marking> = resumed.deadlock_markings().collect();
+            assert_eq!(ref_dead, res_dead, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn snapshot_strategy_mismatch_is_rejected() {
+        let net = fig2(3);
+        let red = ReducedReachability::explore(&net).unwrap();
+        let snap = red.to_snapshot(&net, SeedStrategy::BestOfEnabled);
+        let err = ReducedReachability::from_snapshot(&net, &snap, SeedStrategy::ConflictCluster)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }));
+        // and the wrong engine kind is caught before anything decodes
+        let full_snap = petri::ReachabilityGraph::explore(&net)
+            .unwrap()
+            .to_snapshot(&net, true);
+        let err = ReducedReachability::from_snapshot(&net, &full_snap, SeedStrategy::BestOfEnabled)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::EngineMismatch { .. }));
     }
 
     #[test]

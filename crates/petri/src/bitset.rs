@@ -220,6 +220,33 @@ impl BitSet {
         }
     }
 
+    /// The raw block words backing this set (64 elements per block,
+    /// little-endian bit order). Used by the checkpoint serializer.
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuilds a set from raw block words over the universe
+    /// `0..capacity`, as produced by [`as_blocks`](Self::as_blocks).
+    ///
+    /// Returns `None` when the block count does not match the capacity or
+    /// a bit beyond the universe is set — untrusted (e.g. deserialized)
+    /// input must not be able to violate the `clear_excess` invariant.
+    pub fn from_blocks(capacity: usize, blocks: Vec<u64>) -> Option<Self> {
+        if blocks.len() != capacity.div_ceil(BITS) {
+            return None;
+        }
+        let rem = capacity % BITS;
+        if rem != 0 {
+            if let Some(&last) = blocks.last() {
+                if last & !((1u64 << rem) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(BitSet { blocks, capacity })
+    }
+
     /// The smallest element, if any.
     pub fn first(&self) -> Option<usize> {
         for (i, &b) in self.blocks.iter().enumerate() {

@@ -1,0 +1,984 @@
+//! Crash-safe checkpoint snapshots for long verification runs.
+//!
+//! A budget-governed exploration that dies — timeout, OOM-kill, power
+//! loss — loses every expanded state. This module gives each engine a
+//! durable, versioned, checksummed snapshot format so a run can be
+//! resumed exactly where it stopped:
+//!
+//! * **Envelope**: an 8-byte magic, a format version, an engine tag, and
+//!   the [fingerprint](PetriNet::fingerprint) of the net being analyzed,
+//!   followed by tagged sections each carrying its own CRC-32. Loading
+//!   validates all of it and rejects corrupt or mismatched snapshots with
+//!   typed [`CheckpointError`]s instead of producing garbage verdicts.
+//! * **Atomic writes**: snapshots are written to a temp file, fsynced,
+//!   and renamed into place; the previous generation is kept as
+//!   `<path>.prev` so a crash *during* a checkpoint write still leaves a
+//!   loadable snapshot behind ([`read_checkpoint_with_fallback`]).
+//! * **Engine payloads**: each engine serializes its own state store,
+//!   frontier bitmap, and counters into sections using [`ByteWriter`] /
+//!   [`ByteReader`]; this module only owns the envelope.
+//!
+//! Soundness: a snapshot stores only markings (or GPN states) that were
+//! genuinely discovered, plus the expanded/frontier split. Resuming
+//! re-seeds the work queue with exactly the unexpanded states, so the
+//! resumed run explores the same state space a single uninterrupted run
+//! would — same verdict, same state count, same witnesses.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use crate::bitset::BitSet;
+use crate::marking::Marking;
+use crate::net::PetriNet;
+
+/// File magic: identifies a julie checkpoint.
+pub const MAGIC: [u8; 8] = *b"JULIECKP";
+/// Current snapshot format version. Bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Which engine produced a snapshot. Resuming requires the same engine
+/// (and, for the GPO engine, the same family representation): replaying a
+/// reduced frontier under a different exploration rule would be unsound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Exhaustive reachability ([`ReachabilityGraph`](crate::ReachabilityGraph)).
+    Full,
+    /// Stubborn-set reduced reachability (`partial-order` crate).
+    Reduced,
+    /// Generalized partial-order analysis, explicit families.
+    GpoExplicit,
+    /// Generalized partial-order analysis, ZDD-backed families.
+    GpoZdd,
+}
+
+impl EngineKind {
+    fn tag(self) -> u32 {
+        match self {
+            EngineKind::Full => 1,
+            EngineKind::Reduced => 2,
+            EngineKind::GpoExplicit => 3,
+            EngineKind::GpoZdd => 4,
+        }
+    }
+
+    fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            1 => Some(EngineKind::Full),
+            2 => Some(EngineKind::Reduced),
+            3 => Some(EngineKind::GpoExplicit),
+            4 => Some(EngineKind::GpoZdd),
+            _ => None,
+        }
+    }
+
+    /// Human-readable engine name, matching the CLI's `--engine` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Full => "full",
+            EngineKind::Reduced => "po",
+            EngineKind::GpoExplicit => "gpo",
+            EngineKind::GpoZdd => "gpo --zdd",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Why a snapshot could not be written or loaded. Every way a snapshot
+/// file can be damaged maps onto one of these variants — loading never
+/// panics and never silently yields a wrong exploration state.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure while reading or writing.
+    Io(std::io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file uses a different format version than this build.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The snapshot was written by a different engine (or representation).
+    EngineMismatch {
+        /// Engine the caller wants to resume with.
+        expected: EngineKind,
+        /// Engine recorded in the snapshot.
+        found: EngineKind,
+    },
+    /// The snapshot was taken of a structurally different net.
+    FingerprintMismatch {
+        /// Fingerprint of the net the caller is analyzing.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+    /// A section's payload does not match its recorded CRC-32.
+    ChecksumMismatch {
+        /// Tag of the damaged section.
+        section: u32,
+    },
+    /// The file ends before the declared structure does.
+    Truncated,
+    /// A checksum-valid section decodes to an inconsistent payload.
+    Malformed {
+        /// Tag of the inconsistent section.
+        section: u32,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint format version {found} (this build reads {expected})"
+            ),
+            CheckpointError::EngineMismatch { expected, found } => write!(
+                f,
+                "checkpoint was written by engine `{found}` but `{expected}` is resuming"
+            ),
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint is for a different net (fingerprint {found:#018x}, expected {expected:#018x})"
+            ),
+            CheckpointError::ChecksumMismatch { section } => {
+                write!(f, "checkpoint section {section} failed its CRC-32 check")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::Malformed { section, detail } => {
+                write!(f, "checkpoint section {section} is malformed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One tagged, independently checksummed payload of a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Engine-defined section tag.
+    pub tag: u32,
+    /// Raw payload bytes (engine-defined layout).
+    pub payload: Vec<u8>,
+}
+
+/// A validated in-memory snapshot: the envelope header plus its sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Engine that produced (and may resume) this snapshot.
+    pub engine: EngineKind,
+    /// Fingerprint of the net the snapshot belongs to.
+    pub fingerprint: u64,
+    /// Engine-defined sections, in write order.
+    pub sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// Starts an empty snapshot for `engine` over `net`.
+    pub fn new(engine: EngineKind, net: &PetriNet) -> Self {
+        Snapshot {
+            engine,
+            fingerprint: net.fingerprint(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section.
+    pub fn push_section(&mut self, tag: u32, payload: Vec<u8>) {
+        self.sections.push(Section { tag, payload });
+    }
+
+    /// The payload of the first section with `tag`, if present.
+    pub fn section(&self, tag: u32) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|s| s.tag == tag)
+            .map(|s| s.payload.as_slice())
+    }
+
+    /// The payload of section `tag`, or [`CheckpointError::Malformed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] if the section is absent.
+    pub fn require_section(&self, tag: u32) -> Result<&[u8], CheckpointError> {
+        self.section(tag).ok_or(CheckpointError::Malformed {
+            section: tag,
+            detail: "required section is missing".into(),
+        })
+    }
+
+    /// Checks that this snapshot belongs to `engine` and a net with
+    /// `fingerprint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::EngineMismatch`] or
+    /// [`CheckpointError::FingerprintMismatch`] accordingly.
+    pub fn validate(&self, engine: EngineKind, fingerprint: u64) -> Result<(), CheckpointError> {
+        if self.engine != engine {
+            return Err(CheckpointError::EngineMismatch {
+                expected: engine,
+                found: self.engine,
+            });
+        }
+        if self.fingerprint != fingerprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: fingerprint,
+                found: self.fingerprint,
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the snapshot to its on-disk byte layout:
+    ///
+    /// ```text
+    /// magic[8] version:u32 engine:u32 fingerprint:u64 section_count:u32
+    /// ( tag:u32 len:u64 crc32:u32 payload[len] )*
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(
+            32 + self
+                .sections
+                .iter()
+                .map(|s| 16 + s.payload.len())
+                .sum::<usize>(),
+        );
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.engine.tag().to_le_bytes());
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for s in &self.sections {
+            buf.extend_from_slice(&s.tag.to_le_bytes());
+            buf.extend_from_slice(&(s.payload.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&crc32(&s.payload).to_le_bytes());
+            buf.extend_from_slice(&s.payload);
+        }
+        buf
+    }
+
+    /// Parses and validates the on-disk byte layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CheckpointError`] describing the first problem
+    /// found: bad magic, version/engine mismatch, truncation, or a
+    /// per-section CRC failure. Never panics on arbitrary input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
+            let end = pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+            if end > bytes.len() {
+                return Err(CheckpointError::Truncated);
+            }
+            let out = &bytes[*pos..end];
+            *pos = end;
+            Ok(out)
+        };
+        let magic = take(&mut pos, 8)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let engine_tag = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let engine = EngineKind::from_tag(engine_tag).ok_or(CheckpointError::Malformed {
+            section: 0,
+            detail: format!("unknown engine tag {engine_tag}"),
+        })?;
+        let fingerprint = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let section_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let mut sections = Vec::new();
+        for _ in 0..section_count {
+            let tag = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let len = usize::try_from(len).map_err(|_| CheckpointError::Truncated)?;
+            let payload = take(&mut pos, len)?;
+            if crc32(payload) != crc {
+                return Err(CheckpointError::ChecksumMismatch { section: tag });
+            }
+            sections.push(Section {
+                tag,
+                payload: payload.to_vec(),
+            });
+        }
+        if pos != bytes.len() {
+            return Err(CheckpointError::Malformed {
+                section: 0,
+                detail: format!("{} trailing bytes after last section", bytes.len() - pos),
+            });
+        }
+        Ok(Snapshot {
+            engine,
+            fingerprint,
+            sections,
+        })
+    }
+}
+
+/// The companion path holding the previous checkpoint generation.
+pub fn previous_generation(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".prev");
+    PathBuf::from(name)
+}
+
+/// Durably writes `snapshot` to `path`.
+///
+/// The write protocol survives a crash at any point: the snapshot is
+/// written to `<path>.tmp` and fsynced, any existing `<path>` is rotated
+/// to `<path>.prev`, and the temp file is atomically renamed to `<path>`
+/// (followed by a best-effort fsync of the directory). A reader therefore
+/// always finds either the new snapshot, the previous one, or both —
+/// never a torn file under the primary name.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on any filesystem failure.
+pub fn write_checkpoint(path: &Path, snapshot: &Snapshot) -> Result<(), CheckpointError> {
+    let bytes = snapshot.to_bytes();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    if path.exists() {
+        fs::rename(path, previous_generation(path))?;
+    }
+    fs::rename(&tmp, path)?;
+    // directory fsync makes the rename durable; best-effort because some
+    // filesystems refuse to open directories for writing
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and validates the snapshot at `path`.
+///
+/// # Errors
+///
+/// Returns a typed [`CheckpointError`] for unreadable, corrupt, or
+/// foreign files.
+pub fn read_checkpoint(path: &Path) -> Result<Snapshot, CheckpointError> {
+    Snapshot::from_bytes(&fs::read(path)?)
+}
+
+/// Loads the snapshot at `path`, falling back to the previous generation
+/// `<path>.prev` when the primary is missing or damaged (e.g. the process
+/// died mid-write before the atomic rename completed).
+///
+/// # Errors
+///
+/// Returns the *primary* file's error when both generations fail, so the
+/// user sees why the most recent snapshot was unusable.
+pub fn read_checkpoint_with_fallback(path: &Path) -> Result<Snapshot, CheckpointError> {
+    match read_checkpoint(path) {
+        Ok(s) => Ok(s),
+        Err(primary) => match read_checkpoint(&previous_generation(path)) {
+            Ok(s) => Ok(s),
+            Err(_) => Err(primary),
+        },
+    }
+}
+
+/// How an engine run should interact with checkpointing. Constructed by
+/// the CLI from `--checkpoint` / `--checkpoint-every`; resuming is a
+/// separate [`Snapshot`] argument so loading and validation happen (with
+/// typed errors) before any exploration starts.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointConfig {
+    /// Where to write snapshots. `None` disables writing.
+    pub path: Option<PathBuf>,
+    /// Write a snapshot roughly every this many newly stored states, by
+    /// running the exploration in segments: each segment drains and joins
+    /// its workers at a frontier barrier, snapshots the quiesced state,
+    /// and continues in-process. `None` snapshots only on budget
+    /// exhaustion. Requires `path`.
+    pub every: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// A config that writes to `path` only when the budget is exhausted.
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            path: Some(path.into()),
+            every: None,
+        }
+    }
+
+    /// A config that additionally snapshots every `every` stored states.
+    pub fn periodic(path: impl Into<PathBuf>, every: usize) -> Self {
+        CheckpointConfig {
+            path: Some(path.into()),
+            every: Some(every),
+        }
+    }
+
+    /// `true` when nothing is ever written (pure resume or plain run).
+    pub fn is_disabled(&self) -> bool {
+        self.path.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checksums and fingerprints
+// ---------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes` — the per-section checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit hasher with a *stable* output across builds and
+/// platforms — unlike `DefaultHasher`, which is explicitly allowed to
+/// change between releases and must never be persisted.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds a length-prefixed string (prefixing prevents ambiguity
+    /// between e.g. `["ab","c"]` and `["a","bc"]`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds a u64.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable structural fingerprint of a net: name, places (with their
+/// initial marking), and transitions with their pre/post place sets.
+/// Two nets agree iff resuming a snapshot of one under the other is
+/// meaningful.
+pub(crate) fn net_fingerprint(net: &PetriNet) -> u64 {
+    let mut h = Fnv64::default();
+    h.write_str(net.name());
+    h.write_u64(net.place_count() as u64);
+    for p in net.places() {
+        h.write_str(net.place_name(p));
+        h.write_u64(u64::from(net.initial_marking().is_marked(p)));
+    }
+    h.write_u64(net.transition_count() as u64);
+    for t in net.transitions() {
+        h.write_str(net.transition_name(t));
+        h.write_u64(net.pre_places(t).len() as u64);
+        for &p in net.pre_places(t) {
+            h.write_u64(p.index() as u64);
+        }
+        h.write_u64(net.post_places(t).len() as u64);
+        for &p in net.post_places(t) {
+            h.write_u64(p.index() as u64);
+        }
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Section payload encoding helpers
+// ---------------------------------------------------------------------
+
+/// Little-endian, fixed-width section payload writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a usize as u64.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a bit set as its block words (the capacity is implied by
+    /// the context reading it back).
+    pub fn bits(&mut self, bits: &BitSet) {
+        for &b in bits.as_blocks() {
+            self.u64(b);
+        }
+    }
+
+    /// Appends a `Vec<bool>` packed 8 flags per byte.
+    pub fn bools(&mut self, flags: &[bool]) {
+        self.usize(flags.len());
+        let mut byte = 0u8;
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                self.u8(byte);
+                byte = 0;
+            }
+        }
+        if !flags.len().is_multiple_of(8) {
+            self.u8(byte);
+        }
+    }
+
+    /// The accumulated payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian, fixed-width section payload reader. Every accessor is
+/// bounds-checked and returns [`CheckpointError::Malformed`] (tagged with
+/// the section being decoded) instead of panicking.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: u32,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading `payload` of section `section`.
+    pub fn new(payload: &'a [u8], section: u32) -> Self {
+        ByteReader {
+            buf: payload,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// The malformed-payload error for this section.
+    pub fn malformed(&self, detail: impl Into<String>) -> CheckpointError {
+        CheckpointError::Malformed {
+            section: self.section,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.malformed("payload ends early"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] if the payload ends early.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] if the payload ends early.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] if the payload ends early.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a u64 written by [`ByteWriter::usize`] back into a usize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] if the payload ends early or
+    /// the value does not fit a usize.
+    pub fn usize(&mut self) -> Result<usize, CheckpointError> {
+        usize::try_from(self.u64()?).map_err(|_| self.malformed("count does not fit usize"))
+    }
+
+    /// Reads a bit set over the universe `0..capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] on truncation or if bits
+    /// beyond `capacity` are set.
+    pub fn bits(&mut self, capacity: usize) -> Result<BitSet, CheckpointError> {
+        let nblocks = capacity.div_ceil(64);
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            blocks.push(self.u64()?);
+        }
+        BitSet::from_blocks(capacity, blocks)
+            .ok_or_else(|| self.malformed("bit set has bits outside its universe"))
+    }
+
+    /// Reads a packed `Vec<bool>` written by [`ByteWriter::bools`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] on truncation or an
+    /// implausible length.
+    pub fn bools(&mut self) -> Result<Vec<bool>, CheckpointError> {
+        let n = self.usize()?;
+        let bytes = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
+    }
+
+    /// Checks that the payload was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] if bytes remain.
+    pub fn finish(self) -> Result<(), CheckpointError> {
+        if self.pos != self.buf.len() {
+            return Err(self.malformed(format!(
+                "{} unread bytes at end of section",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Writes a marking as its place bit set (blocks only; the place count is
+/// supplied again on read).
+pub fn write_marking(w: &mut ByteWriter, m: &Marking) {
+    w.bits(m.as_bits());
+}
+
+/// Reads a marking over `place_count` places.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Malformed`] on truncation or out-of-universe
+/// bits.
+pub fn read_marking(
+    r: &mut ByteReader<'_>,
+    place_count: usize,
+) -> Result<Marking, CheckpointError> {
+    Ok(Marking::from_bits(r.bits(place_count)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    fn sample_net() -> PetriNet {
+        let mut b = NetBuilder::new("sample");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("t", [p], [q]);
+        b.build().unwrap()
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let net = sample_net();
+        let mut s = Snapshot::new(EngineKind::Full, &net);
+        s.push_section(1, vec![1, 2, 3, 4, 5]);
+        s.push_section(2, Vec::new());
+        s.push_section(7, vec![0xFF; 100]);
+        s
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // the classic IEEE test vector
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_structure_sensitive() {
+        let a = sample_net().fingerprint();
+        assert_eq!(a, sample_net().fingerprint(), "deterministic");
+        let mut b = NetBuilder::new("sample");
+        let p = b.place_marked("p");
+        let q = b.place("q");
+        b.transition("t", [q], [p]); // reversed arc
+        assert_ne!(a, b.build().unwrap().fingerprint());
+        let mut c = NetBuilder::new("sample");
+        let pp = c.place("p"); // not marked
+        let qq = c.place("q");
+        c.transition("t", [pp], [qq]);
+        assert_ne!(a, c.build().unwrap().fingerprint());
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip() {
+        let s = sample_snapshot();
+        let decoded = Snapshot::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(s, decoded);
+        assert_eq!(decoded.section(1), Some(&[1u8, 2, 3, 4, 5][..]));
+        assert_eq!(decoded.section(9), None);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample_snapshot().to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                let original = sample_snapshot();
+                // header fields outside any CRC may decode to a
+                // *different but well-formed* snapshot; that is fine —
+                // the engine/fingerprint validation rejects it later.
+                // What must never happen is decoding to the same
+                // snapshot or panicking.
+                if let Ok(s) = Snapshot::from_bytes(&corrupt) {
+                    assert_ne!(s, original, "byte {i} bit {bit} undetected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let s = sample_snapshot();
+        let bytes = s.to_bytes();
+        // find the payload of section 7 (100 bytes of 0xFF at the tail)
+        let idx = bytes.len() - 50;
+        let mut corrupt = bytes.clone();
+        corrupt[idx] ^= 0x01;
+        assert!(matches!(
+            Snapshot::from_bytes(&corrupt),
+            Err(CheckpointError::ChecksumMismatch { section: 7 })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes[8] = 0xEE; // version field follows the 8-byte magic
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(CheckpointError::VersionMismatch { found: 0xEE, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let mut bytes = sample_snapshot().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = sample_snapshot().to_bytes();
+        for cut in [0, 4, 8, 12, 20, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(&bytes[..cut]),
+                    Err(CheckpointError::Truncated)
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_wrong_engine_and_net() {
+        let net = sample_net();
+        let s = Snapshot::new(EngineKind::Full, &net);
+        assert!(s.validate(EngineKind::Full, net.fingerprint()).is_ok());
+        assert!(matches!(
+            s.validate(EngineKind::Reduced, net.fingerprint()),
+            Err(CheckpointError::EngineMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate(EngineKind::Full, net.fingerprint() ^ 1),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_keeps_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let mut first = sample_snapshot();
+        write_checkpoint(&path, &first).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), first);
+        first.push_section(42, vec![9; 8]);
+        write_checkpoint(&path, &first).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), first);
+        let prev = read_checkpoint(&previous_generation(&path)).unwrap();
+        assert_eq!(prev.sections.len(), 3, "previous generation retained");
+        // damage the primary: the fallback reader recovers the previous one
+        std::fs::write(&path, b"garbage").unwrap();
+        let recovered = read_checkpoint_with_fallback(&path).unwrap();
+        assert_eq!(recovered, prev);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_both_generations_reports_primary_error() {
+        let path = std::env::temp_dir().join(format!("ckpt-missing-{}", std::process::id()));
+        assert!(matches!(
+            read_checkpoint_with_fallback(&path),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn byte_writer_reader_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.usize(12345);
+        let flags = vec![true, false, true, true, false, false, false, true, true];
+        w.bools(&flags);
+        let mut bits = BitSet::new(70);
+        bits.insert(0);
+        bits.insert(69);
+        w.bits(&bits);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, 3);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.bools().unwrap(), flags);
+        assert_eq!(r.bits(70).unwrap(), bits);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_errors_are_malformed_with_section() {
+        let mut r = ByteReader::new(&[1, 2], 9);
+        assert!(matches!(
+            r.u32(),
+            Err(CheckpointError::Malformed { section: 9, .. })
+        ));
+        let bytes = [0xFFu8; 8];
+        let mut r = ByteReader::new(&bytes, 4);
+        // all 64 bits set but capacity is 3: out-of-universe bits rejected
+        assert!(matches!(
+            r.bits(3),
+            Err(CheckpointError::Malformed { section: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn unconsumed_payload_is_rejected() {
+        let r = ByteReader::new(&[1, 2, 3], 5);
+        assert!(matches!(
+            r.finish(),
+            Err(CheckpointError::Malformed { section: 5, .. })
+        ));
+    }
+}

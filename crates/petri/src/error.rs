@@ -48,9 +48,14 @@ pub enum NetError {
     Parse {
         /// 1-based line of the offending input.
         line: usize,
-        /// Explanation of what was expected.
+        /// 1-based column (in characters) of the offending token, or of
+        /// the position where a missing token was expected.
+        column: usize,
+        /// Explanation of what was expected, naming the offending token.
         message: String,
     },
+    /// A checkpoint snapshot could not be written, read, or applied.
+    Checkpoint(String),
 }
 
 impl fmt::Display for NetError {
@@ -75,9 +80,14 @@ impl fmt::Display for NetError {
                 f,
                 "net is not safe: firing `{transition}` puts a second token in `{place}`"
             ),
-            NetError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            NetError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")
             }
+            NetError::Checkpoint(detail) => write!(f, "checkpoint error: {detail}"),
         }
     }
 }
@@ -125,9 +135,10 @@ mod tests {
             (
                 NetError::Parse {
                     line: 3,
+                    column: 8,
                     message: "expected `->`".into(),
                 },
-                "parse error at line 3: expected `->`",
+                "parse error at line 3, column 8: expected `->`",
             ),
         ];
         for (err, expected) in cases {

@@ -47,6 +47,7 @@
 mod analysis;
 mod bitset;
 pub mod budget;
+pub mod checkpoint;
 mod conflict;
 mod dot;
 mod error;
@@ -63,6 +64,10 @@ mod siphons;
 pub use analysis::{verify, verify_bounded, verify_with, BoundedReport, VerificationReport};
 pub use bitset::{BitSet, Iter as BitSetIter};
 pub use budget::{Budget, CoverageStats, ExhaustionReason, Outcome, Verdict};
+pub use checkpoint::{
+    read_checkpoint, read_checkpoint_with_fallback, write_checkpoint, CheckpointConfig,
+    CheckpointError, EngineKind, Snapshot,
+};
 pub use conflict::ConflictInfo;
 pub use dot::{net_to_dot, reachability_to_dot};
 pub use error::NetError;

@@ -177,6 +177,16 @@ impl PetriNet {
         let names: Vec<&str> = m.places().map(|p| self.place_name(p)).collect();
         format!("{{{}}}", names.join(", "))
     }
+
+    /// A stable structural fingerprint of this net (name, places with
+    /// their initial marking, transitions with their pre/post sets).
+    ///
+    /// The fingerprint is identical across processes and builds, so it is
+    /// safe to persist: [`checkpoint`](crate::checkpoint) snapshots embed
+    /// it and refuse to resume against a structurally different net.
+    pub fn fingerprint(&self) -> u64 {
+        crate::checkpoint::net_fingerprint(self)
+    }
 }
 
 impl fmt::Display for PetriNet {

@@ -142,6 +142,10 @@ impl Default for FrontierOptions {
 pub struct FrontierResult<St = Marking, L = TransitionId> {
     /// Every discovered state, indexed by state id.
     pub states: Vec<St>,
+    /// Per state id, whether its successors have been computed. All `true`
+    /// on a complete run; on a partial run the `false` entries are the
+    /// frontier a resumed exploration must continue from.
+    pub expanded: Vec<bool>,
     /// Labelled outgoing edges per state id; empty unless
     /// [`FrontierOptions::record_edges`] was set.
     pub succ: Vec<Vec<(L, u32)>>,
@@ -149,6 +153,41 @@ pub struct FrontierResult<St = Marking, L = TransitionId> {
     pub deadlocks: Vec<u32>,
     /// Total number of fired transitions (edges), recorded or not.
     pub edge_count: usize,
+}
+
+/// A previously explored prefix of the state space to continue from —
+/// typically decoded from a [checkpoint](crate::checkpoint) snapshot. The
+/// engine re-seeds its index with every state, re-enqueues exactly the
+/// unexpanded ones (in increasing id order), and keeps all accumulated
+/// edges, deadlocks, and counts.
+#[derive(Debug)]
+pub struct FrontierSeed<St = Marking, L = TransitionId> {
+    /// Every previously discovered state, indexed by state id.
+    pub states: Vec<St>,
+    /// Per state id, whether it was already expanded (same length as
+    /// `states`).
+    pub expanded: Vec<bool>,
+    /// Previously recorded edges per state id (same length as `states`;
+    /// all empty when the prior run did not record edges).
+    pub succ: Vec<Vec<(L, u32)>>,
+    /// Previously classified deadlock ids.
+    pub deadlocks: Vec<u32>,
+    /// Previously fired transition count.
+    pub edge_count: usize,
+}
+
+impl<St, L> FrontierSeed<St, L> {
+    /// The trivial seed of a fresh run: one stored, unexpanded initial
+    /// state with id 0.
+    pub fn initial(initial: St) -> Self {
+        FrontierSeed {
+            states: vec![initial],
+            expanded: vec![false],
+            succ: vec![Vec::new()],
+            deadlocks: Vec::new(),
+            edge_count: 0,
+        }
+    }
 }
 
 /// Explores the frontier fixed point of `successors` from `initial` using
@@ -177,29 +216,90 @@ where
     L: Send,
     S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
 {
+    explore_frontier_seeded(FrontierSeed::initial(initial), opts, successors)
+}
+
+/// Continues exploring from a previously computed prefix (see
+/// [`FrontierSeed`]). A seed of [`FrontierSeed::initial`] makes this
+/// identical to [`explore_frontier`]; a seed decoded from a checkpoint
+/// resumes the interrupted run, re-enqueuing its frontier in increasing
+/// id order.
+///
+/// Prior states keep their ids; newly discovered states get the next
+/// dense ids. All counts (stored states, byte estimate, expanded states,
+/// edges) continue from the seed's totals, so a resumed run trips the
+/// same budget limits an uninterrupted run would.
+///
+/// # Errors
+///
+/// Propagates the first callback error, or [`NetError::WorkerPanicked`]
+/// if a worker thread panicked (all other workers are joined first).
+///
+/// # Panics
+///
+/// Panics if the seed is internally inconsistent (field lengths disagree
+/// or it contains duplicate states) — seeds decoded from checkpoints are
+/// validated before they reach this engine.
+pub fn explore_frontier_seeded<St, L, S>(
+    seed: FrontierSeed<St, L>,
+    opts: &FrontierOptions,
+    successors: S,
+) -> Result<Outcome<FrontierResult<St, L>>, NetError>
+where
+    St: FrontierState,
+    L: Send,
+    S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
+{
     let start = Instant::now();
     let threads = opts.threads.max(2);
     let shard_count = (threads * 8).next_power_of_two();
 
-    let initial_bytes = initial.approx_bytes() + STATE_OVERHEAD_BYTES;
+    let FrontierSeed {
+        states: seed_states,
+        expanded: seed_expanded,
+        succ: seed_succ,
+        deadlocks: seed_deadlocks,
+        edge_count: seed_edge_count,
+    } = seed;
+    assert_eq!(seed_states.len(), seed_expanded.len(), "inconsistent seed");
+    assert_eq!(seed_states.len(), seed_succ.len(), "inconsistent seed");
+
+    let prior_count = seed_states.len();
+    let prior_expanded = seed_expanded.iter().filter(|&&e| e).count();
+    let recorded_edges: usize = seed_succ.iter().map(Vec::len).sum();
+    let seed_bytes: usize = seed_states
+        .iter()
+        .map(|s| s.approx_bytes() + STATE_OVERHEAD_BYTES)
+        .sum::<usize>()
+        + recorded_edges * EDGE_BYTES;
+
     let shards: Vec<Mutex<HashMap<St, u32>>> = (0..shard_count)
         .map(|_| Mutex::new(HashMap::new()))
         .collect();
-    lock_ignore_poison(&shards[shard_of(&initial, shard_count - 1)]).insert(initial.clone(), 0);
+    let mut frontier: VecDeque<(u32, St)> = VecDeque::new();
+    for (id, state) in seed_states.into_iter().enumerate() {
+        if !seed_expanded[id] {
+            frontier.push_back((id as u32, state.clone()));
+        }
+        let prev =
+            lock_ignore_poison(&shards[shard_of(&state, shard_count - 1)]).insert(state, id as u32);
+        assert!(prev.is_none(), "duplicate state in seed");
+    }
+    let pending = frontier.len();
 
     let shared = Shared {
         successors: &successors,
         shards,
         shard_mask: shard_count - 1,
-        next_id: AtomicU32::new(1),
-        stored: AtomicUsize::new(1),
-        bytes: AtomicUsize::new(initial_bytes),
-        expanded: AtomicUsize::new(0),
+        next_id: AtomicU32::new(prior_count as u32),
+        stored: AtomicUsize::new(prior_count),
+        bytes: AtomicUsize::new(seed_bytes),
+        expanded: AtomicUsize::new(prior_expanded),
         budget: &opts.budget,
         record_edges: opts.record_edges,
         queue: Mutex::new(QueueState {
-            queue: VecDeque::from([(0u32, initial)]),
-            pending: 1,
+            queue: frontier,
+            pending,
             error: None,
             exhausted: None,
         }),
@@ -252,12 +352,18 @@ where
         .into_iter()
         .map(|s| s.expect("every allocated id has a state in some shard"))
         .collect();
-    let mut succ: Vec<Vec<(L, u32)>> = (0..state_count).map(|_| Vec::new()).collect();
-    let mut deadlocks = Vec::new();
-    let mut edge_count = 0;
+    let mut succ = seed_succ;
+    succ.resize_with(state_count, Vec::new);
+    let mut expanded_flags = seed_expanded;
+    expanded_flags.resize(state_count, false);
+    let mut deadlocks = seed_deadlocks;
+    let mut edge_count = seed_edge_count;
     for out in outs {
         for (src, t, dst) in out.edges {
             succ[src as usize].push((t, dst));
+        }
+        for sid in out.expanded {
+            expanded_flags[sid as usize] = true;
         }
         deadlocks.extend(out.deadlocks);
         edge_count += out.edge_count;
@@ -265,6 +371,7 @@ where
     deadlocks.sort_unstable();
     let result = FrontierResult {
         states,
+        expanded: expanded_flags,
         succ,
         deadlocks,
         edge_count,
@@ -317,6 +424,7 @@ struct Shared<'a, St, S> {
 
 struct WorkerOut<L> {
     edges: Vec<(u32, L, u32)>,
+    expanded: Vec<u32>,
     deadlocks: Vec<u32>,
     edge_count: usize,
 }
@@ -326,6 +434,7 @@ impl<L> Default for WorkerOut<L> {
     fn default() -> Self {
         WorkerOut {
             edges: Vec::new(),
+            expanded: Vec::new(),
             deadlocks: Vec::new(),
             edge_count: 0,
         }
@@ -438,6 +547,7 @@ where
             }
         }
         shared.expanded.fetch_add(1, Ordering::Relaxed);
+        out.expanded.push(sid);
 
         let mut q = lock_ignore_poison(&shared.queue);
         let grew = !newly.is_empty();
@@ -731,6 +841,99 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, NetError::WorkerPanicked);
+    }
+
+    #[test]
+    fn seeded_resume_matches_uninterrupted_run() {
+        use std::collections::BTreeSet;
+        let net = concurrent(6);
+        let reference = explore_frontier(
+            net.initial_marking().clone(),
+            &opts(2),
+            net_successors(&net),
+        )
+        .unwrap()
+        .into_value();
+
+        // interrupt a run early, then resume it from its own result
+        let partial = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 2,
+                budget: Budget::default().cap_states(10),
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap();
+        assert!(!partial.is_complete());
+        let p = partial.into_value();
+        assert!(p.expanded.iter().any(|&e| !e), "a frontier remains");
+        let seed = FrontierSeed {
+            states: p.states,
+            expanded: p.expanded,
+            succ: p.succ,
+            deadlocks: p.deadlocks,
+            edge_count: p.edge_count,
+        };
+        let resumed = explore_frontier_seeded(seed, &opts(2), net_successors(&net))
+            .unwrap()
+            .into_value();
+
+        assert_eq!(resumed.states.len(), reference.states.len());
+        assert_eq!(resumed.edge_count, reference.edge_count);
+        assert!(resumed.expanded.iter().all(|&e| e), "nothing left over");
+        let ref_states: BTreeSet<&Marking> = reference.states.iter().collect();
+        let res_states: BTreeSet<&Marking> = resumed.states.iter().collect();
+        assert_eq!(ref_states, res_states);
+        let ref_dead: BTreeSet<&Marking> = reference
+            .deadlocks
+            .iter()
+            .map(|&d| &reference.states[d as usize])
+            .collect();
+        let res_dead: BTreeSet<&Marking> = resumed
+            .deadlocks
+            .iter()
+            .map(|&d| &resumed.states[d as usize])
+            .collect();
+        assert_eq!(ref_dead, res_dead);
+        // every recorded edge (old and new) still replays correctly
+        let mut total = 0;
+        for (src, edges) in resumed.succ.iter().enumerate() {
+            for &(t, dst) in edges {
+                assert_eq!(
+                    net.fire(t, &resumed.states[src]).unwrap(),
+                    resumed.states[dst as usize]
+                );
+                total += 1;
+            }
+        }
+        assert_eq!(total, resumed.edge_count);
+    }
+
+    #[test]
+    fn fully_expanded_seed_returns_immediately_complete() {
+        let net = concurrent(3);
+        let full = explore_frontier(
+            net.initial_marking().clone(),
+            &opts(2),
+            net_successors(&net),
+        )
+        .unwrap()
+        .into_value();
+        let seed = FrontierSeed {
+            states: full.states.clone(),
+            expanded: full.expanded.clone(),
+            succ: full.succ,
+            deadlocks: full.deadlocks.clone(),
+            edge_count: full.edge_count,
+        };
+        let again = explore_frontier_seeded(seed, &opts(2), net_successors(&net)).unwrap();
+        assert!(again.is_complete());
+        let r = again.into_value();
+        assert_eq!(r.states, full.states, "ids are preserved exactly");
+        assert_eq!(r.deadlocks, full.deadlocks);
+        assert_eq!(r.edge_count, full.edge_count);
     }
 
     #[test]

@@ -35,90 +35,134 @@ use crate::error::NetError;
 use crate::ids::PlaceId;
 use crate::net::{NetBuilder, PetriNet};
 
+/// Splits a (comment-stripped) line into whitespace-separated tokens,
+/// pairing each with its 1-based character column in the original line so
+/// parse errors can point at the offending token.
+fn tokens(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut col = 0usize;
+    let mut start: Option<(usize, usize)> = None; // (column, byte offset)
+    for (byte, ch) in line.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((c, b)) = start.take() {
+                out.push((c, &line[b..byte]));
+            }
+        } else if start.is_none() {
+            start = Some((col, byte));
+        }
+    }
+    if let Some((c, b)) = start {
+        out.push((c, &line[b..]));
+    }
+    out
+}
+
 /// Parses the textual format described in the [module docs](self).
 ///
 /// # Errors
 ///
-/// Returns [`NetError::Parse`] with a 1-based line number for syntax errors,
-/// [`NetError::UnknownPlace`] for arcs to undeclared places, and the builder
-/// errors ([`NetError::DuplicateName`], [`NetError::DuplicateArc`]) for
-/// semantic problems.
+/// Returns [`NetError::Parse`] with a 1-based line number, the 1-based
+/// character column of the offending token (or of the position where a
+/// missing token was expected), and a message naming the token, for
+/// syntax errors and arcs to undeclared places; and the builder errors
+/// ([`NetError::DuplicateName`], [`NetError::DuplicateArc`]) for semantic
+/// problems.
 pub fn parse_net(input: &str) -> Result<PetriNet, NetError> {
     let mut name = String::from("unnamed");
     let mut places: HashMap<String, PlaceId> = HashMap::new();
     struct PendingTr {
         name: String,
-        pre: Vec<String>,
-        post: Vec<String>,
+        pre: Vec<(usize, String)>,
+        post: Vec<(usize, String)>,
         line: usize,
     }
     let mut place_decls: Vec<(String, bool)> = Vec::new();
     let mut trs: Vec<PendingTr> = Vec::new();
 
     for (lineno, raw) in input.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let toks = tokens(raw.split('#').next().unwrap_or(""));
+        let Some(((dcol, directive), rest)) = toks.split_first() else {
             continue;
-        }
+        };
         let lineno = lineno + 1;
-        let mut words = line.split_whitespace();
-        match words.next() {
-            Some("net") => {
-                name = words.next().map(str::to_string).ok_or(NetError::Parse {
-                    line: lineno,
-                    message: "expected a net name after `net`".into(),
-                })?;
+        let err = |column: usize, message: String| -> NetError {
+            NetError::Parse {
+                line: lineno,
+                column,
+                message,
             }
-            Some("pl") => {
-                let pname = words.next().map(str::to_string).ok_or(NetError::Parse {
-                    line: lineno,
-                    message: "expected a place name after `pl`".into(),
-                })?;
+        };
+        // where a missing trailing token would have started
+        let end_col = {
+            let &(c, t) = toks.last().expect("line has at least the directive");
+            c + t.chars().count()
+        };
+        let mut words = rest.iter();
+        match *directive {
+            "net" => {
+                name = words
+                    .next()
+                    .map(|&(_, w)| w.to_string())
+                    .ok_or_else(|| err(end_col, "expected a net name after `net`".into()))?;
+            }
+            "pl" => {
+                let pname = words
+                    .next()
+                    .map(|&(_, w)| w.to_string())
+                    .ok_or_else(|| err(end_col, "expected a place name after `pl`".into()))?;
                 let marked = match words.next() {
                     None => false,
-                    Some("*") => true,
-                    Some(w) => {
-                        return Err(NetError::Parse {
-                            line: lineno,
-                            message: format!("unexpected token `{w}` (only `*` is allowed)"),
-                        })
+                    Some(&(_, "*")) => true,
+                    Some(&(c, w)) => {
+                        return Err(err(
+                            c,
+                            format!("unexpected token `{w}` (only `*` is allowed)"),
+                        ))
                     }
                 };
                 place_decls.push((pname, marked));
             }
-            Some("tr") => {
-                let tname = words.next().map(str::to_string).ok_or(NetError::Parse {
-                    line: lineno,
-                    message: "expected a transition name after `tr`".into(),
-                })?;
-                if words.next() != Some(":") {
-                    return Err(NetError::Parse {
-                        line: lineno,
-                        message: "expected `:` after the transition name".into(),
-                    });
+            "tr" => {
+                let tname = words
+                    .next()
+                    .map(|&(_, w)| w.to_string())
+                    .ok_or_else(|| err(end_col, "expected a transition name after `tr`".into()))?;
+                match words.next() {
+                    Some(&(_, ":")) => {}
+                    Some(&(c, w)) => {
+                        return Err(err(
+                            c,
+                            format!("expected `:` after the transition name, found `{w}`"),
+                        ))
+                    }
+                    None => {
+                        return Err(err(
+                            end_col,
+                            "expected `:` after the transition name".into(),
+                        ))
+                    }
                 }
-                let rest: Vec<&str> = words.collect();
-                let arrow = rest
-                    .iter()
-                    .position(|&w| w == "->")
-                    .ok_or(NetError::Parse {
-                        line: lineno,
-                        message: "expected `->` between presets and postsets".into(),
-                    })?;
+                let rest: Vec<(usize, &str)> = words.copied().collect();
+                let arrow = rest.iter().position(|&(_, w)| w == "->").ok_or_else(|| {
+                    err(end_col, "expected `->` between presets and postsets".into())
+                })?;
+                let own = |toks: &[(usize, &str)]| -> Vec<(usize, String)> {
+                    toks.iter().map(|&(c, w)| (c, w.to_string())).collect()
+                };
                 trs.push(PendingTr {
                     name: tname,
-                    pre: rest[..arrow].iter().map(|s| s.to_string()).collect(),
-                    post: rest[arrow + 1..].iter().map(|s| s.to_string()).collect(),
+                    pre: own(&rest[..arrow]),
+                    post: own(&rest[arrow + 1..]),
                     line: lineno,
                 });
             }
-            Some(other) => {
-                return Err(NetError::Parse {
-                    line: lineno,
-                    message: format!("unknown directive `{other}` (expected net/pl/tr)"),
-                })
+            other => {
+                return Err(err(
+                    *dcol,
+                    format!("unknown directive `{other}` (expected net/pl/tr)"),
+                ))
             }
-            None => unreachable!("blank lines skipped above"),
         }
     }
 
@@ -132,12 +176,13 @@ pub fn parse_net(input: &str) -> Result<PetriNet, NetError> {
         places.insert(pname, id);
     }
     for tr in trs {
-        let resolve = |names: &[String]| -> Result<Vec<PlaceId>, NetError> {
+        let resolve = |names: &[(usize, String)]| -> Result<Vec<PlaceId>, NetError> {
             names
                 .iter()
-                .map(|n| {
+                .map(|(col, n)| {
                     places.get(n).copied().ok_or_else(|| NetError::Parse {
                         line: tr.line,
+                        column: *col,
                         message: format!("unknown place `{n}`"),
                     })
                 })
@@ -238,40 +283,85 @@ tr back : q -> p
             .is_marked(net.place_by_name("p").unwrap()));
     }
 
-    #[test]
-    fn unknown_place_errors_with_line() {
-        let err = parse_net("pl p\ntr t : q -> p\n").unwrap_err();
+    #[track_caller]
+    fn assert_parse_err(input: &str, line: usize, column: usize, message: &str) {
         assert_eq!(
-            err,
+            parse_net(input).unwrap_err(),
             NetError::Parse {
-                line: 2,
-                message: "unknown place `q`".into()
-            }
+                line,
+                column,
+                message: message.into()
+            },
+            "for input {input:?}"
         );
     }
 
     #[test]
+    fn unknown_place_errors_with_line_and_column() {
+        assert_parse_err("pl p\ntr t : q -> p\n", 2, 8, "unknown place `q`");
+        // a post-set place points at its own column, past the arrow
+        assert_parse_err("pl p\ntr t : p -> q\n", 2, 13, "unknown place `q`");
+    }
+
+    #[test]
     fn missing_arrow_errors() {
-        let err = parse_net("pl p\ntr t : p p\n").unwrap_err();
-        assert!(matches!(err, NetError::Parse { line: 2, .. }));
+        assert_parse_err(
+            "pl p\ntr t : p p\n",
+            2,
+            11,
+            "expected `->` between presets and postsets",
+        );
     }
 
     #[test]
     fn missing_colon_errors() {
-        let err = parse_net("pl p\ntr t p -> p\n").unwrap_err();
-        assert!(matches!(err, NetError::Parse { line: 2, .. }));
+        // a wrong token names the token it found
+        assert_parse_err(
+            "pl p\ntr t p -> p\n",
+            2,
+            6,
+            "expected `:` after the transition name, found `p`",
+        );
+        // a missing token points just past the end of the line
+        assert_parse_err("tr t\n", 1, 5, "expected `:` after the transition name");
+    }
+
+    #[test]
+    fn missing_name_errors() {
+        assert_parse_err("net\n", 1, 4, "expected a net name after `net`");
+        assert_parse_err("pl\n", 1, 3, "expected a place name after `pl`");
+        assert_parse_err("tr\n", 1, 3, "expected a transition name after `tr`");
     }
 
     #[test]
     fn unknown_directive_errors() {
-        let err = parse_net("bogus x\n").unwrap_err();
-        assert!(matches!(err, NetError::Parse { line: 1, .. }));
+        assert_parse_err(
+            "  bogus x\n",
+            1,
+            3,
+            "unknown directive `bogus` (expected net/pl/tr)",
+        );
     }
 
     #[test]
     fn bad_marking_token_errors() {
-        let err = parse_net("pl p **\n").unwrap_err();
-        assert!(matches!(err, NetError::Parse { line: 1, .. }));
+        assert_parse_err(
+            "pl p **\n",
+            1,
+            6,
+            "unexpected token `**` (only `*` is allowed)",
+        );
+    }
+
+    #[test]
+    fn columns_count_characters_not_bytes() {
+        // `é` is two bytes but one column wide
+        assert_parse_err(
+            "pl éé **\n",
+            1,
+            7,
+            "unexpected token `**` (only `*` is allowed)",
+        );
     }
 
     #[test]

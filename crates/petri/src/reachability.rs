@@ -6,18 +6,32 @@
 //! paper's Table 1.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use crate::budget::{Budget, CoverageStats, Outcome};
+use crate::checkpoint::{
+    read_marking, write_checkpoint, write_marking, ByteReader, ByteWriter, CheckpointConfig,
+    CheckpointError, EngineKind, Snapshot,
+};
 use crate::error::NetError;
 use crate::ids::TransitionId;
 use crate::marking::Marking;
 use crate::net::PetriNet;
 use crate::parallel::{
-    default_threads, explore_frontier, FrontierOptions, EDGE_BYTES, STATE_OVERHEAD_BYTES,
+    default_threads, explore_frontier_seeded, FrontierOptions, FrontierSeed, EDGE_BYTES,
+    STATE_OVERHEAD_BYTES,
 };
+
+/// Section tags of a [`EngineKind::Full`] snapshot.
+mod section {
+    pub const STATES: u32 = 1;
+    pub const EXPANDED: u32 = 2;
+    pub const EDGES: u32 = 3;
+    pub const DEADLOCKS: u32 = 4;
+    pub const COUNTERS: u32 = 5;
+}
 
 /// Identifier of a state (vertex) in a [`ReachabilityGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -105,6 +119,9 @@ impl Default for ExploreOptions {
 #[derive(Debug, Clone)]
 pub struct ReachabilityGraph {
     states: Vec<Marking>,
+    /// Per-state "successors computed" flag; the `false` entries are the
+    /// frontier a checkpointed run resumes from.
+    expanded: Vec<bool>,
     /// Per-state outgoing labelled edges; empty if `record_edges` was off.
     succ: Vec<Vec<(TransitionId, StateId)>>,
     initial: StateId,
@@ -163,25 +180,129 @@ impl ReachabilityGraph {
         budget: &Budget,
     ) -> Result<Outcome<Self>, NetError> {
         let budget = budget.clone().cap_states(opts.max_states);
+        Self::explore_resumed(net, opts, &budget, None)
+    }
+
+    /// Like [`explore_bounded`](Self::explore_bounded), but optionally
+    /// resuming a prior partial graph and/or writing crash-safe snapshots.
+    ///
+    /// * `resume` — a snapshot previously produced by an interrupted run of
+    ///   this engine over the *same net* (validated via the embedded
+    ///   fingerprint). The exploration continues from the stored frontier
+    ///   and, run to completion, reaches the identical verdict, state
+    ///   count, and witnesses as a single uninterrupted run.
+    /// * `ckpt.path` — budget exhaustion writes a snapshot there before
+    ///   the partial outcome is returned.
+    /// * `ckpt.every` — additionally snapshots roughly every `every` newly
+    ///   stored states: the run proceeds in segments capped at
+    ///   `stored + every` states, each segment quiescing its workers at
+    ///   the frontier barrier before the snapshot is taken, then
+    ///   continuing in-process.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`explore_bounded`](Self::explore_bounded) returns, plus
+    /// [`NetError::Checkpoint`] when `resume` does not belong to this
+    /// net/engine/options or a snapshot cannot be written.
+    pub fn explore_checkpointed(
+        net: &PetriNet,
+        opts: &ExploreOptions,
+        budget: &Budget,
+        ckpt: &CheckpointConfig,
+        resume: Option<&Snapshot>,
+    ) -> Result<Outcome<Self>, NetError> {
+        let real_budget = budget.clone().cap_states(opts.max_states);
+        let mut prior = match resume {
+            Some(snap) => Some(
+                Self::from_snapshot(net, snap, opts.record_edges)
+                    .map_err(|e| NetError::Checkpoint(e.to_string()))?,
+            ),
+            None => None,
+        };
+        loop {
+            let mut segment = real_budget.clone();
+            if let (Some(every), Some(_)) = (ckpt.every, &ckpt.path) {
+                let stored = prior.as_ref().map_or(1, ReachabilityGraph::state_count);
+                segment.max_states = segment.max_states.min(stored.saturating_add(every.max(1)));
+            }
+            match Self::explore_resumed(net, opts, &segment, prior.take())? {
+                Outcome::Complete(g) => return Ok(Outcome::Complete(g)),
+                Outcome::Partial {
+                    result, coverage, ..
+                } => {
+                    if let Some(path) = &ckpt.path {
+                        write_checkpoint(path, &result.to_snapshot(net, opts.record_edges))
+                            .map_err(|e| NetError::Checkpoint(e.to_string()))?;
+                    }
+                    // Distinguish the segment's synthetic state cap from
+                    // genuine exhaustion of the caller's budget: only the
+                    // latter ends the run.
+                    match real_budget.exceeded(coverage.states_stored, coverage.bytes_estimate) {
+                        None => prior = Some(result),
+                        Some(real_reason) => {
+                            return Ok(Outcome::Partial {
+                                result,
+                                reason: real_reason,
+                                coverage,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Continues exploring `prior` (or starts fresh) under `budget`.
+    fn explore_resumed(
+        net: &PetriNet,
+        opts: &ExploreOptions,
+        budget: &Budget,
+        prior: Option<Self>,
+    ) -> Result<Outcome<Self>, NetError> {
         if opts.threads.max(1) > 1 {
-            return Self::explore_parallel(net, opts, &budget);
+            return Self::explore_parallel(net, opts, budget, prior);
         }
         let start = Instant::now();
-        let mut states: Vec<Marking> = vec![net.initial_marking().clone()];
-        let mut index: HashMap<Marking, StateId> = HashMap::new();
-        index.insert(net.initial_marking().clone(), StateId::new(0));
-        let mut succ: Vec<Vec<(TransitionId, StateId)>> = vec![Vec::new()];
-        let mut deadlocks = Vec::new();
-        let mut edge_count = 0;
-        let mut bytes = net.initial_marking().approx_bytes() + STATE_OVERHEAD_BYTES;
+        let (mut states, mut expanded, mut succ, mut deadlocks, mut edge_count, base_elapsed) =
+            match prior {
+                Some(g) => (
+                    g.states,
+                    g.expanded,
+                    g.succ,
+                    g.deadlocks,
+                    g.edge_count,
+                    g.elapsed,
+                ),
+                None => (
+                    vec![net.initial_marking().clone()],
+                    vec![false],
+                    vec![Vec::new()],
+                    Vec::new(),
+                    0,
+                    Duration::ZERO,
+                ),
+            };
+        let mut index: HashMap<Marking, StateId> = states
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), StateId::new(i)))
+            .collect();
+        let recorded_edges: usize = succ.iter().map(Vec::len).sum();
+        let mut bytes = states
+            .iter()
+            .map(|m| m.approx_bytes() + STATE_OVERHEAD_BYTES)
+            .sum::<usize>()
+            + recorded_edges * EDGE_BYTES;
+        let mut worklist: VecDeque<usize> = (0..states.len()).filter(|&i| !expanded[i]).collect();
+        let mut expanded_count = states.len() - worklist.len();
 
         let mut exhausted = None;
-        let mut frontier = 0;
-        while frontier < states.len() {
+        while let Some(&frontier) = worklist.front() {
             if let Some(reason) = budget.exceeded(states.len(), bytes) {
                 exhausted = Some(reason);
                 break;
             }
+            worklist.pop_front();
             let sid = StateId::new(frontier);
             // take the marking out instead of cloning it; the index still
             // holds an equal key, so lookups during expansion are unaffected
@@ -199,7 +320,9 @@ impl ReachabilityGraph {
                         let nid = StateId::try_new(states.len())?;
                         bytes += e.key().approx_bytes() + STATE_OVERHEAD_BYTES;
                         states.push(e.key().clone());
+                        expanded.push(false);
                         succ.push(Vec::new());
+                        worklist.push_back(nid.index());
                         e.insert(nid);
                         nid
                     }
@@ -211,16 +334,18 @@ impl ReachabilityGraph {
                 }
             }
             states[frontier] = m;
+            expanded[frontier] = true;
+            expanded_count += 1;
             if !any {
                 deadlocks.push(sid);
             }
-            frontier += 1;
         }
 
-        let elapsed = start.elapsed();
+        let elapsed = base_elapsed + start.elapsed();
         let stored = states.len();
         let graph = ReachabilityGraph {
             states,
+            expanded,
             succ,
             initial: StateId::new(0),
             deadlocks,
@@ -235,8 +360,8 @@ impl ReachabilityGraph {
                 reason,
                 coverage: CoverageStats {
                     states_stored: stored,
-                    states_expanded: frontier,
-                    frontier_len: stored - frontier,
+                    states_expanded: expanded_count,
+                    frontier_len: stored - expanded_count,
                     bytes_estimate: bytes,
                     elapsed,
                 },
@@ -244,19 +369,40 @@ impl ReachabilityGraph {
         })
     }
 
-    /// The multi-threaded path of [`explore_bounded`](Self::explore_bounded),
+    /// The multi-threaded path of [`explore_resumed`](Self::explore_resumed),
     /// built on the shared [`parallel`](crate::parallel) frontier engine.
     fn explore_parallel(
         net: &PetriNet,
         opts: &ExploreOptions,
         budget: &Budget,
+        prior: Option<Self>,
     ) -> Result<Outcome<Self>, NetError> {
         let start = Instant::now();
         let threads = opts.threads;
+        let (seed, base_elapsed) = match prior {
+            Some(g) => (
+                FrontierSeed {
+                    states: g.states,
+                    expanded: g.expanded,
+                    succ: g
+                        .succ
+                        .into_iter()
+                        .map(|edges| edges.into_iter().map(|(t, dst)| (t, dst.0)).collect())
+                        .collect(),
+                    deadlocks: g.deadlocks.into_iter().map(|d| d.0).collect(),
+                    edge_count: g.edge_count,
+                },
+                g.elapsed,
+            ),
+            None => (
+                FrontierSeed::initial(net.initial_marking().clone()),
+                Duration::ZERO,
+            ),
+        };
         // the spread fills the cfg-gated fault-injection field in test builds
         #[allow(clippy::needless_update)]
-        let outcome = explore_frontier(
-            net.initial_marking().clone(),
+        let outcome = explore_frontier_seeded(
+            seed,
             &FrontierOptions {
                 threads,
                 record_edges: opts.record_edges,
@@ -274,6 +420,7 @@ impl ReachabilityGraph {
         )?;
         Ok(outcome.map(|result| ReachabilityGraph {
             states: result.states,
+            expanded: result.expanded,
             succ: result
                 .succ
                 .into_iter()
@@ -291,9 +438,172 @@ impl ReachabilityGraph {
                 .map(|id| StateId::new(id as usize))
                 .collect(),
             edge_count: result.edge_count,
-            elapsed: start.elapsed(),
+            elapsed: base_elapsed + start.elapsed(),
             threads_used: threads,
         }))
+    }
+
+    /// Serializes this (typically partial) graph as a checkpoint snapshot.
+    ///
+    /// `record_edges` must match the [`ExploreOptions::record_edges`] the
+    /// graph was explored with; it is stored and re-checked on load so a
+    /// resumed run cannot silently end up with half-recorded edges.
+    pub fn to_snapshot(&self, net: &PetriNet, record_edges: bool) -> Snapshot {
+        let mut snap = Snapshot::new(EngineKind::Full, net);
+
+        let mut w = ByteWriter::new();
+        w.u32(net.place_count() as u32);
+        w.usize(self.states.len());
+        for m in &self.states {
+            write_marking(&mut w, m);
+        }
+        snap.push_section(section::STATES, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.bools(&self.expanded);
+        snap.push_section(section::EXPANDED, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.u8(u8::from(record_edges));
+        for edges in &self.succ {
+            w.u32(edges.len() as u32);
+            for &(t, dst) in edges {
+                w.u32(t.index() as u32);
+                w.u32(dst.0);
+            }
+        }
+        snap.push_section(section::EDGES, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.usize(self.deadlocks.len());
+        for &d in &self.deadlocks {
+            w.u32(d.0);
+        }
+        snap.push_section(section::DEADLOCKS, w.into_bytes());
+
+        let mut w = ByteWriter::new();
+        w.usize(self.edge_count);
+        w.u64(self.elapsed.as_nanos() as u64);
+        snap.push_section(section::COUNTERS, w.into_bytes());
+
+        snap
+    }
+
+    /// Rebuilds a (typically partial) graph from a snapshot, validating
+    /// the engine kind, net fingerprint, and every structural invariant of
+    /// the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] when the snapshot belongs to a
+    /// different engine/net, was taken with a different `record_edges`
+    /// setting, or is internally inconsistent.
+    pub fn from_snapshot(
+        net: &PetriNet,
+        snap: &Snapshot,
+        record_edges: bool,
+    ) -> Result<Self, CheckpointError> {
+        snap.validate(EngineKind::Full, net.fingerprint())?;
+
+        let mut r = ByteReader::new(snap.require_section(section::STATES)?, section::STATES);
+        let place_count = r.u32()? as usize;
+        if place_count != net.place_count() {
+            return Err(r.malformed(format!(
+                "snapshot has {place_count} places, net has {}",
+                net.place_count()
+            )));
+        }
+        let count = r.usize()?;
+        let mut states = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            states.push(read_marking(&mut r, place_count)?);
+        }
+        r.finish()?;
+        if states.is_empty() || &states[0] != net.initial_marking() {
+            return Err(CheckpointError::Malformed {
+                section: section::STATES,
+                detail: "state 0 is not the net's initial marking".into(),
+            });
+        }
+        let distinct: std::collections::HashSet<&Marking> = states.iter().collect();
+        if distinct.len() != states.len() {
+            return Err(CheckpointError::Malformed {
+                section: section::STATES,
+                detail: "duplicate markings in state table".into(),
+            });
+        }
+
+        let mut r = ByteReader::new(snap.require_section(section::EXPANDED)?, section::EXPANDED);
+        let expanded = r.bools()?;
+        r.finish()?;
+        if expanded.len() != count {
+            return Err(CheckpointError::Malformed {
+                section: section::EXPANDED,
+                detail: "expanded bitmap length disagrees with state count".into(),
+            });
+        }
+
+        let mut r = ByteReader::new(snap.require_section(section::EDGES)?, section::EDGES);
+        let snap_recorded = r.u8()? != 0;
+        if snap_recorded != record_edges {
+            return Err(r.malformed(format!(
+                "snapshot was taken with record_edges={snap_recorded}, run uses {record_edges}"
+            )));
+        }
+        let mut succ = Vec::with_capacity(count);
+        let mut recorded = 0usize;
+        for _ in 0..count {
+            let n = r.u32()? as usize;
+            let mut edges = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t = r.u32()? as usize;
+                let dst = r.u32()? as usize;
+                if t >= net.transition_count() || dst >= count {
+                    return Err(r.malformed("edge references an out-of-range id"));
+                }
+                edges.push((TransitionId::new(t), StateId::new(dst)));
+            }
+            recorded += n;
+            succ.push(edges);
+        }
+        r.finish()?;
+
+        let mut r = ByteReader::new(
+            snap.require_section(section::DEADLOCKS)?,
+            section::DEADLOCKS,
+        );
+        let ndead = r.usize()?;
+        let mut deadlocks = Vec::with_capacity(ndead.min(count));
+        for _ in 0..ndead {
+            let d = r.u32()? as usize;
+            if d >= count || !expanded[d] {
+                return Err(r.malformed("deadlock id out of range or unexpanded"));
+            }
+            deadlocks.push(StateId::new(d));
+        }
+        r.finish()?;
+
+        let mut r = ByteReader::new(snap.require_section(section::COUNTERS)?, section::COUNTERS);
+        let edge_count = r.usize()?;
+        let elapsed = Duration::from_nanos(r.u64()?);
+        r.finish()?;
+        if edge_count < recorded {
+            return Err(CheckpointError::Malformed {
+                section: section::COUNTERS,
+                detail: "edge count is below the number of recorded edges".into(),
+            });
+        }
+
+        Ok(ReachabilityGraph {
+            states,
+            expanded,
+            succ,
+            initial: StateId::new(0),
+            deadlocks,
+            edge_count,
+            elapsed,
+            threads_used: 1,
+        })
     }
 
     /// Number of reachable states.
@@ -564,6 +874,103 @@ mod tests {
         let net = concurrent(2);
         let rg = ReachabilityGraph::explore(&net).unwrap();
         assert_eq!(rg.path_to(rg.initial()), Some(vec![]));
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        use crate::budget::Verdict;
+        let net = concurrent(5);
+        for threads in [1usize, 2] {
+            let opts = ExploreOptions {
+                threads,
+                ..Default::default()
+            };
+            let reference = ReachabilityGraph::explore_bounded(&net, &opts, &Budget::default())
+                .unwrap()
+                .into_value();
+
+            // interrupt at 10 states, snapshot, decode, resume
+            let partial =
+                ReachabilityGraph::explore_bounded(&net, &opts, &Budget::default().cap_states(10))
+                    .unwrap();
+            assert!(!partial.is_complete(), "threads={threads}");
+            let snap = partial.value().to_snapshot(&net, true);
+            let decoded = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            let resumed = ReachabilityGraph::explore_checkpointed(
+                &net,
+                &opts,
+                &Budget::default(),
+                &CheckpointConfig::default(),
+                Some(&decoded),
+            )
+            .unwrap();
+            assert!(resumed.is_complete(), "threads={threads}");
+            let resumed = resumed.into_value();
+            assert_eq!(resumed.state_count(), reference.state_count());
+            assert_eq!(resumed.edge_count(), reference.edge_count());
+            assert_eq!(resumed.deadlocks().len(), reference.deadlocks().len());
+            use std::collections::BTreeSet;
+            let ref_dead: BTreeSet<&Marking> = reference
+                .deadlocks()
+                .iter()
+                .map(|&d| reference.marking(d))
+                .collect();
+            let res_dead: BTreeSet<&Marking> = resumed
+                .deadlocks()
+                .iter()
+                .map(|&d| resumed.marking(d))
+                .collect();
+            assert_eq!(ref_dead, res_dead, "threads={threads}");
+            assert_eq!(
+                Verdict::from_observation(resumed.has_deadlock(), true, 0),
+                Verdict::from_observation(reference.has_deadlock(), true, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_written_and_resumable() {
+        let net = concurrent(5);
+        let dir = std::env::temp_dir().join(format!("rg-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("full.ckpt");
+        let opts = ExploreOptions::default();
+        let out = ReachabilityGraph::explore_checkpointed(
+            &net,
+            &opts,
+            &Budget::default(),
+            &CheckpointConfig::periodic(&path, 5),
+            None,
+        )
+        .unwrap();
+        assert!(out.is_complete(), "periodic snapshots do not stop the run");
+        assert_eq!(out.value().state_count(), 32);
+        assert!(path.exists(), "mid-run snapshot was written");
+        // the last snapshot resumes to the same complete result
+        let snap = crate::checkpoint::read_checkpoint_with_fallback(&path).unwrap();
+        let resumed = ReachabilityGraph::explore_checkpointed(
+            &net,
+            &opts,
+            &Budget::default(),
+            &CheckpointConfig::default(),
+            Some(&snap),
+        )
+        .unwrap()
+        .into_value();
+        assert_eq!(resumed.state_count(), 32);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_for_wrong_net_is_rejected() {
+        let net = concurrent(3);
+        let other = concurrent(4);
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        let snap = rg.to_snapshot(&net, true);
+        let err = ReachabilityGraph::from_snapshot(&other, &snap, true).unwrap_err();
+        assert!(matches!(err, CheckpointError::FingerprintMismatch { .. }));
+        let err = ReachabilityGraph::from_snapshot(&net, &snap, false).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }));
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
 
-use crate::zdd::{Node, Op, TERMINAL_VAR};
+use crate::zdd::{export_table, import_table, Node, Op, TERMINAL_VAR};
 use crate::{ZddRef, ZDD_EMPTY, ZDD_UNIT};
 
 /// log₂ of the shard count.
@@ -47,6 +47,9 @@ const SHARDS: usize = 1 << SHARD_BITS;
 const INDEX_BITS: u32 = 32 - SHARD_BITS;
 /// Mask extracting the within-shard arena index.
 const INDEX_MASK: u32 = (1 << INDEX_BITS) - 1;
+/// Default per-shard op-cache entry cap (see
+/// [`ConcurrentZdd::with_cache_capacity`]).
+const DEFAULT_OP_CACHE_CAPACITY: usize = 1 << 18;
 
 /// Acquires a mutex even if another thread panicked while holding it; all
 /// critical sections below perform only non-panicking map/vec inserts, so
@@ -55,10 +58,22 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// A generationally evicted memo table: lookups consult the `current`
+/// generation first and fall back to (promoting from) `previous`; once
+/// `current` fills its per-shard cap, `previous` is dropped wholesale and
+/// `current` takes its place. Recently used entries therefore survive at
+/// least one full generation, and the table never holds more than two
+/// generations' worth of entries — bounding memory on long runs.
+#[derive(Default)]
+struct OpCache {
+    current: HashMap<(Op, ZddRef, ZddRef), ZddRef>,
+    previous: HashMap<(Op, ZddRef, ZddRef), ZddRef>,
+}
+
 struct Shard {
     nodes: RwLock<Vec<Node>>,
     unique: Mutex<HashMap<(u32, ZddRef, ZddRef), ZddRef>>,
-    cache: Mutex<HashMap<(Op, ZddRef, ZddRef), ZddRef>>,
+    cache: Mutex<OpCache>,
 }
 
 impl Shard {
@@ -66,7 +81,7 @@ impl Shard {
         Shard {
             nodes: RwLock::new(Vec::new()),
             unique: Mutex::new(HashMap::new()),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(OpCache::default()),
         }
     }
 }
@@ -102,8 +117,10 @@ impl Shard {
 pub struct ConcurrentZdd {
     shards: Vec<Shard>,
     nvars: u32,
+    cache_capacity: usize,
     unique_hits: AtomicU64,
     op_cache_hits: AtomicU64,
+    op_cache_evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for ConcurrentZdd {
@@ -113,13 +130,24 @@ impl std::fmt::Debug for ConcurrentZdd {
             .field("allocated_nodes", &self.allocated_nodes())
             .field("unique_hits", &self.unique_hits())
             .field("op_cache_hits", &self.op_cache_hits())
+            .field("op_cache_evictions", &self.op_cache_evictions())
             .finish()
     }
 }
 
 impl ConcurrentZdd {
-    /// Creates a manager over elements `0..nvars`.
+    /// Creates a manager over elements `0..nvars` with the default
+    /// per-shard op-cache capacity.
     pub fn new(nvars: usize) -> Self {
+        Self::with_cache_capacity(nvars, DEFAULT_OP_CACHE_CAPACITY)
+    }
+
+    /// Creates a manager whose memo caches hold at most
+    /// `2 × per_shard_capacity` entries per shard (two generations — see
+    /// the eviction scheme on the op cache). Eviction only ever discards
+    /// memoized results, never nodes: every operation recomputes to the
+    /// same canonical [`ZddRef`], so results are identical at any capacity.
+    pub fn with_cache_capacity(nvars: usize, per_shard_capacity: usize) -> Self {
         let shards: Vec<Shard> = (0..SHARDS).map(|_| Shard::new()).collect();
         // shard 0 owns the terminals at indices 0 and 1, so the shared
         // ZDD_EMPTY / ZDD_UNIT constants keep their ids in this manager
@@ -142,8 +170,10 @@ impl ConcurrentZdd {
         ConcurrentZdd {
             shards,
             nvars: u32::try_from(nvars).expect("element count fits in u32"),
+            cache_capacity: per_shard_capacity.max(1),
             unique_hits: AtomicU64::new(0),
             op_cache_hits: AtomicU64::new(0),
+            op_cache_evictions: AtomicU64::new(0),
         }
     }
 
@@ -169,6 +199,12 @@ impl ConcurrentZdd {
     /// How many algebra operations were answered from the memo caches.
     pub fn op_cache_hits(&self) -> u64 {
         self.op_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// How many memoized operation results were discarded by generational
+    /// cache eviction (0 until a shard's cache first fills its capacity).
+    pub fn op_cache_evictions(&self) -> u64 {
+        self.op_cache_evictions.load(Ordering::Relaxed)
     }
 
     /// Copies the node behind `f` out of its shard arena.
@@ -222,16 +258,33 @@ impl ConcurrentZdd {
 
     fn cached(&self, op: Op, f: ZddRef, g: ZddRef) -> Option<ZddRef> {
         let shard = &self.shards[Self::key_shard(op as u32, f, g)];
-        let r = lock_ignore_poison(&shard.cache).get(&(op, f, g)).copied();
-        if r.is_some() {
+        let mut cache = lock_ignore_poison(&shard.cache);
+        let key = (op, f, g);
+        let mut hit = cache.current.get(&key).copied();
+        if hit.is_none() {
+            if let Some(r) = cache.previous.get(&key).copied() {
+                // promote: survivors of the previous generation that are
+                // still in use should outlive the next rotation too
+                cache.current.insert(key, r);
+                hit = Some(r);
+            }
+        }
+        if hit.is_some() {
             self.op_cache_hits.fetch_add(1, Ordering::Relaxed);
         }
-        r
+        hit
     }
 
     fn remember(&self, op: Op, f: ZddRef, g: ZddRef, r: ZddRef) {
         let shard = &self.shards[Self::key_shard(op as u32, f, g)];
-        lock_ignore_poison(&shard.cache).insert((op, f, g), r);
+        let mut cache = lock_ignore_poison(&shard.cache);
+        cache.current.insert((op, f, g), r);
+        if cache.current.len() >= self.cache_capacity {
+            let retired = std::mem::take(&mut cache.current);
+            let evicted = std::mem::replace(&mut cache.previous, retired);
+            self.op_cache_evictions
+                .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        }
     }
 
     /// The family containing exactly one set (given as element indices).
@@ -562,6 +615,27 @@ impl ConcurrentZdd {
         }
         count
     }
+
+    /// Exports the sub-diagrams rooted at `roots` as a portable node table
+    /// (see [`Zdd::export`](crate::Zdd::export) for the format). Node ids of
+    /// this manager encode shard/index pairs, so the table — not the raw
+    /// [`ZddRef`]s — is the only serializable form of a family.
+    pub fn export(&self, roots: &[ZddRef]) -> (Vec<(u32, u32, u32)>, Vec<u32>) {
+        export_table(|f| self.node(f), roots)
+    }
+
+    /// Rebuilds families from an exported node table, hash-consing every
+    /// node so the returned [`ZddRef`]s are canonical in this manager (a
+    /// table exported from a serial [`Zdd`](crate::Zdd) imports equally
+    /// well — the format is manager-independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation (see
+    /// [`Zdd::import`](crate::Zdd::import)).
+    pub fn import(&self, table: &[(u32, u32, u32)], roots: &[u32]) -> Result<Vec<ZddRef>, String> {
+        import_table(self.nvars, |v, lo, hi| self.mk(v, lo, hi), table, roots)
+    }
 }
 
 #[cfg(test)]
@@ -721,5 +795,85 @@ mod tests {
     fn manager_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ConcurrentZdd>();
+    }
+
+    #[test]
+    fn export_import_round_trips_across_manager_kinds() {
+        let c = ConcurrentZdd::new(6);
+        let a = c.family(&[vec![0, 2], vec![1], vec![3, 4, 5], vec![]]);
+        let b = c.family(&[vec![1], vec![2, 5]]);
+        let (table, roots) = c.export(&[a, b, ZDD_EMPTY, ZDD_UNIT]);
+
+        // concurrent → concurrent (fresh manager)
+        let fresh = ConcurrentZdd::new(6);
+        let imported = fresh.import(&table, &roots).unwrap();
+        assert_eq!(fresh.sets(imported[0]), c.sets(a));
+        assert_eq!(fresh.sets(imported[1]), c.sets(b));
+        assert_eq!(imported[2], ZDD_EMPTY);
+        assert_eq!(imported[3], ZDD_UNIT);
+
+        // concurrent → concurrent (same manager): canonical refs come back
+        let again = c.import(&table, &roots).unwrap();
+        assert_eq!(again, vec![a, b, ZDD_EMPTY, ZDD_UNIT]);
+
+        // concurrent → serial: the format is manager-independent
+        let mut s = Zdd::new(6);
+        let serial = s.import(&table, &roots).unwrap();
+        assert_eq!(s.sets(serial[0]), c.sets(a));
+        assert_eq!(s.sets(serial[1]), c.sets(b));
+    }
+
+    #[test]
+    fn import_rejects_malformed_tables() {
+        let c = ConcurrentZdd::new(3);
+        assert!(c.import(&[(7, 0, 1)], &[2]).is_err(), "var out of universe");
+        assert!(c.import(&[(0, 2, 1)], &[2]).is_err(), "forward reference");
+        assert!(c.import(&[(0, 1, 0)], &[2]).is_err(), "zero-suppression");
+        assert!(c.import(&[(0, 0, 1)], &[9]).is_err(), "root out of range");
+    }
+
+    #[test]
+    fn tiny_cache_capacity_evicts_but_preserves_results() {
+        // a capacity-starved manager must still compute the exact same
+        // canonical families as an unconstrained one
+        let tiny = ConcurrentZdd::with_cache_capacity(10, 2);
+        let roomy = ConcurrentZdd::new(10);
+        for a in zoo() {
+            for b in zoo() {
+                let (ta, tb) = (tiny.family(&a), tiny.family(&b));
+                let (ra, rb) = (roomy.family(&a), roomy.family(&b));
+                assert_eq!(
+                    tiny.sets(tiny.union(ta, tb)),
+                    roomy.sets(roomy.union(ra, rb))
+                );
+                assert_eq!(tiny.sets(tiny.join(ta, tb)), roomy.sets(roomy.join(ra, rb)));
+                assert_eq!(tiny.sets(tiny.diff(ta, tb)), roomy.sets(roomy.diff(ra, rb)));
+            }
+        }
+        assert!(
+            tiny.op_cache_evictions() > 0,
+            "a 2-entry cache must rotate generations under this load"
+        );
+        assert_eq!(
+            roomy.op_cache_evictions(),
+            0,
+            "default capacity never fills on toy families"
+        );
+    }
+
+    #[test]
+    fn promoted_entries_survive_a_rotation() {
+        let z = ConcurrentZdd::with_cache_capacity(8, 4);
+        let a = z.family(&[vec![0, 1], vec![2, 3]]);
+        let b = z.family(&[vec![2, 3], vec![4, 5]]);
+        let u1 = z.union(a, b);
+        // churn the caches well past several rotations
+        for i in 0..6 {
+            let x = z.family(&[vec![i], vec![i + 1, i + 2]]);
+            let y = z.family(&[vec![i + 1], vec![i, i + 2]]);
+            let _ = z.join(x, y);
+        }
+        // the result is identical whether it was re-memoized or recomputed
+        assert_eq!(z.union(a, b), u1);
     }
 }

@@ -457,6 +457,128 @@ impl Zdd {
         }
         count
     }
+
+    /// Exports the sub-diagrams rooted at `roots` as a portable node
+    /// table: entries are `(var, lo, hi)` in dependency order, children
+    /// referring to earlier entries by index. Terminals are implicit at
+    /// indices 0 (`∅`) and 1 (`{∅}`); proper nodes are numbered from 2.
+    /// Returned alongside are the roots translated to table indices.
+    ///
+    /// The table is manager-independent: [`import`](Self::import) (on this
+    /// or any other manager over the same universe) rebuilds the exact
+    /// same families, re-canonicalizing every node id on the way in.
+    pub fn export(&self, roots: &[ZddRef]) -> (Vec<(u32, u32, u32)>, Vec<u32>) {
+        export_table(|f| self.nodes[f.index()], roots)
+    }
+
+    /// Rebuilds families from a node table produced by
+    /// [`export`](Self::export), returning one [`ZddRef`] per root. Every
+    /// node goes back through hash-consing, so the returned references are
+    /// canonical in *this* manager regardless of where the table came from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation: a variable
+    /// outside the universe, a child index referring forward, a
+    /// zero-suppression violation (`hi = ∅`), a child variable not strictly
+    /// below its parent, or a root index out of range. A table that imports
+    /// cleanly always denotes well-formed families.
+    pub fn import(
+        &mut self,
+        table: &[(u32, u32, u32)],
+        roots: &[u32],
+    ) -> Result<Vec<ZddRef>, String> {
+        import_table(self.nvars, |v, lo, hi| self.mk(v, lo, hi), table, roots)
+    }
+}
+
+/// Shared export walk over any node store (serial or sharded): emits the
+/// distinct proper nodes reachable from `roots` in dependency (children
+/// first) order.
+pub(crate) fn export_table<N: Fn(ZddRef) -> Node>(
+    node_of: N,
+    roots: &[ZddRef],
+) -> (Vec<(u32, u32, u32)>, Vec<u32>) {
+    let mut index: HashMap<ZddRef, u32> = HashMap::from([(ZDD_EMPTY, 0), (ZDD_UNIT, 1)]);
+    let mut table: Vec<(u32, u32, u32)> = Vec::new();
+    for &root in roots {
+        let mut stack = vec![(root, false)];
+        while let Some((f, children_done)) = stack.pop() {
+            if index.contains_key(&f) {
+                continue;
+            }
+            let n = node_of(f);
+            if children_done {
+                table.push((n.var, index[&n.lo], index[&n.hi]));
+                index.insert(f, table.len() as u32 + 1);
+            } else {
+                stack.push((f, true));
+                stack.push((n.hi, false));
+                stack.push((n.lo, false));
+            }
+        }
+    }
+    let roots_out = roots.iter().map(|r| index[r]).collect();
+    (table, roots_out)
+}
+
+/// Shared import walk: validates the table structurally and rebuilds each
+/// node through the manager's `mk` so references re-canonicalize.
+pub(crate) fn import_table<M: FnMut(u32, ZddRef, ZddRef) -> ZddRef>(
+    nvars: u32,
+    mut mk: M,
+    table: &[(u32, u32, u32)],
+    roots: &[u32],
+) -> Result<Vec<ZddRef>, String> {
+    let var_at = |i: usize| -> Option<u32> {
+        if i < 2 {
+            None // terminal
+        } else {
+            Some(table[i - 2].0)
+        }
+    };
+    let mut refs: Vec<ZddRef> = vec![ZDD_EMPTY, ZDD_UNIT];
+    for (pos, &(var, lo, hi)) in table.iter().enumerate() {
+        let id = pos + 2;
+        if var >= nvars {
+            return Err(format!(
+                "node {id}: variable {var} outside universe of {nvars} elements"
+            ));
+        }
+        let (lo, hi) = (lo as usize, hi as usize);
+        if lo >= id || hi >= id {
+            return Err(format!("node {id}: child index refers forward"));
+        }
+        if hi == 0 {
+            return Err(format!(
+                "node {id}: empty hi child violates zero-suppression"
+            ));
+        }
+        for child in [lo, hi] {
+            if let Some(cv) = var_at(child) {
+                if cv <= var {
+                    return Err(format!(
+                        "node {id}: child variable {cv} not strictly below {var}"
+                    ));
+                }
+            }
+        }
+        refs.push(mk(var, refs[lo], refs[hi]));
+    }
+    let mut out = Vec::with_capacity(roots.len());
+    for &r in roots {
+        let r = r as usize;
+        match refs.get(r) {
+            Some(&f) => out.push(f),
+            None => {
+                return Err(format!(
+                    "root index {r} out of range for a table of {} nodes",
+                    refs.len()
+                ))
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -586,5 +708,71 @@ mod tests {
         assert!(z.contains_set(f, &[0, 1, 2]));
         assert!(!z.contains_set(f, &[0, 1]));
         assert!(!z.contains_set(f, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn export_import_round_trips_into_a_fresh_manager() {
+        let mut z = Zdd::new(6);
+        let a = z.family(&[vec![0, 2], vec![1], vec![3, 4, 5], vec![]]);
+        let b = z.family(&[vec![1], vec![2, 5]]);
+        let (table, roots) = z.export(&[a, b, ZDD_EMPTY, ZDD_UNIT]);
+        assert_eq!(roots[2], 0, "empty terminal keeps index 0");
+        assert_eq!(roots[3], 1, "unit terminal keeps index 1");
+
+        let mut fresh = Zdd::new(6);
+        let imported = fresh.import(&table, &roots).unwrap();
+        assert_eq!(fresh.sets(imported[0]), z.sets(a));
+        assert_eq!(fresh.sets(imported[1]), z.sets(b));
+        assert_eq!(imported[2], ZDD_EMPTY);
+        assert_eq!(imported[3], ZDD_UNIT);
+
+        // importing into the exporting manager re-canonicalizes to the
+        // exact same references
+        let again = z.import(&table, &roots).unwrap();
+        assert_eq!(again, vec![a, b, ZDD_EMPTY, ZDD_UNIT]);
+    }
+
+    #[test]
+    fn export_shares_structure_between_roots() {
+        let mut z = Zdd::new(8);
+        let a = z.family(&[vec![0, 1], vec![2]]);
+        let b = z.union(a, ZDD_UNIT); // shares every node of a
+        let (table, _) = z.export(&[a, b]);
+        let (solo, _) = z.export(&[a]);
+        assert!(
+            table.len() < 2 * solo.len(),
+            "shared sub-diagram serialized once: {} vs {}",
+            table.len(),
+            solo.len()
+        );
+    }
+
+    #[test]
+    fn import_rejects_malformed_tables() {
+        let mut z = Zdd::new(3);
+        // variable outside the universe
+        assert!(z
+            .import(&[(7, 0, 1)], &[2])
+            .unwrap_err()
+            .contains("universe"));
+        // forward / self reference
+        assert!(z
+            .import(&[(0, 2, 1)], &[2])
+            .unwrap_err()
+            .contains("forward"));
+        // zero-suppression violation
+        assert!(z
+            .import(&[(0, 1, 0)], &[2])
+            .unwrap_err()
+            .contains("zero-suppression"));
+        // child variable not below parent
+        assert!(z
+            .import(&[(1, 0, 1), (1, 0, 2)], &[3])
+            .unwrap_err()
+            .contains("below"));
+        // root out of range
+        assert!(z.import(&[(0, 0, 1)], &[9]).unwrap_err().contains("root"));
+        // a valid table still imports after the failures above
+        assert!(z.import(&[(0, 0, 1)], &[2]).is_ok());
     }
 }
