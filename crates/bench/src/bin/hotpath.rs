@@ -7,13 +7,33 @@
 //! Times are medians of three runs. With `--threads=1` (the default on a
 //! single-core container) the numbers isolate the serial hot-path work
 //! (clone elimination, enabling-family reuse); larger `--threads` values
-//! exercise the parallel frontier engine.
+//! exercise the work-stealing parallel frontier engine, and the final
+//! table times a steal-dominated comb workload (one deep chain with a
+//! wide dead-end fan-out per link) at 1 thread vs the requested count.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gpo_core::{analyze_with, GpoOptions, Representation};
 use partial_order::{ReducedOptions, ReducedReachability};
-use petri::{ExploreOptions, PetriNet, ReachabilityGraph};
+use petri::{ExploreOptions, NetBuilder, PetriNet, ReachabilityGraph};
+
+/// One seed state, `depth` chain links, `width` dead ends per link: the
+/// schedule the work-stealing deques were built for (thieves nibble the
+/// leaves while one worker advances the chain).
+fn steal_heavy_comb(depth: usize, width: usize) -> PetriNet {
+    let mut b = NetBuilder::new("comb");
+    let mut cur = b.place_marked("c0");
+    for i in 0..depth {
+        let next = b.place(format!("c{}", i + 1));
+        b.transition(format!("t{i}"), [cur], [next]);
+        for j in 0..width {
+            let d = b.place(format!("d{i}_{j}"));
+            b.transition(format!("u{i}_{j}"), [cur], [d]);
+        }
+        cur = next;
+    }
+    b.build().unwrap()
+}
 
 fn median_of_3(mut f: impl FnMut() -> Duration) -> Duration {
     let mut samples = [f(), f(), f()];
@@ -110,6 +130,43 @@ fn main() {
             report.unique_hits,
             report.op_cache_hits,
             report.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+
+    println!();
+    println!("work-stealing frontier: steal-heavy comb, 1 thread vs {threads}");
+    println!("| model | states | t(1 thread) | t({threads} threads) | speedup |");
+    println!("|---|---|---|---|---|");
+    // kept modest: successor computation scans every transition, so the
+    // cost of a comb is O(states × transitions) ≈ O((d·w)²)
+    for (label, net) in [
+        ("comb(400,16)", steal_heavy_comb(400, 16)),
+        ("comb(1600,4)", steal_heavy_comb(1600, 4)),
+    ] {
+        let mut states = 0usize;
+        let mut timed = |threads: usize| {
+            median_of_3(|| {
+                let start = Instant::now();
+                let rg = ReachabilityGraph::explore_with(
+                    &net,
+                    &ExploreOptions {
+                        threads,
+                        record_edges: false,
+                        ..Default::default()
+                    },
+                )
+                .expect("safe");
+                states = rg.state_count();
+                start.elapsed()
+            })
+        };
+        let serial = timed(1);
+        let parallel = timed(threads);
+        println!(
+            "| {label} | {states} | {:.1} ms | {:.1} ms | {:.2}× |",
+            serial.as_secs_f64() * 1e3,
+            parallel.as_secs_f64() * 1e3,
+            serial.as_secs_f64() / parallel.as_secs_f64(),
         );
     }
 }

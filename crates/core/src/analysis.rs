@@ -474,7 +474,15 @@ fn explore_serial<F: SetFamily>(
         if successors.is_empty() {
             blocked.push(frontier);
         }
+        let mut aborted = None;
         for (next, firing) in successors {
+            // re-check between successors so a single wide fan-out
+            // overshoots the budget by at most one state (mirrors the
+            // parallel engine's per-insertion check)
+            if let Some(reason) = budget.exceeded(states.len(), bytes) {
+                aborted = Some(reason);
+                break;
+            }
             if let Entry::Vacant(e) = index.entry(next) {
                 bytes += e.key().footprint();
                 states.push(e.key().clone());
@@ -485,6 +493,14 @@ fn explore_serial<F: SetFamily>(
             }
         }
         states[frontier] = s;
+        if let Some(reason) = aborted {
+            // this state stays unexpanded so a resumed run re-expands it;
+            // successors stored before the trip keep their pred entry —
+            // the same discovery provenance the parallel engine keeps in
+            // its origin sidecar
+            exhausted = Some(reason);
+            break;
+        }
         expanded[frontier] = true;
         expanded_count += 1;
     }
@@ -495,7 +511,7 @@ fn explore_serial<F: SetFamily>(
             CoverageStats {
                 states_stored: states.len(),
                 states_expanded: expanded_count,
-                frontier_len: states.len() - expanded_count,
+                frontier_len: states.len().saturating_sub(expanded_count),
                 bytes_estimate: bytes,
                 elapsed: start.elapsed(),
             },
@@ -528,6 +544,10 @@ fn explore_parallel<F: SetFamily>(
     let fopts = FrontierOptions {
         threads: opts.threads,
         record_edges: opts.max_witnesses > 0,
+        // origins survive budget-aborted expansions, unlike recorded
+        // edges, so the reach tree below covers every stored state even
+        // when its discovering expansion was rolled back
+        record_origins: opts.max_witnesses > 0,
         budget: budget.clone(),
         ..FrontierOptions::default()
     };
@@ -569,8 +589,19 @@ fn explore_parallel<F: SetFamily>(
             coverage,
         } => (result, Some((reason, coverage))),
     };
+    let mut pred = extend_reach_tree(prior_pred, &result.succ);
+    // a budget-aborted expansion rolls its recorded edges back, so states
+    // it discovered are invisible to the BFS above; their provenance comes
+    // from the engine's origin sidecar instead (a no-op on complete runs)
+    for (i, p) in pred.iter_mut().enumerate() {
+        if p.is_none() && i > 0 {
+            if let Some(Some((parent, firing))) = result.origin.get(i) {
+                *p = Some((*parent as usize, firing.clone()));
+            }
+        }
+    }
     Ok(Explored {
-        pred: extend_reach_tree(prior_pred, &result.succ),
+        pred,
         blocked: result.deadlocks.iter().map(|&d| d as usize).collect(),
         expanded: result.expanded,
         states: result.states,

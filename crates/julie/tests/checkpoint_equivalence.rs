@@ -9,7 +9,25 @@ use std::path::PathBuf;
 use gpo_core::{analyze_checkpointed, GpoOptions, Representation};
 use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
 use petri::checkpoint::read_checkpoint;
-use petri::{Budget, CheckpointConfig, ExploreOptions, PetriNet, ReachabilityGraph};
+use petri::{Budget, CheckpointConfig, ExploreOptions, NetBuilder, PetriNet, ReachabilityGraph};
+
+/// Deep chain with a wide dead-end fan-out at every link: one seed state
+/// and a steal-dominated schedule, the stress shape for the work-stealing
+/// frontier's checkpoint/resume path.
+fn steal_heavy_comb(depth: usize, width: usize) -> PetriNet {
+    let mut b = NetBuilder::new("comb");
+    let mut cur = b.place_marked("c0");
+    for i in 0..depth {
+        let next = b.place(format!("c{}", i + 1));
+        b.transition(format!("t{i}"), [cur], [next]);
+        for j in 0..width {
+            let d = b.place(format!("d{i}_{j}"));
+            b.transition(format!("u{i}_{j}"), [cur], [d]);
+        }
+        cur = next;
+    }
+    b.build().unwrap()
+}
 
 fn zoo() -> Vec<PetriNet> {
     vec![
@@ -17,6 +35,7 @@ fn zoo() -> Vec<PetriNet> {
         models::readers_writers(4),
         models::figures::fig2(5),
         models::scheduler(4),
+        steal_heavy_comb(6, 2),
     ]
 }
 
@@ -29,7 +48,7 @@ fn ckpt_path(label: &str) -> PathBuf {
 #[test]
 fn full_engine_kill_and_resume_is_equivalent() {
     for net in zoo() {
-        for threads in [1usize, 2] {
+        for threads in [1usize, 2, 8] {
             let tag = format!("{} threads={threads}", net.name());
             let opts = ExploreOptions {
                 max_states: usize::MAX,
@@ -80,7 +99,7 @@ fn full_engine_kill_and_resume_is_equivalent() {
 #[test]
 fn reduced_engine_kill_and_resume_is_equivalent() {
     for net in zoo() {
-        for threads in [1usize, 2] {
+        for threads in [1usize, 2, 8] {
             let tag = format!("{} threads={threads}", net.name());
             let opts = ReducedOptions {
                 strategy: SeedStrategy::BestOfEnabled,
@@ -127,7 +146,7 @@ fn reduced_engine_kill_and_resume_is_equivalent() {
 fn gpo_engine_kill_and_resume_is_equivalent() {
     for net in zoo() {
         for repr in [Representation::Explicit, Representation::Zdd] {
-            for threads in [1usize, 2] {
+            for threads in [1usize, 2, 8] {
                 let tag = format!("{} {repr:?} threads={threads}", net.name());
                 let opts = GpoOptions {
                     representation: repr,

@@ -308,7 +308,16 @@ impl ReducedReachability {
             if fire.is_empty() {
                 deadlocks.push(frontier);
             }
+            let count_mark = edge_count;
+            let mut aborted = None;
             for t in fire {
+                // re-check between successors so a single wide fan-out
+                // overshoots the budget by at most one state (mirrors the
+                // parallel engine's per-insertion check)
+                if let Some(reason) = budget.exceeded(states.len(), bytes) {
+                    aborted = Some(reason);
+                    break;
+                }
                 let next = net.fire(t, &m)?;
                 edge_count += 1;
                 if let Entry::Vacant(e) = index.entry(next) {
@@ -320,6 +329,14 @@ impl ReducedReachability {
                 }
             }
             states[frontier] = m;
+            if let Some(reason) = aborted {
+                // roll the fired-count back so this state stays cleanly
+                // unexpanded and a resumed run re-counts its edges exactly
+                // once; successors already stored stay reachable frontier
+                edge_count = count_mark;
+                exhausted = Some(reason);
+                break;
+            }
             expanded[frontier] = true;
             expanded_count += 1;
         }
@@ -342,7 +359,7 @@ impl ReducedReachability {
                 coverage: CoverageStats {
                     states_stored: stored,
                     states_expanded: expanded_count,
-                    frontier_len: stored - expanded_count,
+                    frontier_len: stored.saturating_sub(expanded_count),
                     bytes_estimate: bytes,
                     elapsed,
                 },

@@ -1,4 +1,4 @@
-//! Shared parallel frontier-exploration driver.
+//! Work-stealing parallel frontier-exploration driver.
 //!
 //! Both the exhaustive [`ReachabilityGraph`](crate::ReachabilityGraph) and
 //! the stubborn-set-reduced engine of the `partial-order` crate are
@@ -8,33 +8,59 @@
 //!
 //! * a **sharded state index** — `2^k` mutex-guarded `HashMap<Marking, u32>`
 //!   shards keyed by marking hash, so concurrent inserts rarely contend;
-//! * a **shared work queue** (mutex + condvar) of `(id, marking)` items,
-//!   with quiescence detection via an in-flight counter: a state counts as
-//!   pending from enqueue until its expansion has been folded back in, and
-//!   the exploration is complete exactly when the counter hits zero;
-//! * **worker-local result buffers** (labelled edges, deadlocks) merged
-//!   after `std::thread::scope` joins, so the hot loop never serializes on
-//!   a global result vector.
+//! * **per-worker deques with stealing** — each worker owns a
+//!   `Mutex<VecDeque>` it pushes and pops at the back (the critical
+//!   sections are a handful of pointer moves, so the mutex is effectively
+//!   a spin-length lock), while idle workers steal batches from the
+//!   *front* of a victim chosen in randomized order, chase-lev style;
+//! * a **global injector** queue holding the seed/resume frontier in
+//!   increasing id order, drained in batches before any stealing happens;
+//! * an **idle/termination protocol** — an atomic in-flight counter
+//!   (`pending`: a state counts from enqueue until its expansion has been
+//!   folded back in) plus a condvar guarded by a small control mutex.
+//!   Exploration is complete exactly when `pending` hits zero; a worker
+//!   with nothing to run or steal registers as a sleeper and waits, and
+//!   every notification is raised while holding the control mutex, so a
+//!   sleeper can never miss the wake-up that matters (see the termination
+//!   argument in `DESIGN.md`);
+//! * **worker-local result buffers** (labelled edges, origins, deadlocks)
+//!   merged after `std::thread::scope` joins, so the hot loop never
+//!   serializes on a global result vector.
 //!
 //! # Resource governance
 //!
-//! Every worker consults the caller's [`Budget`] before taking an item off
-//! the queue. When any axis (states, bytes, deadline, cancellation) is
-//! exhausted, workers stop dequeuing, drain, and the engine returns
-//! [`Outcome::Partial`] with everything discovered so far plus
-//! [`CoverageStats`] — nothing computed is thrown away. Because workers
-//! finish the expansion they already started, a limited run may overshoot
-//! the state budget by up to one expansion's fan-out per worker.
+//! Every worker consults the caller's [`Budget`] before taking an item and
+//! again **before every successor insertion**. When any axis (states,
+//! bytes, deadline, cancellation) is exhausted mid-expansion, the worker
+//! rolls the expansion back — recorded edges are truncated and the state
+//! stays unexpanded, so a resumed run re-expands it exactly once — and the
+//! engine returns [`Outcome::Partial`] with everything discovered so far
+//! plus [`CoverageStats`]. Successor states inserted before the trip stay
+//! stored (they are genuinely reachable frontier states), which bounds the
+//! budget overshoot to roughly **one successor per worker** instead of one
+//! whole expansion's fan-out per worker.
+//!
+//! The rollback maintains the invariant that `succ[id]` is non-empty only
+//! if `expanded[id]`, which is what keeps edge counts exact across
+//! interrupt/resume cycles. Because a rolled-back expansion's successors
+//! keep no incoming edge, the engine also records an **origin sidecar**
+//! (see [`FrontierOptions::record_origins`]): the `(parent, label)` pair
+//! of the expansion that first inserted each state, never rolled back, so
+//! provenance-hungry callers (the GPO reach tree) stay complete even
+//! through aborted expansions.
 //!
 //! # Panic safety
 //!
 //! Worker bodies run under `catch_unwind`: a panicking successor callback
-//! (or an injected fault, see [`FrontierOptions::inject_fault_after`])
-//! surfaces as [`NetError::WorkerPanicked`] after all other workers have
-//! been joined — it can neither hang quiescence nor cascade into
-//! poisoned-lock panics, because every shared lock is acquired
-//! poison-tolerantly (the protected state is only ever mutated by
-//! non-panicking operations, so a poisoned guard is still consistent).
+//! (or an injected fault, see [`FrontierOptions::inject_fault_after`] and
+//! [`FrontierOptions::inject_fault_on_steal`]) surfaces as
+//! [`NetError::WorkerPanicked`] after all other workers have been joined —
+//! it can neither hang quiescence nor cascade into poisoned-lock panics,
+//! because every shared lock is acquired poison-tolerantly (the protected
+//! state is only ever mutated by non-panicking operations, so a poisoned
+//! guard is still consistent). A worker dying mid-steal may drop the batch
+//! it was moving, but the recorded error aborts the whole run before the
+//! lost items could be missed.
 //!
 //! # Determinism contract
 //!
@@ -50,13 +76,13 @@
 //! implementing [`FrontierState`]) and the edge label type, defaulting to
 //! classical [`Marking`]s labelled by [`TransitionId`]s. The generalized
 //! partial-order engine instantiates it with GPN states labelled by firing
-//! records — same queue, same budget governance, same panic safety.
+//! records — same deques, same budget governance, same panic safety.
 
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -71,6 +97,10 @@ use crate::marking::Marking;
 pub const STATE_OVERHEAD_BYTES: usize = 48;
 /// Approximate bytes per recorded edge.
 pub const EDGE_BYTES: usize = 24;
+/// Most items moved in one steal (or one injector drain). Half the
+/// victim's deque is taken, capped here so a thief never walks off with a
+/// huge contiguous share of a deep frontier.
+const MAX_STEAL_BATCH: usize = 32;
 
 /// Number of worker threads to use when a caller asks for "all of them":
 /// the system's available parallelism, or 1 if that cannot be determined.
@@ -97,7 +127,7 @@ impl FrontierState for Marking {
 /// because all critical sections below perform only non-panicking updates
 /// (integer arithmetic, `Vec`/`VecDeque`/`HashMap` inserts), so the data
 /// behind a poisoned lock is never torn — the poison flag merely records
-/// that *some* thread died, which the queue's `error` field tracks
+/// that *some* thread died, which the control block's `error` field tracks
 /// explicitly.
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -111,15 +141,40 @@ pub struct FrontierOptions {
     pub threads: usize,
     /// Collect the labelled `(source, transition, target)` edges.
     pub record_edges: bool,
-    /// Resource budget checked cooperatively by every worker; exhausting
-    /// it yields [`Outcome::Partial`] instead of an error.
+    /// Record, for every newly discovered state, the `(parent, label)` of
+    /// the expansion that first inserted it. Unlike recorded edges, origins
+    /// are **not** rolled back when a budget trips mid-expansion, so they
+    /// give callers complete discovery provenance even for states whose
+    /// incoming edge was rolled back (the GPO engine builds witness traces
+    /// from them).
+    pub record_origins: bool,
+    /// Resource budget checked cooperatively before every dequeue and
+    /// every successor insertion; exhausting it yields [`Outcome::Partial`]
+    /// instead of an error.
     pub budget: Budget,
     /// Fault-injection hook for regression-testing the hang-free
-    /// guarantee: the worker that dequeues the `n`-th item panics instead
-    /// of expanding it. Compiled only for tests and the `fault-injection`
-    /// feature.
+    /// guarantee: the worker that acquires the `n`-th item (own pop,
+    /// injector drain, or steal) panics instead of expanding it. Compiled
+    /// only for tests and the `fault-injection` feature.
     #[cfg(any(test, feature = "fault-injection"))]
     pub inject_fault_after: Option<usize>,
+    /// Fault-injection hook aimed at the stealing path: the worker
+    /// performing the `n`-th successful steal panics *after* removing the
+    /// batch from the victim and before re-homing it — the worst spot,
+    /// since the items die with the thief. The recorded error must still
+    /// drain every other worker. Compiled only for tests and the
+    /// `fault-injection` feature.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub inject_fault_on_steal: Option<usize>,
+    /// Test hook: start the id allocator at this value instead of the seed
+    /// size, to force the [`NetError::StateIdOverflow`] branch without
+    /// storing four billion states. The exploration **must** hit the
+    /// overflow (the dense result table is never built on the error path);
+    /// completing a run with a sparse id space would try to allocate a
+    /// slot per skipped id. Compiled only for tests and the
+    /// `fault-injection` feature.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub seed_next_id: Option<u32>,
 }
 
 impl Default for FrontierOptions {
@@ -127,9 +182,14 @@ impl Default for FrontierOptions {
         FrontierOptions {
             threads: default_threads(),
             record_edges: true,
+            record_origins: false,
             budget: Budget::default(),
             #[cfg(any(test, feature = "fault-injection"))]
             inject_fault_after: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            inject_fault_on_steal: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            seed_next_id: None,
         }
     }
 }
@@ -147,8 +207,15 @@ pub struct FrontierResult<St = Marking, L = TransitionId> {
     /// frontier a resumed exploration must continue from.
     pub expanded: Vec<bool>,
     /// Labelled outgoing edges per state id; empty unless
-    /// [`FrontierOptions::record_edges`] was set.
+    /// [`FrontierOptions::record_edges`] was set. Edges are recorded for a
+    /// state exactly when it is `expanded` — a budget-aborted expansion
+    /// rolls its edges back so a resume re-records them exactly once.
     pub succ: Vec<Vec<(L, u32)>>,
+    /// Per state id, the `(parent, label)` of the expansion that first
+    /// inserted it — `None` for id 0 and for seeded states (their
+    /// provenance belongs to the caller). Empty unless
+    /// [`FrontierOptions::record_origins`] was set. Never rolled back.
+    pub origin: Vec<Option<(u32, L)>>,
     /// Ids of expanded states with no successors, in increasing id order.
     pub deadlocks: Vec<u32>,
     /// Total number of fired transitions (edges), recorded or not.
@@ -196,7 +263,8 @@ impl<St, L> FrontierSeed<St, L> {
 /// `successors` receives a marking and pushes every `(label, successor)`
 /// pair into the scratch vector; pushing nothing marks the state as a
 /// deadlock. The callback must be a pure function of the marking — the
-/// engine calls it exactly once per distinct reachable marking, from an
+/// engine calls it once per distinct reachable marking (twice only when a
+/// budget aborts an expansion that a resume later re-runs), from an
 /// unspecified thread.
 ///
 /// Returns [`Outcome::Complete`] when the state space was exhausted and
@@ -213,7 +281,7 @@ pub fn explore_frontier<St, L, S>(
 ) -> Result<Outcome<FrontierResult<St, L>>, NetError>
 where
     St: FrontierState,
-    L: Send,
+    L: Clone + Send,
     S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
 {
     explore_frontier_seeded(FrontierSeed::initial(initial), opts, successors)
@@ -223,7 +291,7 @@ where
 /// [`FrontierSeed`]). A seed of [`FrontierSeed::initial`] makes this
 /// identical to [`explore_frontier`]; a seed decoded from a checkpoint
 /// resumes the interrupted run, re-enqueuing its frontier in increasing
-/// id order.
+/// id order through the global injector.
 ///
 /// Prior states keep their ids; newly discovered states get the next
 /// dense ids. All counts (stored states, byte estimate, expanded states,
@@ -247,7 +315,7 @@ pub fn explore_frontier_seeded<St, L, S>(
 ) -> Result<Outcome<FrontierResult<St, L>>, NetError>
 where
     St: FrontierState,
-    L: Send,
+    L: Clone + Send,
     S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
 {
     let start = Instant::now();
@@ -276,30 +344,43 @@ where
     let shards: Vec<Mutex<HashMap<St, u32>>> = (0..shard_count)
         .map(|_| Mutex::new(HashMap::new()))
         .collect();
-    let mut frontier: VecDeque<(u32, St)> = VecDeque::new();
+    let mut injector: VecDeque<(u32, St)> = VecDeque::new();
     for (id, state) in seed_states.into_iter().enumerate() {
         if !seed_expanded[id] {
-            frontier.push_back((id as u32, state.clone()));
+            injector.push_back((id as u32, state.clone()));
         }
         let prev =
             lock_ignore_poison(&shards[shard_of(&state, shard_count - 1)]).insert(state, id as u32);
         assert!(prev.is_none(), "duplicate state in seed");
     }
-    let pending = frontier.len();
+    let pending = injector.len();
+
+    #[cfg(any(test, feature = "fault-injection"))]
+    let first_id = opts
+        .seed_next_id
+        .unwrap_or(prior_count as u32)
+        .max(prior_count as u32);
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    let first_id = prior_count as u32;
 
     let shared = Shared {
         successors: &successors,
         shards,
         shard_mask: shard_count - 1,
-        next_id: AtomicU32::new(prior_count as u32),
+        next_id: AtomicU32::new(first_id),
         stored: AtomicUsize::new(prior_count),
         bytes: AtomicUsize::new(seed_bytes),
         expanded: AtomicUsize::new(prior_expanded),
+        in_flight: AtomicUsize::new(0),
+        pending: AtomicUsize::new(pending),
         budget: &opts.budget,
         record_edges: opts.record_edges,
-        queue: Mutex::new(QueueState {
-            queue: frontier,
-            pending,
+        record_origins: opts.record_origins,
+        injector: Mutex::new(injector),
+        locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        halt: AtomicBool::new(false),
+        sleepers: AtomicUsize::new(0),
+        control: Mutex::new(Control {
             error: None,
             exhausted: None,
         }),
@@ -307,12 +388,17 @@ where
         #[cfg(any(test, feature = "fault-injection"))]
         fault_after: opts.inject_fault_after,
         #[cfg(any(test, feature = "fault-injection"))]
-        dequeued: AtomicUsize::new(0),
+        fault_on_steal: opts.inject_fault_on_steal,
+        #[cfg(any(test, feature = "fault-injection"))]
+        acquired: AtomicUsize::new(0),
+        #[cfg(any(test, feature = "fault-injection"))]
+        steals: AtomicUsize::new(0),
     };
 
+    let shared_ref = &shared;
     let outs: Vec<WorkerOut<L>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| scope.spawn(|| worker(&shared)))
+            .map(|wid| scope.spawn(move || worker(shared_ref, wid)))
             .collect();
         handles
             .into_iter()
@@ -321,22 +407,25 @@ where
                 // unreachable in practice (worker bodies are wrapped in
                 // catch_unwind), but never let a join failure cascade
                 Err(_) => {
-                    lock_ignore_poison(&shared.queue)
-                        .error
-                        .get_or_insert(NetError::WorkerPanicked);
+                    shared_ref.record_error(NetError::WorkerPanicked);
                     WorkerOut::default()
                 }
             })
             .collect()
     });
 
-    let queue_state = shared
-        .queue
+    let control = shared
+        .control
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner);
-    if let Some(e) = queue_state.error {
+    if let Some(e) = control.error {
         return Err(e);
     }
+    debug_assert_eq!(
+        shared.in_flight.load(Ordering::Relaxed),
+        0,
+        "every acquired item was folded back in"
+    );
 
     // rebuild the dense state table from the sharded index — this also
     // recovers markings that were discovered but never expanded, which is
@@ -354,6 +443,11 @@ where
         .collect();
     let mut succ = seed_succ;
     succ.resize_with(state_count, Vec::new);
+    let mut origin: Vec<Option<(u32, L)>> = if opts.record_origins {
+        (0..state_count).map(|_| None).collect()
+    } else {
+        Vec::new()
+    };
     let mut expanded_flags = seed_expanded;
     expanded_flags.resize(state_count, false);
     let mut deadlocks = seed_deadlocks;
@@ -361,6 +455,9 @@ where
     for out in outs {
         for (src, t, dst) in out.edges {
             succ[src as usize].push((t, dst));
+        }
+        for (child, parent, t) in out.origins {
+            origin[child as usize] = Some((parent, t));
         }
         for sid in out.expanded {
             expanded_flags[sid as usize] = true;
@@ -373,10 +470,11 @@ where
         states,
         expanded: expanded_flags,
         succ,
+        origin,
         deadlocks,
         edge_count,
     };
-    Ok(match queue_state.exhausted {
+    Ok(match control.exhausted {
         None => Outcome::Complete(result),
         Some(reason) => {
             let expanded = shared.expanded.load(Ordering::Relaxed);
@@ -386,7 +484,11 @@ where
                 coverage: CoverageStats {
                     states_stored: state_count,
                     states_expanded: expanded,
-                    frontier_len: state_count - expanded,
+                    // every dequeued-but-aborted in-flight item ends the
+                    // run unexpanded, so the saturating difference counts
+                    // the whole frontier (expanded ≤ stored always holds;
+                    // saturate anyway so a miscount can never wrap)
+                    frontier_len: state_count.saturating_sub(expanded),
                     bytes_estimate: shared.bytes.load(Ordering::Relaxed),
                     elapsed: start.elapsed(),
                 },
@@ -395,10 +497,9 @@ where
     })
 }
 
-struct QueueState<St> {
-    queue: VecDeque<(u32, St)>,
-    /// States enqueued or currently being expanded; zero means complete.
-    pending: usize,
+/// Error/exhaustion state shared by all workers, guarded by the control
+/// mutex that also backs the idle condvar.
+struct Control {
     error: Option<NetError>,
     /// First budget axis found exhausted; set once, drains all workers.
     exhausted: Option<ExhaustionReason>,
@@ -412,18 +513,70 @@ struct Shared<'a, St, S> {
     stored: AtomicUsize,
     bytes: AtomicUsize,
     expanded: AtomicUsize,
+    /// Items currently dequeued and being expanded; zero after every join.
+    in_flight: AtomicUsize,
+    /// States enqueued or currently being expanded; zero means complete.
+    /// Incremented *before* an item becomes visible in any deque, so it
+    /// can never transiently read zero while work remains.
+    pending: AtomicUsize,
     budget: &'a Budget,
     record_edges: bool,
-    queue: Mutex<QueueState<St>>,
+    record_origins: bool,
+    /// Seed/resume frontier in increasing id order; drained before steals.
+    injector: Mutex<VecDeque<(u32, St)>>,
+    /// Per-worker deques: the owner pushes and pops at the back, thieves
+    /// steal batches from the front.
+    locals: Vec<Mutex<VecDeque<(u32, St)>>>,
+    /// Raised with the first error or exhaustion; workers drain on sight.
+    halt: AtomicBool,
+    /// Workers currently waiting on the condvar (updated under `control`;
+    /// read lock-free by producers deciding whether to notify).
+    sleepers: AtomicUsize,
+    control: Mutex<Control>,
     cv: Condvar,
     #[cfg(any(test, feature = "fault-injection"))]
     fault_after: Option<usize>,
     #[cfg(any(test, feature = "fault-injection"))]
-    dequeued: AtomicUsize,
+    fault_on_steal: Option<usize>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    acquired: AtomicUsize,
+    #[cfg(any(test, feature = "fault-injection"))]
+    steals: AtomicUsize,
+}
+
+impl<St, S> Shared<'_, St, S> {
+    /// Records the first error, halts the run, and wakes every sleeper.
+    /// Notifying while holding the control mutex is what makes the idle
+    /// protocol race-free (a sleeper is either pre-wait and re-checks, or
+    /// in-wait and receives the broadcast).
+    fn record_error(&self, e: NetError) {
+        let mut c = lock_ignore_poison(&self.control);
+        c.error.get_or_insert(e);
+        self.halt.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Records the first exhausted budget axis, halts, and wakes sleepers.
+    fn record_exhausted(&self, reason: ExhaustionReason) {
+        let mut c = lock_ignore_poison(&self.control);
+        if c.exhausted.is_none() {
+            c.exhausted = Some(reason);
+        }
+        self.halt.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Wakes sleepers after publishing work or finishing the last item.
+    fn notify_under_lock(&self) {
+        let _c = lock_ignore_poison(&self.control);
+        self.cv.notify_all();
+    }
 }
 
 struct WorkerOut<L> {
     edges: Vec<(u32, L, u32)>,
+    /// `(child, parent, label)` discovery records, kept through aborts.
+    origins: Vec<(u32, u32, L)>,
     expanded: Vec<u32>,
     deadlocks: Vec<u32>,
     edge_count: usize,
@@ -434,6 +587,7 @@ impl<L> Default for WorkerOut<L> {
     fn default() -> Self {
         WorkerOut {
             edges: Vec::new(),
+            origins: Vec::new(),
             expanded: Vec::new(),
             deadlocks: Vec::new(),
             edge_count: 0,
@@ -447,94 +601,221 @@ fn shard_of<St: Hash>(m: &St, mask: usize) -> usize {
     (h.finish() as usize) & mask
 }
 
+/// Allocates the next dense state id without ever wrapping: `u32::MAX` is
+/// reserved as the overflow sentinel, and the CAS loop (unlike a blind
+/// `fetch_add`) guarantees two racing allocators near the boundary cannot
+/// wrap the counter and hand out id 0 twice.
+fn alloc_id(next_id: &AtomicU32) -> Option<u32> {
+    let mut cur = next_id.load(Ordering::Relaxed);
+    loop {
+        if cur == u32::MAX {
+            return None;
+        }
+        match next_id.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Some(cur),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Tiny xorshift64 generator for randomized victim selection — no external
+/// RNG dependency, deterministic per worker index, never zero.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_usize(&mut self, bound: usize) -> usize {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x % bound.max(1) as u64) as usize
+    }
+}
+
 /// Panic-isolating wrapper: any panic escaping the worker body is recorded
 /// as [`NetError::WorkerPanicked`] and broadcast so the remaining workers
 /// drain instead of waiting forever on the condvar.
-fn worker<St, L, S>(shared: &Shared<'_, St, S>) -> WorkerOut<L>
+fn worker<St, L, S>(shared: &Shared<'_, St, S>, wid: usize) -> WorkerOut<L>
 where
     St: FrontierState,
-    L: Send,
+    L: Clone + Send,
     S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
 {
-    match catch_unwind(AssertUnwindSafe(|| worker_inner(shared))) {
+    match catch_unwind(AssertUnwindSafe(|| worker_inner(shared, wid))) {
         Ok(out) => out,
         Err(_) => {
-            let mut q = lock_ignore_poison(&shared.queue);
-            q.error.get_or_insert(NetError::WorkerPanicked);
-            shared.cv.notify_all();
+            shared.record_error(NetError::WorkerPanicked);
             WorkerOut::default()
         }
     }
 }
 
-fn worker_inner<St, L, S>(shared: &Shared<'_, St, S>) -> WorkerOut<L>
+/// Takes the next work item: own deque (back), then the injector, then a
+/// batch stolen from the front of another worker's deque, victims tried in
+/// randomized order. Batches beyond the returned item are re-homed into
+/// the caller's own deque — never while holding the victim's lock, so two
+/// thieves can never deadlock on each other's deques.
+fn acquire<St, S>(shared: &Shared<'_, St, S>, wid: usize, rng: &mut XorShift) -> Option<(u32, St)> {
+    if let Some(item) = lock_ignore_poison(&shared.locals[wid]).pop_back() {
+        return Some(item);
+    }
+
+    {
+        let mut inj = lock_ignore_poison(&shared.injector);
+        if !inj.is_empty() {
+            // drain a proportional batch so a wide resume frontier spreads
+            // across workers instead of serializing on the injector lock
+            let take = (inj.len() / shared.locals.len()).clamp(1, MAX_STEAL_BATCH);
+            let batch: Vec<(u32, St)> = inj.drain(..take).collect();
+            drop(inj);
+            return Some(rehome(shared, wid, batch));
+        }
+    }
+
+    let victims = shared.locals.len();
+    let start = rng.next_usize(victims);
+    for i in 0..victims {
+        let v = (start + i) % victims;
+        if v == wid {
+            continue;
+        }
+        let batch: Vec<(u32, St)> = {
+            let mut d = lock_ignore_poison(&shared.locals[v]);
+            if d.is_empty() {
+                continue;
+            }
+            let take = d.len().div_ceil(2).min(MAX_STEAL_BATCH);
+            d.drain(..take).collect()
+        };
+
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(n) = shared.fault_on_steal {
+            if shared.steals.fetch_add(1, Ordering::Relaxed) + 1 == n {
+                // die at the worst spot: the batch is out of the victim
+                // but not yet re-homed, so it drops with this worker
+                panic!("injected fault on steal #{n}");
+            }
+        }
+
+        return Some(rehome(shared, wid, batch));
+    }
+    None
+}
+
+/// Keeps the first item of a freshly taken batch and parks the rest in the
+/// caller's own deque.
+fn rehome<St, S>(shared: &Shared<'_, St, S>, wid: usize, batch: Vec<(u32, St)>) -> (u32, St) {
+    let mut it = batch.into_iter();
+    let first = it.next().expect("batches are never empty");
+    let mut rest = it.peekable();
+    if rest.peek().is_some() {
+        lock_ignore_poison(&shared.locals[wid]).extend(rest);
+    }
+    first
+}
+
+/// How an in-progress expansion was cut short.
+enum Abort {
+    /// A budget axis tripped between successor insertions.
+    Exhausted(ExhaustionReason),
+    /// The dense id space ran out ([`NetError::StateIdOverflow`]).
+    Overflow,
+}
+
+fn worker_inner<St, L, S>(shared: &Shared<'_, St, S>, wid: usize) -> WorkerOut<L>
 where
     St: FrontierState,
-    L: Send,
+    L: Clone + Send,
     S: Fn(&St, &mut Vec<(L, St)>) -> Result<(), NetError> + Sync,
 {
     let mut out = WorkerOut::default();
     let mut succs: Vec<(L, St)> = Vec::new();
     let mut newly: Vec<(u32, St)> = Vec::new();
+    let mut rng = XorShift::new(wid as u64 + 1);
     loop {
-        let (sid, marking) = {
-            let mut q = lock_ignore_poison(&shared.queue);
-            loop {
-                if q.error.is_some() || q.exhausted.is_some() || q.pending == 0 {
-                    return out;
-                }
-                if let Some(reason) = shared.budget.exceeded(
-                    shared.stored.load(Ordering::Relaxed),
-                    shared.bytes.load(Ordering::Relaxed),
-                ) {
-                    q.exhausted = Some(reason);
-                    shared.cv.notify_all();
-                    return out;
-                }
-                if let Some(item) = q.queue.pop_front() {
-                    break item;
-                }
-                q = shared.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+        if shared.halt.load(Ordering::Acquire) {
+            return out;
+        }
+        if let Some(reason) = shared.budget.exceeded(
+            shared.stored.load(Ordering::Relaxed),
+            shared.bytes.load(Ordering::Relaxed),
+        ) {
+            shared.record_exhausted(reason);
+            return out;
+        }
+
+        let Some((sid, state)) = acquire(shared, wid, &mut rng) else {
+            // idle protocol: register as a sleeper under the control lock,
+            // wait, and re-scan on wake. Every notification happens while
+            // holding this lock, so between our failed scan and the wait
+            // no wake-up can slip by unobserved — and a push we raced with
+            // is still consumed by its producer's own deque loop.
+            let c = lock_ignore_poison(&shared.control);
+            if c.error.is_some() || c.exhausted.is_some() {
+                return out;
             }
+            if shared.pending.load(Ordering::Acquire) == 0 {
+                shared.cv.notify_all();
+                return out;
+            }
+            shared.sleepers.fetch_add(1, Ordering::Relaxed);
+            let c = shared.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+            shared.sleepers.fetch_sub(1, Ordering::Relaxed);
+            drop(c);
+            continue;
         };
+
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
 
         #[cfg(any(test, feature = "fault-injection"))]
         if let Some(n) = shared.fault_after {
-            if shared.dequeued.fetch_add(1, Ordering::Relaxed) + 1 == n {
-                panic!("injected fault after {n} dequeues");
+            if shared.acquired.fetch_add(1, Ordering::Relaxed) + 1 == n {
+                panic!("injected fault after {n} acquisitions");
             }
         }
 
         succs.clear();
-        if let Err(e) = (shared.successors)(&marking, &mut succs) {
-            let mut q = lock_ignore_poison(&shared.queue);
-            q.error.get_or_insert(e);
-            shared.cv.notify_all();
+        if let Err(e) = (shared.successors)(&state, &mut succs) {
+            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+            shared.pending.fetch_sub(1, Ordering::AcqRel);
+            shared.record_error(e);
             return out;
         }
-        if succs.is_empty() {
-            out.deadlocks.push(sid);
-        }
 
+        let edges_mark = out.edges.len();
+        let count_mark = out.edge_count;
+        let mut aborted: Option<Abort> = None;
         for (t, next) in succs.drain(..) {
+            // re-check between insertions: one huge fan-out must not blow
+            // past the budget by more than a single successor per worker
+            if let Some(reason) = shared.budget.exceeded(
+                shared.stored.load(Ordering::Relaxed),
+                shared.bytes.load(Ordering::Relaxed),
+            ) {
+                aborted = Some(Abort::Exhausted(reason));
+                break;
+            }
             let shard = &shared.shards[shard_of(&next, shared.shard_mask)];
             let nid = match lock_ignore_poison(shard).entry(next) {
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {
-                    let nid = shared.next_id.fetch_add(1, Ordering::Relaxed);
-                    if nid == u32::MAX {
-                        // undo so the id space cannot wrap; report overflow
-                        shared.next_id.fetch_sub(1, Ordering::Relaxed);
-                        let mut q = lock_ignore_poison(&shared.queue);
-                        q.error.get_or_insert(NetError::StateIdOverflow);
-                        shared.cv.notify_all();
-                        return out;
-                    }
+                    let Some(nid) = alloc_id(&shared.next_id) else {
+                        aborted = Some(Abort::Overflow);
+                        break;
+                    };
                     shared.stored.fetch_add(1, Ordering::Relaxed);
                     shared.bytes.fetch_add(
                         e.key().approx_bytes() + STATE_OVERHEAD_BYTES,
                         Ordering::Relaxed,
                     );
+                    if shared.record_origins {
+                        out.origins.push((nid, sid, t.clone()));
+                    }
                     newly.push((nid, e.key().clone()));
                     e.insert(nid);
                     nid
@@ -546,18 +827,52 @@ where
                 out.edges.push((sid, t, nid));
             }
         }
+
+        if let Some(abort) = aborted {
+            // roll the expansion back so `sid` stays cleanly unexpanded: a
+            // resume re-expands it and re-records its edges exactly once.
+            // Successor states already inserted stay — they are genuinely
+            // reachable frontier states whose provenance lives in the
+            // origin sidecar, not in a (rolled-back) edge.
+            let rolled = out.edges.len() - edges_mark;
+            if rolled > 0 {
+                shared
+                    .bytes
+                    .fetch_sub(rolled * EDGE_BYTES, Ordering::Relaxed);
+                out.edges.truncate(edges_mark);
+            }
+            out.edge_count = count_mark;
+            newly.clear();
+            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+            shared.pending.fetch_sub(1, Ordering::AcqRel);
+            match abort {
+                Abort::Exhausted(reason) => shared.record_exhausted(reason),
+                Abort::Overflow => shared.record_error(NetError::StateIdOverflow),
+            }
+            return out;
+        }
+
+        if out.edge_count == count_mark {
+            out.deadlocks.push(sid);
+        }
         shared.expanded.fetch_add(1, Ordering::Relaxed);
         out.expanded.push(sid);
 
-        let mut q = lock_ignore_poison(&shared.queue);
+        // fold back in: make new work visible (incrementing `pending`
+        // FIRST so it cannot transiently hit zero), then retire this item
         let grew = !newly.is_empty();
-        for item in newly.drain(..) {
-            q.queue.push_back(item);
-            q.pending += 1;
+        if grew {
+            shared.pending.fetch_add(newly.len(), Ordering::AcqRel);
+            lock_ignore_poison(&shared.locals[wid]).extend(newly.drain(..));
         }
-        q.pending -= 1;
-        if grew || q.pending == 0 {
-            shared.cv.notify_all();
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let remaining = shared.pending.fetch_sub(1, Ordering::AcqRel) - 1;
+        if remaining == 0 {
+            shared.notify_under_lock();
+            return out;
+        }
+        if grew && shared.sleepers.load(Ordering::Relaxed) > 0 {
+            shared.notify_under_lock();
         }
     }
 }
@@ -573,6 +888,36 @@ mod tests {
         for i in 0..n {
             let p = b.place_marked(format!("in{i}"));
             let q = b.place(format!("out{i}"));
+            b.transition(format!("t{i}"), [p], [q]);
+        }
+        b.build().unwrap()
+    }
+
+    /// Deep chain whose every link also fans out into `width` dead ends —
+    /// the classic steal-heavy shape: the chain owner keeps producing one
+    /// deep item plus `width` leaves, so thieves always find work.
+    fn comb(depth: usize, width: usize) -> PetriNet {
+        let mut b = NetBuilder::new("comb");
+        let mut cur = b.place_marked("c0");
+        for i in 0..depth {
+            let next = b.place(format!("c{}", i + 1));
+            b.transition(format!("t{i}"), [cur], [next]);
+            for j in 0..width {
+                let d = b.place(format!("d{i}_{j}"));
+                b.transition(format!("u{i}_{j}"), [cur], [d]);
+            }
+            cur = next;
+        }
+        b.build().unwrap()
+    }
+
+    /// One marked hub firing into `n` distinct leaves: a single expansion
+    /// with fan-out `n`, for pinning the budget-overshoot bound.
+    fn star(n: usize) -> PetriNet {
+        let mut b = NetBuilder::new("star");
+        let p = b.place_marked("hub");
+        for i in 0..n {
+            let q = b.place(format!("leaf{i}"));
             b.transition(format!("t{i}"), [p], [q]);
         }
         b.build().unwrap()
@@ -649,6 +994,43 @@ mod tests {
     }
 
     #[test]
+    fn steal_heavy_comb_is_thread_count_invariant() {
+        use std::collections::BTreeSet;
+        // one seed state, a 32-deep chain, 6-wide fan-out per link: the
+        // schedule is dominated by thieves nibbling leaves while one
+        // worker advances the chain
+        let net = comb(32, 6);
+        let expected_states = 33 + 32 * 6;
+        let expected_edges = 32 * 7;
+        let mut reference: Option<(BTreeSet<Marking>, BTreeSet<Marking>)> = None;
+        for threads in [2usize, 4, 8] {
+            let r = explore_frontier(
+                net.initial_marking().clone(),
+                &opts(threads),
+                net_successors(&net),
+            )
+            .unwrap()
+            .into_value();
+            assert_eq!(r.states.len(), expected_states, "threads={threads}");
+            assert_eq!(r.edge_count, expected_edges, "threads={threads}");
+            assert_eq!(r.deadlocks.len(), 32 * 6 + 1, "threads={threads}");
+            let states: BTreeSet<Marking> = r.states.iter().cloned().collect();
+            let deads: BTreeSet<Marking> = r
+                .deadlocks
+                .iter()
+                .map(|&d| r.states[d as usize].clone())
+                .collect();
+            match &reference {
+                None => reference = Some((states, deads)),
+                Some((s, d)) => {
+                    assert_eq!(&states, s, "threads={threads}");
+                    assert_eq!(&deads, d, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn state_budget_yields_partial_not_error() {
         let net = concurrent(6);
         let outcome = explore_frontier(
@@ -666,8 +1048,9 @@ mod tests {
         let coverage = outcome.coverage().unwrap().clone();
         let r = outcome.into_value();
         assert!(r.states.len() > 10, "limit was actually hit");
-        // workers overshoot by at most one expansion's fan-out each
-        assert!(r.states.len() <= 10 + 4 * 6, "bounded overshoot");
+        // the per-successor re-check caps the overshoot at one successor
+        // per worker, much tighter than one expansion's fan-out per worker
+        assert!(r.states.len() <= 10 + 4, "bounded overshoot");
         assert_eq!(coverage.states_stored, r.states.len());
         assert_eq!(
             coverage.frontier_len,
@@ -685,6 +1068,178 @@ mod tests {
         for m in &r.states {
             assert!(full.states.contains(m), "partial ⊆ full");
         }
+    }
+
+    #[test]
+    fn wide_fanout_overshoot_is_one_successor_per_worker() {
+        // regression for the unbounded-overshoot bug: the budget used to
+        // be consulted only before dequeue, so this single expansion with
+        // fan-out 256 blew past max_states/max_bytes by the whole fan-out
+        let net = star(256);
+        let threads = 4;
+        let outcome = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads,
+                budget: Budget::default().cap_states(4),
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::States));
+        let coverage = outcome.coverage().unwrap().clone();
+        let r = outcome.into_value();
+        assert!(r.states.len() > 4, "limit was actually hit");
+        assert!(
+            r.states.len() <= 4 + threads,
+            "stored {} states: overshoot must be ≤ one successor per worker",
+            r.states.len()
+        );
+        assert_eq!(
+            coverage.states_expanded + coverage.frontier_len,
+            coverage.states_stored
+        );
+
+        // same bound on the bytes axis, in units of the largest successor
+        let full = explore_frontier(
+            net.initial_marking().clone(),
+            &opts(2),
+            net_successors(&net),
+        )
+        .unwrap()
+        .into_value();
+        let max_footprint = full
+            .states
+            .iter()
+            .map(|m| m.approx_bytes() + STATE_OVERHEAD_BYTES)
+            .max()
+            .unwrap();
+        let cap = 700;
+        // record_edges off so the estimate is monotone (see
+        // byte_budget_yields_partial) and the bound is purely per-state
+        let outcome = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads,
+                record_edges: false,
+                budget: Budget::default().cap_bytes(cap),
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::Memory));
+        let coverage = outcome.coverage().unwrap();
+        assert!(coverage.bytes_estimate > cap, "limit was actually hit");
+        assert!(
+            coverage.bytes_estimate <= cap + threads * max_footprint,
+            "estimate {} bytes: overshoot must be ≤ one successor per worker",
+            coverage.bytes_estimate
+        );
+    }
+
+    #[test]
+    fn aborted_expansions_leave_unexpanded_states_edgeless() {
+        // the rollback invariant that keeps resume edge counts exact:
+        // succ[id] is non-empty only if expanded[id]
+        let net = concurrent(6);
+        for threads in [2, 4, 8] {
+            let outcome = explore_frontier(
+                net.initial_marking().clone(),
+                &FrontierOptions {
+                    threads,
+                    budget: Budget::default().cap_states(10),
+                    ..Default::default()
+                },
+                net_successors(&net),
+            )
+            .unwrap();
+            let coverage = outcome.coverage().unwrap().clone();
+            let r = outcome.into_value();
+            for (id, &e) in r.expanded.iter().enumerate() {
+                if !e {
+                    assert!(
+                        r.succ[id].is_empty(),
+                        "threads={threads}: unexpanded state {id} kept edges"
+                    );
+                }
+            }
+            let recorded: usize = r.succ.iter().map(Vec::len).sum();
+            assert_eq!(recorded, r.edge_count, "threads={threads}");
+            assert_eq!(
+                coverage.states_expanded + coverage.frontier_len,
+                coverage.states_stored,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn origins_give_complete_discovery_provenance() {
+        let net = concurrent(4);
+        let r = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 4,
+                record_origins: true,
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap()
+        .into_value();
+        assert_eq!(r.origin.len(), r.states.len());
+        assert!(r.origin[0].is_none(), "the seed has no origin");
+        for (id, o) in r.origin.iter().enumerate().skip(1) {
+            let (parent, t) = o.expect("every discovered state has an origin");
+            assert_eq!(
+                net.fire(t, &r.states[parent as usize]).unwrap(),
+                r.states[id],
+                "origin edge replays"
+            );
+        }
+    }
+
+    #[test]
+    fn origins_survive_budget_aborted_expansions() {
+        // states inserted by an expansion that later hit the budget keep
+        // their origin even though the rolled-back edge is gone — this is
+        // what lets the GPO engine build witness traces on partial runs
+        let net = concurrent(6);
+        let outcome = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 4,
+                record_origins: true,
+                budget: Budget::default().cap_states(10),
+                ..Default::default()
+            },
+            net_successors(&net),
+        )
+        .unwrap();
+        assert!(!outcome.is_complete());
+        let r = outcome.into_value();
+        let mut has_incoming = vec![false; r.states.len()];
+        for edges in &r.succ {
+            for &(_, dst) in edges {
+                has_incoming[dst as usize] = true;
+            }
+        }
+        let mut orphans = 0;
+        for (id, edged) in has_incoming.iter().enumerate().skip(1) {
+            let (parent, t) = r.origin[id].expect("origin recorded for every discovery");
+            assert_eq!(
+                net.fire(t, &r.states[parent as usize]).unwrap(),
+                r.states[id]
+            );
+            if !edged {
+                orphans += 1;
+            }
+        }
+        // not asserted > 0: whether an edgeless discovery exists depends
+        // on which worker tripped the budget first
+        let _ = orphans;
     }
 
     #[test]
@@ -725,10 +1280,13 @@ mod tests {
     #[test]
     fn byte_budget_yields_partial() {
         let net = concurrent(8);
+        // record_edges off so the estimate is monotone: rolled-back edge
+        // bytes could otherwise dip the final figure back under the cap
         let outcome = explore_frontier(
             net.initial_marking().clone(),
             &FrontierOptions {
                 threads: 2,
+                record_edges: false,
                 budget: Budget::default().cap_bytes(600),
                 ..Default::default()
             },
@@ -819,6 +1377,42 @@ mod tests {
     }
 
     #[test]
+    fn injected_mid_steal_panic_surfaces_without_hanging() {
+        // a thief dying *after* removing a batch from its victim and
+        // before re-homing it drops those items on the floor — the
+        // recorded error must still drain every other worker instead of
+        // leaving them waiting on the lost items' pending counts
+        let net = concurrent(8);
+        let start = Instant::now();
+        let err = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads: 4,
+                inject_fault_on_steal: Some(1),
+                ..Default::default()
+            },
+            |m: &Marking, out: &mut Vec<(TransitionId, Marking)>| {
+                // linger so expanded items sit in the owner's deque long
+                // enough that a thief is guaranteed to find them
+                std::thread::sleep(Duration::from_millis(5));
+                for t in net.transitions() {
+                    if net.enabled(t, m) {
+                        out.push((t, net.fire(t, m)?));
+                    }
+                }
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, NetError::WorkerPanicked);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "join took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
     fn panicking_successor_callback_is_contained() {
         // a panic inside the *callback* (not just the injected hook) must
         // also surface as WorkerPanicked rather than poisoning the run
@@ -841,6 +1435,35 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, NetError::WorkerPanicked);
+    }
+
+    #[test]
+    fn id_overflow_surfaces_as_error_without_inconsistency() {
+        // regression for the overflow short-circuit: the old fetch_add +
+        // fetch_sub undo could wrap the allocator to 0 under a race and
+        // hand out a colliding id; the CAS allocator never wraps, and the
+        // whole run fails closed with StateIdOverflow — there is no
+        // partial result a resume could observe
+        let net = concurrent(4); // needs 15 fresh ids, only 2 remain
+        for threads in [2, 8] {
+            let start = Instant::now();
+            let err = explore_frontier(
+                net.initial_marking().clone(),
+                &FrontierOptions {
+                    threads,
+                    seed_next_id: Some(u32::MAX - 2),
+                    ..Default::default()
+                },
+                net_successors(&net),
+            )
+            .unwrap_err();
+            assert_eq!(err, NetError::StateIdOverflow, "threads={threads}");
+            assert!(
+                start.elapsed() < Duration::from_secs(30),
+                "threads={threads}: join took {:?}",
+                start.elapsed()
+            );
+        }
     }
 
     #[test]

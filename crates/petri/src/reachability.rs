@@ -308,9 +308,19 @@ impl ReachabilityGraph {
             // holds an equal key, so lookups during expansion are unaffected
             let m = std::mem::replace(&mut states[frontier], Marking::empty(0));
             let mut any = false;
+            let edges_mark = succ[sid.index()].len();
+            let count_mark = edge_count;
+            let mut aborted = None;
             for t in net.transitions() {
                 if !net.enabled(t, &m) {
                     continue;
+                }
+                // re-check between successors so a single wide fan-out
+                // overshoots the budget by at most one state (mirrors the
+                // parallel engine's per-insertion check)
+                if let Some(reason) = budget.exceeded(states.len(), bytes) {
+                    aborted = Some(reason);
+                    break;
                 }
                 any = true;
                 let next = net.fire(t, &m)?;
@@ -334,6 +344,18 @@ impl ReachabilityGraph {
                 }
             }
             states[frontier] = m;
+            if let Some(reason) = aborted {
+                // roll the interrupted expansion back so this state stays
+                // cleanly unexpanded (succ recorded ⟺ expanded) and a
+                // resumed run re-expands it exactly once; successors
+                // already stored stay — they are genuinely reachable
+                let rolled = succ[sid.index()].len() - edges_mark;
+                bytes -= rolled * EDGE_BYTES;
+                succ[sid.index()].truncate(edges_mark);
+                edge_count = count_mark;
+                exhausted = Some(reason);
+                break;
+            }
             expanded[frontier] = true;
             expanded_count += 1;
             if !any {
@@ -361,7 +383,7 @@ impl ReachabilityGraph {
                 coverage: CoverageStats {
                     states_stored: stored,
                     states_expanded: expanded_count,
-                    frontier_len: stored - expanded_count,
+                    frontier_len: stored.saturating_sub(expanded_count),
                     bytes_estimate: bytes,
                     elapsed,
                 },

@@ -49,6 +49,7 @@ fn injected_panic_surfaces_within_bounded_time() {
                     record_edges: true,
                     budget: Budget::default(),
                     inject_fault_after: Some(fault_after),
+                    ..Default::default()
                 },
                 net_successors(&net),
             );
@@ -81,6 +82,7 @@ fn engine_stays_usable_after_a_faulted_run() {
             record_edges: true,
             budget: Budget::default(),
             inject_fault_after: Some(3),
+            ..Default::default()
         },
         net_successors(&net),
     );
@@ -112,10 +114,73 @@ fn fault_injection_composes_with_budgets() {
             record_edges: false,
             budget: Budget::default().cap_states(1_000),
             inject_fault_after: Some(2),
+            ..Default::default()
         },
         net_successors(&net),
     );
     assert_eq!(result.unwrap_err(), NetError::WorkerPanicked);
+}
+
+#[test]
+fn panic_mid_steal_surfaces_within_bounded_time() {
+    // the thief dies after draining its victim and before re-homing the
+    // batch — the items are lost with it, so quiescence can only end via
+    // the recorded error, never via the pending counter reaching zero
+    let net = chain(64);
+    let start = Instant::now();
+    let result = explore_frontier(
+        net.initial_marking().clone(),
+        &FrontierOptions {
+            threads: 4,
+            inject_fault_on_steal: Some(1),
+            ..Default::default()
+        },
+        |m: &Marking, out: &mut Vec<(petri::TransitionId, Marking)>| {
+            // linger so expanded items sit in the owner's deque long
+            // enough that an idle worker is guaranteed to steal
+            std::thread::sleep(Duration::from_millis(5));
+            for t in net.transitions() {
+                if net.enabled(t, m) {
+                    out.push((t, net.fire(t, m)?));
+                }
+            }
+            Ok(())
+        },
+    );
+    let elapsed = start.elapsed();
+    assert_eq!(result.unwrap_err(), NetError::WorkerPanicked);
+    assert!(elapsed < Duration::from_secs(30), "took {elapsed:?}");
+}
+
+#[test]
+fn id_overflow_near_u32_max_fails_closed() {
+    // regression for the overflow short-circuit: with the allocator
+    // seeded two ids below the sentinel, the run must end in
+    // StateIdOverflow (never a wrapped/colliding id) with all workers
+    // joined promptly
+    let net = chain(64);
+    for threads in [2usize, 8] {
+        let start = Instant::now();
+        let result = explore_frontier(
+            net.initial_marking().clone(),
+            &FrontierOptions {
+                threads,
+                seed_next_id: Some(u32::MAX - 2),
+                ..Default::default()
+            },
+            net_successors(&net),
+        );
+        let elapsed = start.elapsed();
+        assert_eq!(
+            result.unwrap_err(),
+            NetError::StateIdOverflow,
+            "threads={threads}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "threads={threads}: took {elapsed:?}"
+        );
+    }
 }
 
 #[test]

@@ -59,14 +59,15 @@ proptest! {
 
     /// Coverage stats of a partial run are consistent: stored = expanded +
     /// frontier, stored never exceeds the cap by more than the bounded
-    /// overshoot (one expansion fan-out per worker), and a complete run is
-    /// only reported when the budget genuinely covered the space.
+    /// overshoot (one successor per worker — the budget is re-checked
+    /// between successor insertions, not just between expansions), and a
+    /// complete run is only reported when the budget genuinely covered
+    /// the space.
     #[test]
     fn coverage_stats_are_consistent(seed in 0u64..100_000) {
         let Some(net) = random_safe_net(seed, &cfg()) else { return Ok(()); };
         let full = ReachabilityGraph::explore(&net).expect("validated safe");
         let cap = (full.state_count() / 2).max(1);
-        let max_fanout = net.transition_count();
         for threads in THREADS {
             let outcome = ReachabilityGraph::explore_bounded(
                 &net,
@@ -92,7 +93,7 @@ proptest! {
                         coverage.states_stored,
                         "threads={}", threads
                     );
-                    let overshoot = threads.max(1) * max_fanout;
+                    let overshoot = threads.max(1);
                     prop_assert!(
                         coverage.states_stored <= cap + overshoot,
                         "threads={}: stored {} > cap {} + overshoot {}",
@@ -125,5 +126,84 @@ proptest! {
                 outcome.value().state_count()
             );
         }
+    }
+}
+
+/// Regression for the unbounded budget overshoot: one hub state firing
+/// into `n` distinct leaves used to blow past `max_states`/`max_bytes` by
+/// the whole fan-out, because the budget was only consulted between
+/// expansions. With the per-successor re-check the overshoot is at most
+/// one successor per worker, on both axes, at every thread count.
+#[test]
+fn wide_fanout_overshoot_is_bounded_per_worker() {
+    use petri::parallel::STATE_OVERHEAD_BYTES;
+
+    let fanout = 256;
+    let mut b = NetBuilder::new("star");
+    let hub = b.place_marked("hub");
+    for i in 0..fanout {
+        let leaf = b.place(format!("leaf{i}"));
+        b.transition(format!("t{i}"), [hub], [leaf]);
+    }
+    let net = b.build().unwrap();
+    let full = ReachabilityGraph::explore(&net).unwrap();
+    let max_state_bytes = full
+        .states()
+        .map(|s| full.marking(s).approx_bytes() + STATE_OVERHEAD_BYTES)
+        .max()
+        .unwrap();
+
+    for threads in THREADS {
+        let state_cap = 4;
+        let outcome = ReachabilityGraph::explore_bounded(
+            &net,
+            &ExploreOptions {
+                threads,
+                record_edges: false,
+                ..Default::default()
+            },
+            &Budget::default().cap_states(state_cap),
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::States));
+        let coverage = outcome.coverage().unwrap().clone();
+        assert!(
+            coverage.states_stored > state_cap,
+            "threads={threads}: limit was actually hit"
+        );
+        assert!(
+            coverage.states_stored <= state_cap + threads.max(1),
+            "threads={threads}: stored {} states, cap {state_cap}",
+            coverage.states_stored
+        );
+        assert_eq!(
+            coverage.states_expanded + coverage.frontier_len,
+            coverage.states_stored,
+            "threads={threads}"
+        );
+
+        let byte_cap = 700;
+        let outcome = ReachabilityGraph::explore_bounded(
+            &net,
+            &ExploreOptions {
+                threads,
+                record_edges: false,
+                ..Default::default()
+            },
+            &Budget::default().cap_bytes(byte_cap),
+        )
+        .unwrap();
+        assert_eq!(outcome.reason(), Some(ExhaustionReason::Memory));
+        let coverage = outcome.coverage().unwrap().clone();
+        assert!(
+            coverage.bytes_estimate > byte_cap,
+            "threads={threads}: limit was actually hit"
+        );
+        assert!(
+            coverage.bytes_estimate <= byte_cap + threads.max(1) * max_state_bytes,
+            "threads={threads}: estimate {} bytes, cap {byte_cap}, \
+             per-worker slack {max_state_bytes}",
+            coverage.bytes_estimate
+        );
     }
 }

@@ -159,3 +159,81 @@ fn state_limit_reported_for_any_thread_count() {
         );
     }
 }
+
+/// One seed state, a deep chain whose every link also fans out wide: the
+/// schedule is dominated by work stealing (one worker advances the chain
+/// while thieves nibble the dead-end leaves), which is exactly the shape
+/// the per-worker deques were built for.
+fn steal_heavy_comb(depth: usize, width: usize) -> PetriNet {
+    let mut b = NetBuilder::new("comb");
+    let mut cur = b.place_marked("c0");
+    for i in 0..depth {
+        let next = b.place(format!("c{}", i + 1));
+        b.transition(format!("t{i}"), [cur], [next]);
+        for j in 0..width {
+            let d = b.place(format!("d{i}_{j}"));
+            b.transition(format!("u{i}_{j}"), [cur], [d]);
+        }
+        cur = next;
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn steal_heavy_schedule_identical_across_thread_counts() {
+    let net = steal_heavy_comb(40, 8);
+    let gpo_net = steal_heavy_comb(6, 2);
+    let expected_states = 41 + 40 * 8;
+    let mut full_base: Option<(BTreeSet<Marking>, BTreeSet<Marking>, usize)> = None;
+    let mut gpo_base: Option<(usize, bool)> = None;
+    for threads in THREADS {
+        let rg = ReachabilityGraph::explore_with(
+            &net,
+            &ExploreOptions {
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rg.state_count(), expected_states, "threads={threads}");
+        let obs = (
+            marking_set(rg.states().map(|s| rg.marking(s))),
+            marking_set(rg.deadlocks().iter().map(|&s| rg.marking(s))),
+            rg.edge_count(),
+        );
+        match &full_base {
+            None => full_base = Some(obs),
+            Some(b) => assert_eq!(b, &obs, "full engine diverges at threads={threads}"),
+        }
+
+        let red = ReducedReachability::explore_with(
+            &net,
+            &ReducedOptions {
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            red.has_deadlock(),
+            rg.has_deadlock(),
+            "reduced engine verdict diverges at threads={threads}"
+        );
+
+        // the GPN valid-set relation blows up on the 40×8 comb, so the
+        // GPO leg runs a smaller instance of the same steal-heavy shape
+        let gpo = analyze_with(
+            &gpo_net,
+            &GpoOptions {
+                threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let obs = (gpo.state_count, gpo.deadlock_possible);
+        match &gpo_base {
+            None => gpo_base = Some(obs),
+            Some(b) => assert_eq!(b, &obs, "gpo engine diverges at threads={threads}"),
+        }
+    }
+}
