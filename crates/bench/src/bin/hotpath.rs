@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use gpo_core::{analyze_with, GpoOptions, Representation};
 use partial_order::{ReducedOptions, ReducedReachability};
-use petri::{ExploreOptions, NetBuilder, PetriNet, ReachabilityGraph};
+use petri::{reduce, ExploreOptions, NetBuilder, PetriNet, ReachabilityGraph, ReduceOptions};
 
 /// One seed state, `depth` chain links, `width` dead ends per link: the
 /// schedule the work-stealing deques were built for (thieves nibble the
@@ -131,6 +131,86 @@ fn main() {
             report.op_cache_hits,
             report.elapsed.as_secs_f64() * 1e3,
         );
+    }
+
+    println!();
+    println!("structural reduction pre-pass (--reduce): full exploration before/after");
+    println!(
+        "| model | net p/t | reduced p/t | rules applied | states | reduced states | \
+         t(explore) | t(reduce+explore) |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut json_models = Vec::new();
+    for (label, net) in [
+        ("NSDP(8)", models::nsdp(8)),
+        ("ASAT(8)", models::asat(8)),
+        ("OVER(6)", models::overtake(6)),
+        ("CYCLIC(12)", models::scheduler(12)),
+    ] {
+        let opts = ExploreOptions {
+            threads,
+            record_edges: false,
+            ..Default::default()
+        };
+        let mut states = 0usize;
+        let full = median_of_3(|| {
+            let rg = ReachabilityGraph::explore_with(&net, &opts).expect("safe");
+            states = rg.state_count();
+            rg.elapsed()
+        });
+        let reduction = reduce(&net, &ReduceOptions::default()).expect("safe");
+        let mut red_states = 0usize;
+        // charge the reduction itself to the reduced run: the table shows
+        // end-to-end time, not just the smaller exploration
+        let red_total = median_of_3(|| {
+            let start = Instant::now();
+            let r = reduce(&net, &ReduceOptions::default()).expect("safe");
+            let rg = ReachabilityGraph::explore_with(&r.net, &opts).expect("safe");
+            red_states = rg.state_count();
+            start.elapsed()
+        });
+        let rep = &reduction.report;
+        println!(
+            "| {label} | {}/{} | {}/{} | sp:{} st:{} rp:{} it:{} dt:{} | {states} | \
+             {red_states} | {:.1} ms | {:.1} ms |",
+            rep.places_before,
+            rep.transitions_before,
+            rep.places_after,
+            rep.transitions_after,
+            rep.series_places_fused,
+            rep.series_transitions_fused,
+            rep.redundant_places_removed,
+            rep.identity_transitions_removed,
+            rep.dead_transitions_removed,
+            full.as_secs_f64() * 1e3,
+            red_total.as_secs_f64() * 1e3,
+        );
+        json_models.push(format!(
+            "    {{\"model\": \"{label}\", \"places\": {}, \"transitions\": {}, \
+             \"reduced_places\": {}, \"reduced_transitions\": {}, \
+             \"rules\": {{\"sp\": {}, \"st\": {}, \"rp\": {}, \"it\": {}, \"dt\": {}}}, \
+             \"full_states\": {states}, \"reduced_states\": {red_states}, \
+             \"full_ms\": {:.3}, \"reduce_plus_full_ms\": {:.3}}}",
+            rep.places_before,
+            rep.transitions_before,
+            rep.places_after,
+            rep.transitions_after,
+            rep.series_places_fused,
+            rep.series_transitions_fused,
+            rep.redundant_places_removed,
+            rep.identity_transitions_removed,
+            rep.dead_transitions_removed,
+            full.as_secs_f64() * 1e3,
+            red_total.as_secs_f64() * 1e3,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"reduce\",\n  \"threads\": {threads},\n  \"models\": [\n{}\n  ]\n}}\n",
+        json_models.join(",\n")
+    );
+    match std::fs::write("BENCH_reduce.json", &json) {
+        Ok(()) => println!("wrote BENCH_reduce.json"),
+        Err(e) => eprintln!("cannot write BENCH_reduce.json: {e}"),
     }
 
     println!();

@@ -168,6 +168,10 @@ pub struct GpoReport {
     /// op-cache eviction (0 under explicit, and 0 until a cache first
     /// fills its capacity).
     pub op_cache_evictions: u64,
+    /// What the structural reduction pre-pass did, when the caller ran
+    /// one before this analysis (`julie check --reduce`); `None` for
+    /// unreduced runs. The analysis itself never reduces.
+    pub reduction: Option<petri::ReductionReport>,
 }
 
 impl GpoReport {
@@ -320,7 +324,7 @@ fn run<F: SetFamily>(
             None => break explored,
             Some((_, coverage)) => {
                 if let Some(path) = &ckpt.path {
-                    let snap = to_snapshot(
+                    let mut snap = to_snapshot(
                         net,
                         &ctx,
                         engine,
@@ -328,6 +332,7 @@ fn run<F: SetFamily>(
                         &counters,
                         base_elapsed + start.elapsed(),
                     );
+                    ckpt.annotate(&mut snap);
                     write_checkpoint(path, &snap).map_err(|e| {
                         GpoError::Checkpoint(format!("writing {}: {e}", path.display()))
                     })?;
@@ -361,6 +366,7 @@ fn run<F: SetFamily>(
         unique_hits: stats.unique_hits,
         op_cache_hits: stats.op_cache_hits,
         op_cache_evictions: stats.op_cache_evictions,
+        reduction: None,
     };
 
     extract_witnesses(net, &explored, opts.max_witnesses, &mut report);

@@ -18,6 +18,7 @@
 //!   --checkpoint=PATH              write crash-safe snapshots (full/po/gpo engines)
 //!   --checkpoint-every=N           also snapshot about every N stored states
 //!   --resume=PATH                  resume from a snapshot written by --checkpoint
+//!   --reduce[=RULES]               structural reduction pre-pass (sp,st,rp,it,dt)
 //!   <net> is a file in the `.net` text format, or `-` for stdin
 //! ```
 //!
@@ -36,8 +37,8 @@ use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
 use petri::checkpoint::read_checkpoint_with_fallback;
 use petri::{
     net_to_dot, parse_net, place_invariants, reachability_to_dot, to_text, Budget,
-    CheckpointConfig, ConflictInfo, ExploreOptions, Outcome, PetriNet, ReachabilityGraph, Snapshot,
-    Verdict,
+    CheckpointConfig, ConflictInfo, ExploreOptions, Marking, Outcome, PetriNet, ReachabilityGraph,
+    ReduceOptions, Reduction, ReductionStamp, Snapshot, TransitionId, Verdict,
 };
 use symbolic::{SymbolicOptions, SymbolicReachability};
 use timed::{ClassGraph, TimedNet};
@@ -71,6 +72,7 @@ fn run(args: &[String]) -> Result<u8, String> {
             "checkpoint",
             "checkpoint-every",
             "resume",
+            "reduce",
         ],
         "dot" => &["rg"],
         "unfold" => &["dot"],
@@ -151,6 +153,14 @@ options:
   --resume=PATH                resume from a snapshot written by
                                --checkpoint; falls back to PATH.prev if
                                PATH is corrupt
+  --reduce[=RULES]             verdict-preserving structural reduction
+                               pre-pass before any engine runs; RULES is a
+                               comma list of sp (series places), st (series
+                               transitions), rp (redundant places), it
+                               (identity transitions), dt (dead
+                               transitions); bare --reduce enables all.
+                               Witness traces and markings are lifted back
+                               to the original net before printing
 
 exit codes (julie check):
   0  verified: the whole state space was explored, no deadlock exists
@@ -303,6 +313,105 @@ fn checkpoint_from_args(args: &[String]) -> Result<(CheckpointConfig, Option<Sna
     Ok((ckpt, resume))
 }
 
+/// Parses the `--reduce[=RULES]` flag into reduction options, or `None`
+/// when the flag is absent (the default: engines see the net as written).
+fn reduce_from_args(args: &[String]) -> Result<Option<ReduceOptions>, String> {
+    if let Some(spec) = option(args, "reduce") {
+        return ReduceOptions::parse(spec)
+            .map(Some)
+            .map_err(|e| format!("bad --reduce `{spec}`: {e}"));
+    }
+    if flag(args, "reduce") {
+        return Ok(Some(ReduceOptions::default()));
+    }
+    Ok(None)
+}
+
+/// Turns a `--resume` net-fingerprint mismatch involving `--reduce` into a
+/// precise misuse diagnostic, instead of the engine's generic one: the
+/// snapshot's [`ReductionStamp`] records how the checkpointed run derived
+/// its net, so we can tell the user exactly which flag to change.
+fn check_resume_stamp(
+    snap: &Snapshot,
+    reduction: Option<&Reduction>,
+    rules: &str,
+    original: &PetriNet,
+) -> Result<(), String> {
+    let stamp = match ReductionStamp::from_snapshot(snap) {
+        Some(Ok(s)) => Some(s),
+        Some(Err(e)) => return Err(format!("corrupt reduction stamp in --resume snapshot: {e}")),
+        None => None,
+    };
+    match (reduction, stamp) {
+        (Some(_), None) if snap.fingerprint == original.fingerprint() => Err(format!(
+            "--resume snapshot was written without --reduce; drop --reduce to resume it, \
+             or restart with --reduce={rules} and a fresh --checkpoint"
+        )),
+        (Some(r), Some(st)) if snap.fingerprint != r.net.fingerprint() => {
+            if st.rules != rules {
+                Err(format!(
+                    "--resume snapshot was written with --reduce={} but this run uses \
+                     --reduce={rules}; pass --reduce={} to resume it",
+                    st.rules, st.rules
+                ))
+            } else {
+                Err("--resume snapshot was written for a different net".into())
+            }
+        }
+        (None, Some(st)) => Err(format!(
+            "--resume snapshot was written with --reduce={}; pass --reduce={} to resume it",
+            st.rules, st.rules
+        )),
+        // matching fingerprints, or a mismatch --reduce cannot explain:
+        // fall through to the engine's own envelope validation
+        _ => Ok(()),
+    }
+}
+
+/// Prints a dead marking and (when available) its witness trace, lifting
+/// both back to the original net first when a reduction pre-pass ran.
+fn print_dead(
+    original: &PetriNet,
+    reduction: Option<&Reduction>,
+    marking: &Marking,
+    trace: Option<&[TransitionId]>,
+) -> Result<(), String> {
+    let Some(r) = reduction else {
+        println!("dead marking: {}", original.display_marking(marking));
+        if let Some(t) = trace {
+            let names: Vec<&str> = t.iter().map(|&x| original.transition_name(x)).collect();
+            println!("witness trace: {}", names.join(" "));
+        }
+        return Ok(());
+    };
+    if let Some(t) = trace {
+        let lifted = r
+            .map
+            .lift_trace(t)
+            .map_err(|e| e.to_string())?
+            .ok_or("reduced-net witness does not lift to the original net")?;
+        let m = original
+            .fire_sequence(original.initial_marking(), lifted.iter().copied())
+            .map_err(|e| e.to_string())?
+            .ok_or("lifted witness does not replay on the original net")?;
+        println!("dead marking: {}", original.display_marking(&m));
+        let names: Vec<&str> = lifted
+            .iter()
+            .map(|&x| original.transition_name(x))
+            .collect();
+        println!("witness trace: {}", names.join(" "));
+    } else {
+        // no trace recorded (the po engine stores markings only): static
+        // lift — exact except that removed sink places show their initial
+        // value, hence the distinct label
+        println!(
+            "dead marking (lifted): {}",
+            original.display_marking(&r.map.lift_marking(marking))
+        );
+    }
+    Ok(())
+}
+
 /// Prints the budget line of a partial run and returns the verdict inputs
 /// (`complete`, `frontier`) shared by every engine.
 fn report_partial<T>(outcome: &Outcome<T>) -> (bool, usize) {
@@ -328,12 +437,52 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
         .map(|s| s.parse().map_err(|_| format!("bad --threads `{s}`")))
         .transpose()?
         .unwrap_or_else(petri::parallel::default_threads);
-    let (ckpt, resume) = checkpoint_from_args(args)?;
+    let (mut ckpt, resume) = checkpoint_from_args(args)?;
     if !matches!(engine, "full" | "po" | "gpo") && (!ckpt.is_disabled() || resume.is_some()) {
         return Err(format!(
             "engine `{engine}` does not support --checkpoint/--resume (use full, po, or gpo)"
         ));
     }
+
+    // Structural reduction pre-pass: every engine below explores `target`
+    // (the reduced net) and every printed fact is lifted back to `net`.
+    let reduce_opts = reduce_from_args(args)?;
+    let rules = reduce_opts
+        .as_ref()
+        .map(ReduceOptions::rules_string)
+        .unwrap_or_default();
+    let reduction = match &reduce_opts {
+        Some(opts) => Some(petri::reduce(net, opts).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    if let Some(snap) = &resume {
+        check_resume_stamp(snap, reduction.as_ref(), &rules, net)?;
+    }
+    let original = net;
+    let target: &PetriNet = reduction.as_ref().map_or(net, |r| &r.net);
+    if let Some(r) = &reduction {
+        println!(
+            "net `{}`: {} places, {} transitions (reduced from {}/{})",
+            original.name(),
+            target.place_count(),
+            target.transition_count(),
+            r.report.places_before,
+            r.report.transitions_before
+        );
+        println!("reduction[{rules}]: {}", r.report);
+        // stamp every snapshot this run writes, so a later --resume with
+        // different reduction flags fails with a precise diagnostic
+        ckpt.annotations.push(
+            ReductionStamp {
+                rules: rules.clone(),
+                original_fingerprint: original.fingerprint(),
+                places: target.place_count(),
+                transitions: target.transition_count(),
+            }
+            .section(),
+        );
+    }
+    let net = target;
 
     let verdict = match engine {
         "full" => {
@@ -357,11 +506,13 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
             let verdict = Verdict::from_observation(rg.has_deadlock(), complete, frontier);
             report_verdict(verdict);
             for &d in rg.deadlocks().iter().take(witnesses) {
-                println!("dead marking: {}", net.display_marking(rg.marking(d)));
-                if let Some(path) = rg.path_to(d) {
-                    let names: Vec<&str> = path.iter().map(|&t| net.transition_name(t)).collect();
-                    println!("witness trace: {}", names.join(" "));
-                }
+                let trace = rg.path_to(d);
+                print_dead(
+                    original,
+                    reduction.as_ref(),
+                    rg.marking(d),
+                    trace.as_deref(),
+                )?;
             }
             verdict
         }
@@ -386,7 +537,7 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
             let verdict = Verdict::from_observation(red.has_deadlock(), complete, frontier);
             report_verdict(verdict);
             for m in red.deadlock_markings().take(witnesses) {
-                println!("dead marking: {}", net.display_marking(m));
+                print_dead(original, reduction.as_ref(), m, None)?;
             }
             verdict
         }
@@ -419,7 +570,8 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
                 .map_err(|e| e.to_string())?;
             println!("engine: generalized partial order analysis");
             let (complete, frontier) = report_partial(&outcome);
-            let report = outcome.into_value();
+            let mut report = outcome.into_value();
+            report.reduction = reduction.as_ref().map(|r| r.report.clone());
             println!("GPN states: {}", report.state_count);
             println!("valid sets |r0|: {}", report.valid_set_count);
             if report.zdd_nodes_allocated > 0 {
@@ -435,11 +587,8 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
             let verdict = Verdict::from_observation(report.deadlock_possible, complete, frontier);
             report_verdict(verdict);
             for (i, w) in report.deadlock_witnesses.iter().enumerate() {
-                println!("dead marking: {}", net.display_marking(w));
-                if let Some(trace) = report.deadlock_traces.get(i) {
-                    let names: Vec<&str> = trace.iter().map(|&t| net.transition_name(t)).collect();
-                    println!("witness trace: {}", names.join(" "));
-                }
+                let trace = report.deadlock_traces.get(i).map(Vec::as_slice);
+                print_dead(original, reduction.as_ref(), w, trace)?;
             }
             verdict
         }

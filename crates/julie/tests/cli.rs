@@ -502,3 +502,175 @@ fn info_shows_siphon_certificate() {
     let out2 = julie_stdin(&["info", "-"], STUCK);
     assert!(stdout(&out2).contains("siphon-trap certificate: inconclusive"));
 }
+
+/// A pure pipeline: series fusions collapse it completely, and the whole
+/// witness trace is reconstructed by lifting alone.
+const PIPE: &str = "net pipe\npl p0 *\npl p1\npl p2\npl p3\n\
+                    tr a : p0 -> p1\ntr b : p1 -> p2\ntr c : p2 -> p3\n";
+
+#[test]
+fn check_reduce_shows_header_and_lifts_witness() {
+    let out = julie_stdin(&["check", "-", "--engine=full", "--reduce"], PIPE);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("(reduced from 4/3)"),
+        "header shows original sizes: {text}"
+    );
+    assert!(
+        text.contains("reduction[sp,st,rp,it,dt]:"),
+        "per-rule count line shown: {text}"
+    );
+    // the reduced net is empty; the witness exists only through lifting
+    assert!(text.contains("dead marking: {p3}"), "{text}");
+    assert!(text.contains("witness trace: a b c"), "{text}");
+}
+
+#[test]
+fn check_reduce_verdicts_match_plain_for_every_engine() {
+    for engine in ["full", "po", "gpo", "bdd", "unfold"] {
+        let out = julie_stdin(
+            &["check", "-", &format!("--engine={engine}"), "--reduce"],
+            PIPE,
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{engine}: reduced deadlock exits 1: {}",
+            stderr(&out)
+        );
+        assert!(stdout(&out).contains("DEADLOCK possible"), "{engine}");
+        let live = julie_stdin(
+            &["check", "-", &format!("--engine={engine}"), "--reduce"],
+            CYCLE,
+        );
+        assert_eq!(
+            live.status.code(),
+            Some(0),
+            "{engine}: reduced live net exits 0: {}",
+            stderr(&live)
+        );
+        assert!(stdout(&live).contains("deadlock-free"), "{engine}");
+    }
+}
+
+#[test]
+fn check_reduce_po_prints_statically_lifted_marking() {
+    // the po engine stores markings only, so the dead marking is lifted
+    // statically and labelled as such
+    let out = julie_stdin(&["check", "-", "--engine=po", "--reduce"], PIPE);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("dead marking (lifted):"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn check_reduce_accepts_rule_subsets_and_rejects_unknown_rules() {
+    let out = julie_stdin(&["check", "-", "--engine=full", "--reduce=st,dt"], PIPE);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("reduction[st,dt]:"),
+        "{}",
+        stdout(&out)
+    );
+
+    let bad = julie_stdin(&["check", "-", "--reduce=sp,bogus"], PIPE);
+    assert_eq!(bad.status.code(), Some(3), "errors exit 3");
+    assert!(
+        stderr(&bad).contains("unknown reduction rule `bogus`"),
+        "{}",
+        stderr(&bad)
+    );
+}
+
+#[test]
+fn reduce_and_resume_mismatches_fail_closed_with_precise_diagnostics() {
+    let dir = temp_dir("reduce-resume");
+    let net_path = dir.join("nsdp6.net");
+    std::fs::write(&net_path, petri::to_text(&models::nsdp(6))).unwrap();
+    let net = net_path.to_str().unwrap();
+
+    // a plain snapshot cannot be resumed under --reduce …
+    let plain_ckpt = dir.join("plain.ckpt");
+    let plain_ckpt = plain_ckpt.to_str().unwrap();
+    let partial = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--max-states=50",
+        &format!("--checkpoint={plain_ckpt}"),
+    ]);
+    assert_eq!(partial.status.code(), Some(2), "{}", stderr(&partial));
+    let wrong = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--reduce",
+        &format!("--resume={plain_ckpt}"),
+    ]);
+    assert_eq!(wrong.status.code(), Some(3));
+    assert!(
+        stderr(&wrong).contains("written without --reduce"),
+        "{}",
+        stderr(&wrong)
+    );
+
+    // … and a --reduce snapshot names its rules when resumed differently
+    let red_ckpt = dir.join("reduced.ckpt");
+    let red_ckpt = red_ckpt.to_str().unwrap();
+    let partial = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--reduce",
+        "--max-states=50",
+        &format!("--checkpoint={red_ckpt}"),
+    ]);
+    assert_eq!(partial.status.code(), Some(2), "{}", stderr(&partial));
+
+    let plain = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        &format!("--resume={red_ckpt}"),
+    ]);
+    assert_eq!(plain.status.code(), Some(3));
+    assert!(
+        stderr(&plain).contains("written with --reduce=sp,st,rp,it,dt"),
+        "{}",
+        stderr(&plain)
+    );
+
+    let other = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--reduce=dt",
+        &format!("--resume={red_ckpt}"),
+    ]);
+    assert_eq!(other.status.code(), Some(3));
+    assert!(
+        stderr(&other).contains("but this run uses --reduce=dt"),
+        "{}",
+        stderr(&other)
+    );
+
+    // matching flags resume cleanly to the full verdict
+    let ok = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--reduce",
+        &format!("--resume={red_ckpt}"),
+    ]);
+    assert_eq!(
+        ok.status.code(),
+        Some(1),
+        "matching --reduce resumes to the deadlock: {}",
+        stderr(&ok)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

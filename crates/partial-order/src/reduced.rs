@@ -192,7 +192,9 @@ impl ReducedReachability {
                     result, coverage, ..
                 } => {
                     if let Some(path) = &ckpt.path {
-                        write_checkpoint(path, &result.to_snapshot(net, opts.strategy))
+                        let mut snap = result.to_snapshot(net, opts.strategy);
+                        ckpt.annotate(&mut snap);
+                        write_checkpoint(path, &snap)
                             .map_err(|e| NetError::Checkpoint(e.to_string()))?;
                     }
                     match real_budget.exceeded(coverage.states_stored, coverage.bytes_estimate) {

@@ -12,6 +12,7 @@ use crate::ids::TransitionId;
 use crate::marking::Marking;
 use crate::net::PetriNet;
 use crate::reachability::{ExploreOptions, ReachabilityGraph};
+use crate::reduce::{reduce, ReduceOptions, ReductionReport};
 
 /// Outcome of exhaustively verifying a safe net.
 ///
@@ -97,6 +98,9 @@ pub struct BoundedReport {
     pub exhausted: Option<ExhaustionReason>,
     /// Coverage statistics of a partial run (`None` when complete).
     pub coverage: Option<CoverageStats>,
+    /// What the structural reduction pre-pass did, when one ran
+    /// ([`verify_bounded_reduced`]); `None` for unreduced runs.
+    pub reduction: Option<ReductionReport>,
 }
 
 impl BoundedReport {
@@ -153,7 +157,55 @@ pub fn verify_bounded(
         verdict,
         exhausted,
         coverage,
+        reduction: None,
     })
+}
+
+/// Like [`verify_bounded`], preceded by a structural reduction pre-pass:
+/// the exploration runs on the reduced net, and every reported fact —
+/// witness trace, dead marking, dead transitions — is lifted back to
+/// `net`'s ids before being returned. `state_count` and coverage describe
+/// the *reduced* exploration (that reduction is the point).
+///
+/// The three-valued verdict transfers exactly: the reduction rules
+/// preserve deadlock existence in both directions (see DESIGN.md), so a
+/// deadlock found on the reduced net lifts to a replayable original
+/// counterexample, and completing the reduced space proves the original
+/// deadlock-free. An `Inconclusive` partial verdict stays inconclusive.
+///
+/// # Errors
+///
+/// Returns [`NetError::NotSafe`] on safeness violations,
+/// [`NetError::WorkerPanicked`] if a parallel worker died, or
+/// [`NetError::Reduction`] if a reduced-net witness fails to lift (a bug
+/// guard; lifting cannot fail on safe nets).
+pub fn verify_bounded_reduced(
+    net: &PetriNet,
+    opts: &ExploreOptions,
+    budget: &Budget,
+    reduce_opts: &ReduceOptions,
+) -> Result<BoundedReport, NetError> {
+    let reduction = reduce(net, reduce_opts)?;
+    let mut bounded = verify_bounded(&reduction.net, opts, budget)?;
+    if let Some(trace) = bounded.report.deadlock_witness.take() {
+        let lifted = reduction.map.lift_trace(&trace)?.ok_or_else(|| {
+            NetError::Reduction("reduced-net deadlock witness does not lift".into())
+        })?;
+        let marking = net
+            .fire_sequence(net.initial_marking(), lifted.iter().copied())?
+            .ok_or_else(|| {
+                NetError::Reduction("lifted deadlock witness does not fire on the original".into())
+            })?;
+        bounded.report.deadlock_marking = Some(marking);
+        bounded.report.deadlock_witness = Some(lifted);
+    } else if let Some(m) = bounded.report.deadlock_marking.take() {
+        bounded.report.deadlock_marking = Some(reduction.map.lift_marking(&m));
+    }
+    bounded.report.dead_transitions = reduction
+        .map
+        .lift_dead_transitions(&bounded.report.dead_transitions);
+    bounded.reduction = Some(reduction.report);
+    Ok(bounded)
 }
 
 /// Derives deadlock and liveness facts from an explored graph.

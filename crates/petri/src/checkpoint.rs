@@ -436,6 +436,11 @@ pub struct CheckpointConfig {
     /// and continues in-process. `None` snapshots only on budget
     /// exhaustion. Requires `path`.
     pub every: Option<usize>,
+    /// Extra caller-supplied sections appended to every snapshot the
+    /// engine writes (e.g. the [`ReductionStamp`] of a `--reduce` run).
+    /// Engines ignore tags they do not know, so annotations are
+    /// format-compatible with older readers.
+    pub annotations: Vec<Section>,
 }
 
 impl CheckpointConfig {
@@ -444,6 +449,7 @@ impl CheckpointConfig {
         CheckpointConfig {
             path: Some(path.into()),
             every: None,
+            annotations: Vec::new(),
         }
     }
 
@@ -452,12 +458,117 @@ impl CheckpointConfig {
         CheckpointConfig {
             path: Some(path.into()),
             every: Some(every),
+            annotations: Vec::new(),
         }
     }
 
     /// `true` when nothing is ever written (pure resume or plain run).
     pub fn is_disabled(&self) -> bool {
         self.path.is_none()
+    }
+
+    /// Appends the configured annotation sections to a snapshot about to
+    /// be written. Engines call this right before [`write_checkpoint`].
+    pub fn annotate(&self, snapshot: &mut Snapshot) {
+        for s in &self.annotations {
+            snapshot.push_section(s.tag, s.payload.clone());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reduction stamp
+// ---------------------------------------------------------------------
+
+/// Section tag reserved across *all* engines for the reduction stamp.
+///
+/// Far outside the small per-engine tag ranges, so it can never collide
+/// with an engine-defined section.
+pub const REDUCTION_SECTION: u32 = 0x5244_5543; // "RDUC"
+
+/// Records, inside every snapshot written by a reduced run, how the net
+/// the snapshot belongs to was derived: which rules ran and what the
+/// *original* net's fingerprint was.
+///
+/// The envelope fingerprint of such a snapshot is the **reduced** net's,
+/// so resuming against a differently-reduced (or unreduced) net already
+/// fails closed; the stamp exists so the CLI can turn that generic
+/// mismatch into a precise misuse diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionStamp {
+    /// Canonical rule list of the pass (e.g. `"sp,st,rp,it,dt"`).
+    pub rules: String,
+    /// Fingerprint of the original (unreduced) net.
+    pub original_fingerprint: u64,
+    /// Place count of the reduced net.
+    pub places: usize,
+    /// Transition count of the reduced net.
+    pub transitions: usize,
+}
+
+impl ReductionStamp {
+    /// Serializes the stamp to a section payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(1); // stamp layout version
+        w.u64(self.original_fingerprint);
+        w.usize(self.places);
+        w.usize(self.transitions);
+        w.usize(self.rules.len());
+        for b in self.rules.bytes() {
+            w.u8(b);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a stamp payload written by [`ReductionStamp::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] on truncation or an unknown
+    /// layout version.
+    pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(payload, REDUCTION_SECTION);
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(r.malformed(format!("unknown reduction stamp version {version}")));
+        }
+        let original_fingerprint = r.u64()?;
+        let places = r.usize()?;
+        let transitions = r.usize()?;
+        let len = r.usize()?;
+        if len > 1024 {
+            return Err(r.malformed("implausible rule list length"));
+        }
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(r.u8()?);
+        }
+        let rules = String::from_utf8(bytes).map_err(|_| CheckpointError::Malformed {
+            section: REDUCTION_SECTION,
+            detail: "rule list is not UTF-8".into(),
+        })?;
+        r.finish()?;
+        Ok(ReductionStamp {
+            rules,
+            original_fingerprint,
+            places,
+            transitions,
+        })
+    }
+
+    /// Extracts and parses the stamp of a snapshot, if one was written.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Option<Result<Self, CheckpointError>> {
+        snapshot.section(REDUCTION_SECTION).map(Self::decode)
+    }
+
+    /// The stamp as a ready-to-append [`Section`] (for
+    /// [`CheckpointConfig::annotations`]).
+    pub fn section(&self) -> Section {
+        Section {
+            tag: REDUCTION_SECTION,
+            payload: self.encode(),
+        }
     }
 }
 
@@ -980,5 +1091,45 @@ mod tests {
             r.finish(),
             Err(CheckpointError::Malformed { section: 5, .. })
         ));
+    }
+
+    #[test]
+    fn reduction_stamp_round_trips_through_a_snapshot() {
+        let stamp = ReductionStamp {
+            rules: "sp,st,rp,it,dt".into(),
+            original_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            places: 12,
+            transitions: 9,
+        };
+        let mut snap = sample_snapshot();
+        assert!(ReductionStamp::from_snapshot(&snap).is_none());
+        let cfg = CheckpointConfig {
+            annotations: vec![stamp.section()],
+            ..CheckpointConfig::at("unused")
+        };
+        cfg.annotate(&mut snap);
+        let back = ReductionStamp::from_snapshot(&snap).unwrap().unwrap();
+        assert_eq!(back, stamp);
+        // annotations survive the byte round-trip like any other section
+        let reread = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(
+            ReductionStamp::from_snapshot(&reread).unwrap().unwrap(),
+            stamp
+        );
+    }
+
+    #[test]
+    fn reduction_stamp_rejects_garbage() {
+        assert!(ReductionStamp::decode(&[]).is_err());
+        assert!(ReductionStamp::decode(&[9]).is_err(), "unknown version");
+        let mut good = ReductionStamp {
+            rules: "none".into(),
+            original_fingerprint: 1,
+            places: 0,
+            transitions: 0,
+        }
+        .encode();
+        good.push(0); // trailing byte
+        assert!(ReductionStamp::decode(&good).is_err());
     }
 }

@@ -56,6 +56,9 @@ pub enum NetError {
     },
     /// A checkpoint snapshot could not be written, read, or applied.
     Checkpoint(String),
+    /// The structural reduction pre-pass failed to lift a reduced-net
+    /// result back to the original net.
+    Reduction(String),
 }
 
 impl fmt::Display for NetError {
@@ -88,6 +91,7 @@ impl fmt::Display for NetError {
                 write!(f, "parse error at line {line}, column {column}: {message}")
             }
             NetError::Checkpoint(detail) => write!(f, "checkpoint error: {detail}"),
+            NetError::Reduction(detail) => write!(f, "reduction error: {detail}"),
         }
     }
 }

@@ -41,6 +41,16 @@ pub fn incidence_matrix(net: &PetriNet) -> Vec<Vec<i64>> {
 /// `x · M = 0` (rows of `M` indexed by the solution vector) using the Farkas
 /// algorithm. `M` is `rows × cols`.
 fn farkas(m: &[Vec<i64>], rows: usize, cols: usize) -> Vec<Vec<i64>> {
+    farkas_capped(m, rows, cols, usize::MAX)
+}
+
+/// [`farkas`] with the work matrix truncated to `max_rows` rows (smallest
+/// supports kept) after each elimination step. Every row the algorithm
+/// keeps is a genuine non-negative combination that is zero in all
+/// processed columns, so every returned vector is a true invariant —
+/// capping only makes the enumeration *incomplete*, never unsound. This
+/// bounds the classical exponential blow-up of Farkas elimination.
+fn farkas_capped(m: &[Vec<i64>], rows: usize, cols: usize, max_rows: usize) -> Vec<Vec<i64>> {
     // Work matrix: [ M | I ]; each row tracks its combination of originals.
     let mut work: Vec<(Vec<i64>, Vec<i64>)> = (0..rows)
         .map(|i| {
@@ -50,7 +60,15 @@ fn farkas(m: &[Vec<i64>], rows: usize, cols: usize) -> Vec<Vec<i64>> {
         })
         .collect();
 
-    for col in 0..cols {
+    // eliminate the cheapest column first (fewest pos×neg combinations):
+    // the classical heuristic that keeps the intermediate basis small
+    let mut remaining: Vec<usize> = (0..cols).collect();
+    while let Some((ri, &col)) = remaining.iter().enumerate().min_by_key(|(_, &c)| {
+        let pos = work.iter().filter(|r| r.0[c] > 0).count();
+        let neg = work.iter().filter(|r| r.0[c] < 0).count();
+        pos * neg
+    }) {
+        remaining.swap_remove(ri);
         let mut next: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
         // rows already zero in this column survive
         for row in &work {
@@ -58,11 +76,16 @@ fn farkas(m: &[Vec<i64>], rows: usize, cols: usize) -> Vec<Vec<i64>> {
                 next.push(row.clone());
             }
         }
-        // combine every positive with every negative row
+        // combine every positive with every negative row; under a cap,
+        // stop well past it — the kept rows get pruned below anyway
+        let growth_cap = max_rows.saturating_mul(8);
         let pos: Vec<&(Vec<i64>, Vec<i64>)> = work.iter().filter(|r| r.0[col] > 0).collect();
         let neg: Vec<&(Vec<i64>, Vec<i64>)> = work.iter().filter(|r| r.0[col] < 0).collect();
-        for p in &pos {
+        'combine: for p in &pos {
             for n in &neg {
+                if next.len() >= growth_cap {
+                    break 'combine;
+                }
                 let a = p.0[col];
                 let b = -n.0[col];
                 let g = gcd(a, b);
@@ -91,6 +114,13 @@ fn farkas(m: &[Vec<i64>], rows: usize, cols: usize) -> Vec<Vec<i64>> {
         }
         // prune non-minimal supports to keep the basis small
         next = minimal_support(next);
+        if next.len() > max_rows {
+            // keep the smallest-support rows: those are the invariants
+            // the structural analyses (reduction guards, safeness
+            // certificates) actually consume
+            next.sort_by_key(|r| r.1.iter().filter(|&&v| v != 0).count());
+            next.truncate(max_rows);
+        }
         work = next;
     }
 
@@ -162,6 +192,18 @@ fn gcd(a: i64, b: i64) -> i64 {
 pub fn place_invariants(net: &PetriNet) -> Vec<Vec<i64>> {
     let c = incidence_matrix(net);
     farkas(&c, net.place_count(), net.transition_count())
+}
+
+/// Like [`place_invariants`], but bounds the Farkas work matrix to
+/// `max_rows` rows between elimination steps, keeping the rows with the
+/// smallest supports. Every returned vector is still a genuine place
+/// invariant; the cap only makes the enumeration incomplete on nets
+/// whose minimal-invariant count explodes combinatorially. Consumers
+/// that use invariants as *sufficient* guards (structural reduction,
+/// boundedness certificates) stay sound under a cap.
+pub fn place_invariants_capped(net: &PetriNet, max_rows: usize) -> Vec<Vec<i64>> {
+    let c = incidence_matrix(net);
+    farkas_capped(&c, net.place_count(), net.transition_count(), max_rows)
 }
 
 /// Minimal-support transition invariants: vectors `y ≥ 0` with `C · y = 0`.

@@ -59,26 +59,31 @@ mod net;
 pub mod parallel;
 mod parser;
 mod reachability;
+pub mod reduce;
 mod siphons;
 
-pub use analysis::{verify, verify_bounded, verify_with, BoundedReport, VerificationReport};
+pub use analysis::{
+    verify, verify_bounded, verify_bounded_reduced, verify_with, BoundedReport, VerificationReport,
+};
 pub use bitset::{BitSet, Iter as BitSetIter};
 pub use budget::{Budget, CoverageStats, ExhaustionReason, Outcome, Verdict};
 pub use checkpoint::{
     read_checkpoint, read_checkpoint_with_fallback, write_checkpoint, CheckpointConfig,
-    CheckpointError, EngineKind, Snapshot,
+    CheckpointError, EngineKind, ReductionStamp, Section, Snapshot, REDUCTION_SECTION,
 };
 pub use conflict::ConflictInfo;
 pub use dot::{net_to_dot, reachability_to_dot};
 pub use error::NetError;
 pub use ids::{PlaceId, TransitionId};
 pub use invariants::{
-    covered_by_place_invariants, incidence_matrix, place_invariants, transition_invariants,
+    covered_by_place_invariants, incidence_matrix, place_invariants, place_invariants_capped,
+    transition_invariants,
 };
 pub use marking::Marking;
 pub use net::{NetBuilder, PetriNet};
 pub use parser::{parse_net, to_text};
 pub use reachability::{ExploreOptions, ReachabilityGraph, StateId};
+pub use reduce::{reduce, ReduceOptions, Reduction, ReductionMap, ReductionReport};
 pub use siphons::{
     empty_places_siphon, is_siphon, is_trap, max_trap_within, minimal_siphons,
     siphon_trap_certificate,

@@ -231,7 +231,9 @@ impl ReachabilityGraph {
                     result, coverage, ..
                 } => {
                     if let Some(path) = &ckpt.path {
-                        write_checkpoint(path, &result.to_snapshot(net, opts.record_edges))
+                        let mut snap = result.to_snapshot(net, opts.record_edges);
+                        ckpt.annotate(&mut snap);
+                        write_checkpoint(path, &snap)
                             .map_err(|e| NetError::Checkpoint(e.to_string()))?;
                     }
                     // Distinguish the segment's synthetic state cap from

@@ -1,0 +1,262 @@
+//! Equivalence contract of the structural reduction pre-pass: for every
+//! bundled model and every engine, verifying the reduced net yields the
+//! same deadlock verdict as verifying the original, every witness trace
+//! found on the reduced net lifts to a replayable trace of the original,
+//! and the reduction is a fixpoint. A strict-decrease check pins the
+//! point of the pre-pass: on the reducible zoo nets every engine stores
+//! fewer states after reduction.
+
+use gpo_suite::prelude::*;
+use models::random::{random_safe_net, RandomNetConfig};
+use petri::ExploreOptions;
+use proptest::prelude::*;
+use unfolding::UnfoldOptions;
+
+const THREADS: [usize; 2] = [1, 8];
+const ENGINES: [&str; 5] = ["full", "po", "gpo", "bdd", "unfold"];
+
+/// Small instances of every bundled model with interesting structure.
+fn model_zoo() -> Vec<(String, PetriNet)> {
+    vec![
+        ("fig2(4)".into(), models::figures::fig2(4)),
+        ("fig7".into(), models::figures::fig7()),
+        ("nsdp(4)".into(), models::nsdp(4)),
+        ("readers_writers(4)".into(), models::readers_writers(4)),
+        ("overtake(3)".into(), models::overtake(3)),
+        ("asat(4)".into(), models::asat(4)),
+        ("scheduler(4)".into(), models::scheduler(4)),
+    ]
+}
+
+/// What one engine run observes: the deadlock verdict, a size measure of
+/// what it stored (states, prefix events, …), and a witness trace when
+/// the engine produces one.
+struct EngineRun {
+    deadlock: bool,
+    stored: f64,
+    trace: Option<Vec<TransitionId>>,
+}
+
+fn run_engine(engine: &str, net: &PetriNet, threads: usize) -> EngineRun {
+    match engine {
+        "full" => {
+            let opts = ExploreOptions {
+                max_states: usize::MAX,
+                record_edges: true,
+                threads,
+            };
+            let rg = ReachabilityGraph::explore_with(net, &opts).unwrap();
+            EngineRun {
+                deadlock: rg.has_deadlock(),
+                stored: rg.state_count() as f64,
+                trace: rg.deadlocks().first().and_then(|&d| rg.path_to(d)),
+            }
+        }
+        "po" => {
+            let opts = ReducedOptions {
+                strategy: SeedStrategy::BestOfEnabled,
+                max_states: usize::MAX,
+                threads,
+            };
+            let red = ReducedReachability::explore_with(net, &opts).unwrap();
+            EngineRun {
+                deadlock: red.has_deadlock(),
+                stored: red.state_count() as f64,
+                trace: None, // the po engine stores markings only
+            }
+        }
+        "gpo" => {
+            let opts = GpoOptions {
+                valid_set_limit: 1 << 22,
+                max_witnesses: 1,
+                threads,
+                ..Default::default()
+            };
+            let report = analyze_with(net, &opts).unwrap();
+            EngineRun {
+                deadlock: report.deadlock_possible,
+                stored: report.state_count as f64,
+                trace: report.deadlock_traces.first().cloned(),
+            }
+        }
+        "bdd" => {
+            let sym = SymbolicReachability::explore_with(net, &SymbolicOptions::default());
+            EngineRun {
+                deadlock: sym.has_deadlock(),
+                stored: sym.state_count(),
+                trace: None,
+            }
+        }
+        "unfold" => {
+            let unf = Unfolding::build_with(net, &UnfoldOptions::default()).unwrap();
+            EngineRun {
+                deadlock: unf.has_deadlock(net),
+                stored: unf.prefix().event_count() as f64,
+                trace: None,
+            }
+        }
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+/// Lifts a reduced-net trace and checks it reaches a dead marking of the
+/// original net.
+fn assert_trace_lifts(
+    original: &PetriNet,
+    reduction: &Reduction,
+    trace: &[TransitionId],
+    tag: &str,
+) {
+    let lifted = reduction
+        .map
+        .lift_trace(trace)
+        .expect("safe")
+        .unwrap_or_else(|| panic!("{tag}: reduced witness does not lift"));
+    let reached = original
+        .fire_sequence(original.initial_marking(), lifted.iter().copied())
+        .expect("safe")
+        .unwrap_or_else(|| panic!("{tag}: lifted witness not fireable on the original"));
+    assert!(
+        original.is_dead(&reached),
+        "{tag}: lifted witness does not reach a dead marking"
+    );
+}
+
+#[test]
+fn zoo_verdicts_survive_reduction_for_every_engine_and_thread_count() {
+    for (name, net) in model_zoo() {
+        let reduction = reduce(&net, &ReduceOptions::default()).unwrap();
+
+        // the pass is a fixpoint: reducing the reduced net is a noop
+        let again = reduce(&reduction.net, &ReduceOptions::default()).unwrap();
+        assert!(again.report.is_noop(), "{name}: reduction not a fixpoint");
+
+        for engine in ENGINES {
+            for &threads in &THREADS {
+                let tag = format!("{name} {engine} threads={threads}");
+                let plain = run_engine(engine, &net, threads);
+                let reduced = run_engine(engine, &reduction.net, threads);
+                assert_eq!(
+                    plain.deadlock, reduced.deadlock,
+                    "{tag}: verdict changed under reduction"
+                );
+                if let Some(trace) = &reduced.trace {
+                    assert_trace_lifts(&net, &reduction, trace, &tag);
+                }
+                // threads only shape full/po/gpo; one pass suffices for the rest
+                if matches!(engine, "bdd" | "unfold") {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduction_strictly_shrinks_stored_states_on_reducible_zoo_nets() {
+    // each of these nets loses places *and* transitions under the default
+    // rules, and every engine demonstrably stores less afterwards
+    let reducible: Vec<(String, PetriNet)> = vec![
+        ("nsdp(4)".into(), models::nsdp(4)),
+        ("overtake(3)".into(), models::overtake(3)),
+        ("asat(4)".into(), models::asat(4)),
+        ("scheduler(4)".into(), models::scheduler(4)),
+    ];
+    for (name, net) in reducible {
+        let reduction = reduce(&net, &ReduceOptions::default()).unwrap();
+        assert!(
+            !reduction.report.is_noop(),
+            "{name}: expected the net to reduce"
+        );
+        for engine in ENGINES {
+            let tag = format!("{name} {engine}");
+            let plain = run_engine(engine, &net, 1);
+            let reduced = run_engine(engine, &reduction.net, 1);
+            assert!(
+                reduced.stored < plain.stored,
+                "{tag}: stored states did not decrease ({} -> {})",
+                plain.stored,
+                reduced.stored
+            );
+            assert_eq!(plain.deadlock, reduced.deadlock, "{tag}: verdict changed");
+        }
+    }
+}
+
+#[test]
+fn verify_bounded_reduced_matches_verify_bounded_on_the_zoo() {
+    for (name, net) in model_zoo() {
+        let budget = Budget::default().cap_states(usize::MAX);
+        let opts = ExploreOptions {
+            max_states: usize::MAX,
+            record_edges: true,
+            threads: 1,
+        };
+        let plain = verify_bounded(&net, &opts, &budget).unwrap();
+        let reduced =
+            verify_bounded_reduced(&net, &opts, &budget, &ReduceOptions::default()).unwrap();
+        assert_eq!(
+            plain.report.has_deadlock, reduced.report.has_deadlock,
+            "{name}: verdict changed"
+        );
+        assert!(plain.reduction.is_none(), "{name}: unreduced run has stats");
+        let stats = reduced.reduction.as_ref().expect("reduction stats");
+        assert_eq!(stats.places_before, net.place_count(), "{name}");
+        if let Some(w) = &reduced.report.deadlock_witness {
+            // the lifted witness replays on the ORIGINAL net into the
+            // reported dead marking
+            let reached = net
+                .fire_sequence(net.initial_marking(), w.iter().copied())
+                .expect("safe")
+                .unwrap_or_else(|| panic!("{name}: lifted witness not fireable"));
+            assert!(net.is_dead(&reached), "{name}: witness marking not dead");
+            assert_eq!(
+                Some(&reached),
+                reduced.report.deadlock_marking.as_ref(),
+                "{name}: reported marking mismatches its witness"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random safe nets: reduction preserves the exhaustive deadlock
+    /// verdict, lifts witnesses to replayable original traces, and is
+    /// idempotent.
+    #[test]
+    fn random_nets_verdicts_survive_reduction(seed in 0u64..100_000) {
+        let cfg = RandomNetConfig {
+            components: 3,
+            places_per_component: 4,
+            resources: 2,
+            resource_use_prob: 0.4,
+            choice_prob: 0.5,
+            max_states: 4_000,
+        };
+        let Some(net) = random_safe_net(seed, &cfg) else { return Ok(()); };
+        let reduction = reduce(&net, &ReduceOptions::default()).unwrap();
+        let again = reduce(&reduction.net, &ReduceOptions::default()).unwrap();
+        prop_assert!(again.report.is_noop(), "not a fixpoint\n{}", to_text(&net));
+
+        let plain = ReachabilityGraph::explore(&net).unwrap();
+        let reduced = ReachabilityGraph::explore(&reduction.net).unwrap();
+        prop_assert_eq!(
+            plain.has_deadlock(),
+            reduced.has_deadlock(),
+            "verdict changed\n{}",
+            to_text(&net)
+        );
+        if let Some(&d) = reduced.deadlocks().first() {
+            let trace = reduced.path_to(d).expect("edges recorded");
+            let lifted = reduction.map.lift_trace(&trace).expect("safe");
+            prop_assert!(lifted.is_some(), "witness does not lift\n{}", to_text(&net));
+            let reached = net
+                .fire_sequence(net.initial_marking(), lifted.unwrap().iter().copied())
+                .expect("safe")
+                .expect("lifted witness fireable");
+            prop_assert!(net.is_dead(&reached), "not dead\n{}", to_text(&net));
+        }
+    }
+}
