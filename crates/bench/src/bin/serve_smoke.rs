@@ -1,0 +1,147 @@
+//! Throughput smoke for `julie serve`: boots a server, pushes a batch of
+//! verification jobs through the wire protocol, and reports jobs/second
+//! and the cache hit count.
+//!
+//! ```text
+//! serve_smoke --julie=PATH [--jobs=N] [--workers=N] [--model-size=N]
+//! ```
+//!
+//! The workload is deliberately service-shaped: every job is a real
+//! engine run (nsdp deadlock detection), repeated submissions exercise
+//! the results cache, and all traffic goes over the HTTP interface — the
+//! numbers include journaling and scheduling overhead, not just the
+//! engine.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn option(args: &[String], key: &str) -> Option<String> {
+    let prefix = format!("--{key}=");
+    args.iter()
+        .find_map(|a| a.strip_prefix(&prefix))
+        .map(str::to_string)
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn request(port: u16, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("server reachable");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, payload) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, payload.to_string())
+}
+
+fn field(doc: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = doc.find(&pat)? + pat.len();
+    let end = doc[start..].find('"')?;
+    Some(doc[start..start + end].to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let julie = option(&args, "julie")
+        .or_else(|| std::env::var("JULIE").ok())
+        .expect("pass --julie=PATH or set JULIE to the julie binary");
+    let jobs: usize = option(&args, "jobs").map_or(24, |s| s.parse().expect("--jobs"));
+    let workers: usize = option(&args, "workers").map_or(4, |s| s.parse().expect("--workers"));
+    let size: usize = option(&args, "model-size").map_or(6, |s| s.parse().expect("--model-size"));
+
+    let dir = std::env::temp_dir().join(format!("serve-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut server = Command::new(&julie)
+        .arg("serve")
+        .arg(format!("--data-dir={}", dir.display()))
+        .arg("--addr=127.0.0.1:0")
+        .arg(format!("--workers={workers}"))
+        .arg(format!("--queue-bound={}", jobs + 1))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("server spawns");
+    let mut reader = BufReader::new(server.stdout.take().unwrap());
+    let port: u16 = loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server died");
+        if let Some(addr) = line.trim().strip_prefix("listening on ") {
+            break addr.rsplit(':').next().unwrap().parse().unwrap();
+        }
+    };
+
+    // a small pool of distinct nets so some submissions are cache hits
+    let nets: Vec<String> = (0..4)
+        .map(|i| petri::to_text(&models::nsdp(size - (i % 2))))
+        .collect();
+    let engines = ["po", "gpo", "full"];
+
+    let start = Instant::now();
+    let mut ids = Vec::new();
+    for i in 0..jobs {
+        let body = format!(
+            "{{\"net\":\"{}\",\"engine\":\"{}\",\"threads\":1}}",
+            json_escape(&nets[i % nets.len()]),
+            engines[i % engines.len()]
+        );
+        let (status, payload) = request(port, "POST", "/jobs", &body);
+        assert_eq!(status, 202, "submission {i} accepted: {payload}");
+        ids.push(field(&payload, "id").expect("id"));
+    }
+    let submitted = start.elapsed();
+
+    let mut cached = 0usize;
+    for id in &ids {
+        loop {
+            let (status, payload) = request(port, "GET", &format!("/jobs/{id}"), "");
+            assert_eq!(status, 200, "{payload}");
+            match field(&payload, "state").as_deref() {
+                Some("done") => {
+                    if payload.contains("\"cached\":true") {
+                        cached += 1;
+                    }
+                    break;
+                }
+                Some("failed") | Some("cancelled") => panic!("job {id} did not finish: {payload}"),
+                _ => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+    let total = start.elapsed();
+
+    println!(
+        "serve_smoke: {jobs} jobs ({} engines, nsdp {size}) on {workers} workers",
+        engines.len()
+    );
+    println!(
+        "  submitted in {submitted:.2?}, all done in {total:.2?} — {:.1} jobs/s, {cached} cache hits",
+        jobs as f64 / total.as_secs_f64()
+    );
+
+    let pid = server.id();
+    let _ = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill {pid}"))
+        .status();
+    let _ = server.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}

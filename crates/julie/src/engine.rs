@@ -1,0 +1,308 @@
+//! The shared engine runner: one entry point that drives any of the six
+//! verification engines and returns a [`CheckReport`]. `julie check`
+//! renders the report as prose or `--json`; `julie serve` workers store
+//! its JSON rendering as the job result, so both paths agree byte-for-byte
+//! on what a verdict looks like.
+
+use gpo_core::{analyze_checkpointed, GpoOptions, Representation};
+use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
+use petri::{
+    Budget, CheckpointConfig, CoverageStats, ExhaustionReason, ExploreOptions, Marking, Outcome,
+    PetriNet, ReachabilityGraph, Reduction, Snapshot, TransitionId, Verdict,
+};
+use symbolic::{SymbolicOptions, SymbolicReachability};
+use timed::{ClassGraph, TimedNet};
+use unfolding::{UnfoldOptions, Unfolding};
+
+use crate::report::{CheckReport, ReductionSummary, Witness};
+
+/// Engine-independent knobs of one verification run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Engine selector: `full`, `po`, `gpo`, `bdd`, `unfold`, `classes`.
+    pub engine: String,
+    /// ZDD-backed families for the gpo engine.
+    pub zdd: bool,
+    /// Deadlock witnesses to report.
+    pub witnesses: usize,
+    /// Worker threads for the full/po/gpo engines.
+    pub threads: usize,
+}
+
+impl RunSpec {
+    /// Whether this engine supports `--checkpoint`/`--resume`.
+    pub fn supports_checkpoint(&self) -> bool {
+        matches!(self.engine.as_str(), "full" | "po" | "gpo")
+    }
+}
+
+/// Splits a run outcome into its budget facts, consuming nothing.
+fn partial_info<T>(outcome: &Outcome<T>) -> (Option<ExhaustionReason>, Option<CoverageStats>) {
+    match outcome {
+        Outcome::Complete(_) => (None, None),
+        Outcome::Partial {
+            reason, coverage, ..
+        } => (Some(*reason), Some(coverage.clone())),
+    }
+}
+
+/// Lifts one dead marking (and its trace, when the engine recorded one)
+/// back to the original net and renders it for display. Mirrors the
+/// classic `print_dead` behaviour: with a trace the lift is exact; without
+/// one, removed sink places show their initial value and the witness is
+/// flagged `statically_lifted`.
+pub fn lift_witness(
+    original: &PetriNet,
+    reduction: Option<&Reduction>,
+    marking: &Marking,
+    trace: Option<&[TransitionId]>,
+) -> Result<Witness, String> {
+    let Some(r) = reduction else {
+        return Ok(Witness {
+            marking: original.display_marking(marking).to_string(),
+            trace: trace.map(|t| {
+                t.iter()
+                    .map(|&x| original.transition_name(x).to_string())
+                    .collect()
+            }),
+            statically_lifted: false,
+        });
+    };
+    if let Some(t) = trace {
+        let lifted = r
+            .map
+            .lift_trace(t)
+            .map_err(|e| e.to_string())?
+            .ok_or("reduced-net witness does not lift to the original net")?;
+        let m = original
+            .fire_sequence(original.initial_marking(), lifted.iter().copied())
+            .map_err(|e| e.to_string())?
+            .ok_or("lifted witness does not replay on the original net")?;
+        Ok(Witness {
+            marking: original.display_marking(&m).to_string(),
+            trace: Some(
+                lifted
+                    .iter()
+                    .map(|&x| original.transition_name(x).to_string())
+                    .collect(),
+            ),
+            statically_lifted: false,
+        })
+    } else {
+        Ok(Witness {
+            marking: original
+                .display_marking(&r.map.lift_marking(marking))
+                .to_string(),
+            trace: None,
+            statically_lifted: true,
+        })
+    }
+}
+
+/// Runs one verification with the chosen engine. `reduction`, when
+/// present, is the structural pre-pass whose reduced net the engine
+/// explores; all reported witnesses are lifted back to `original`.
+///
+/// `ckpt`/`resume` are honoured by the full/po/gpo engines; callers must
+/// pre-validate (via [`RunSpec::supports_checkpoint`]) that other engines
+/// are not asked to checkpoint.
+pub fn run_engine(
+    original: &PetriNet,
+    reduction: Option<&Reduction>,
+    rules: &str,
+    spec: &RunSpec,
+    budget: &Budget,
+    ckpt: &CheckpointConfig,
+    resume: Option<&Snapshot>,
+) -> Result<CheckReport, String> {
+    let net: &PetriNet = reduction.map_or(original, |r| &r.net);
+    let summary = reduction.map(|r| ReductionSummary::new(rules, &r.report));
+    let base = |engine_desc: &'static str| CheckReport {
+        net: original.name().to_string(),
+        engine: spec.engine.clone(),
+        engine_desc,
+        states_line: String::new(),
+        states: 0,
+        verdict: Verdict::DeadlockFree,
+        exhausted: None,
+        coverage: None,
+        detail_lines: Vec::new(),
+        details: Vec::new(),
+        witnesses: Vec::new(),
+        reduction: summary.clone(),
+    };
+
+    match spec.engine.as_str() {
+        "full" => {
+            let opts = ExploreOptions {
+                max_states: usize::MAX,
+                record_edges: true,
+                threads: spec.threads,
+            };
+            let outcome = ReachabilityGraph::explore_checkpointed(net, &opts, budget, ckpt, resume)
+                .map_err(|e| e.to_string())?;
+            let mut report = base("exhaustive reachability");
+            (report.exhausted, report.coverage) = partial_info(&outcome);
+            let complete = report.exhausted.is_none();
+            let frontier = report.coverage.as_ref().map_or(0, |c| c.frontier_len);
+            let rg = outcome.into_value();
+            report.states = rg.state_count();
+            report.states_line = format!("states: {}", rg.state_count());
+            report.verdict = Verdict::from_observation(rg.has_deadlock(), complete, frontier);
+            for &d in rg.deadlocks().iter().take(spec.witnesses) {
+                let trace = rg.path_to(d);
+                report.witnesses.push(lift_witness(
+                    original,
+                    reduction,
+                    rg.marking(d),
+                    trace.as_deref(),
+                )?);
+            }
+            Ok(report)
+        }
+        "po" => {
+            let opts = ReducedOptions {
+                strategy: SeedStrategy::BestOfEnabled,
+                max_states: usize::MAX,
+                threads: spec.threads,
+            };
+            let outcome =
+                ReducedReachability::explore_checkpointed(net, &opts, budget, ckpt, resume)
+                    .map_err(|e| e.to_string())?;
+            let mut report = base("stubborn-set partial-order reduction");
+            (report.exhausted, report.coverage) = partial_info(&outcome);
+            let complete = report.exhausted.is_none();
+            let frontier = report.coverage.as_ref().map_or(0, |c| c.frontier_len);
+            let red = outcome.into_value();
+            report.states = red.state_count();
+            report.states_line = format!("states: {}", red.state_count());
+            report.verdict = Verdict::from_observation(red.has_deadlock(), complete, frontier);
+            for m in red.deadlock_markings().take(spec.witnesses) {
+                report
+                    .witnesses
+                    .push(lift_witness(original, reduction, m, None)?);
+            }
+            Ok(report)
+        }
+        "bdd" => {
+            let outcome =
+                SymbolicReachability::explore_bounded(net, &SymbolicOptions::default(), budget);
+            let mut report = base("symbolic (BDD) reachability");
+            (report.exhausted, report.coverage) = partial_info(&outcome);
+            let complete = report.exhausted.is_none();
+            let frontier = report.coverage.as_ref().map_or(0, |c| c.frontier_len);
+            let sym = outcome.into_value();
+            // the symbolic engine counts states as f64 (BDD model count)
+            report.states = sym.state_count() as usize;
+            report.states_line = format!("states: {}", sym.state_count());
+            report
+                .detail_lines
+                .push(format!("peak BDD nodes: {}", sym.peak_live_nodes()));
+            report
+                .details
+                .push(("peak_bdd_nodes", sym.peak_live_nodes() as u64));
+            report.verdict = Verdict::from_observation(sym.has_deadlock(), complete, frontier);
+            Ok(report)
+        }
+        "gpo" => {
+            let opts = GpoOptions {
+                valid_set_limit: 1 << 24,
+                max_states: usize::MAX,
+                representation: if spec.zdd {
+                    Representation::Zdd
+                } else {
+                    Representation::Explicit
+                },
+                max_witnesses: spec.witnesses,
+                threads: spec.threads,
+                coverage_query: Vec::new(),
+            };
+            let outcome = analyze_checkpointed(net, &opts, budget, ckpt, resume)
+                .map_err(|e| e.to_string())?;
+            let mut report = base("generalized partial order analysis");
+            (report.exhausted, report.coverage) = partial_info(&outcome);
+            let complete = report.exhausted.is_none();
+            let frontier = report.coverage.as_ref().map_or(0, |c| c.frontier_len);
+            let gpo = outcome.into_value();
+            report.states = gpo.state_count;
+            report.states_line = format!("GPN states: {}", gpo.state_count);
+            report
+                .detail_lines
+                .push(format!("valid sets |r0|: {}", gpo.valid_set_count));
+            report
+                .details
+                .push(("valid_sets", gpo.valid_set_count as u64));
+            if gpo.zdd_nodes_allocated > 0 {
+                report.detail_lines.push(format!(
+                    "zdd: {} nodes allocated, {} unique-table hits, {} op-cache hits, \
+                     {} op-cache evictions",
+                    gpo.zdd_nodes_allocated,
+                    gpo.unique_hits,
+                    gpo.op_cache_hits,
+                    gpo.op_cache_evictions
+                ));
+                report
+                    .details
+                    .push(("zdd_nodes_allocated", gpo.zdd_nodes_allocated as u64));
+                report.details.push(("unique_hits", gpo.unique_hits as u64));
+                report
+                    .details
+                    .push(("op_cache_hits", gpo.op_cache_hits as u64));
+                report
+                    .details
+                    .push(("op_cache_evictions", gpo.op_cache_evictions as u64));
+            }
+            report.verdict = Verdict::from_observation(gpo.deadlock_possible, complete, frontier);
+            for (i, w) in gpo.deadlock_witnesses.iter().enumerate() {
+                let trace = gpo.deadlock_traces.get(i).map(Vec::as_slice);
+                report
+                    .witnesses
+                    .push(lift_witness(original, reduction, w, trace)?);
+            }
+            Ok(report)
+        }
+        "unfold" => {
+            let opts = UnfoldOptions {
+                max_events: usize::MAX,
+            };
+            let outcome = Unfolding::build_bounded(net, &opts, budget);
+            let mut report = base("McMillan finite complete prefix");
+            (report.exhausted, report.coverage) = partial_info(&outcome);
+            let complete = report.exhausted.is_none();
+            let frontier = report.coverage.as_ref().map_or(0, |c| c.frontier_len);
+            let unf = outcome.into_value();
+            report.states = unf.prefix().event_count();
+            report.states_line = format!(
+                "prefix: {} events, {} conditions, {} cut-offs",
+                unf.prefix().event_count(),
+                unf.prefix().condition_count(),
+                unf.prefix().cutoff_count()
+            );
+            report
+                .details
+                .push(("events", unf.prefix().event_count() as u64));
+            report
+                .details
+                .push(("conditions", unf.prefix().condition_count() as u64));
+            report
+                .details
+                .push(("cutoffs", unf.prefix().cutoff_count() as u64));
+            report.verdict = Verdict::from_observation(unf.has_deadlock(net), complete, frontier);
+            Ok(report)
+        }
+        "classes" => {
+            // untimed intervals: the class graph doubles as a reference
+            // explorer; real timing analyses use the `timed` crate API.
+            // The class graph has no budget hooks, so its verdicts are
+            // always complete.
+            let graph =
+                ClassGraph::explore(&TimedNet::new(net.clone())).map_err(|e| e.to_string())?;
+            let mut report = base("state-class graph (untimed intervals)");
+            report.states = graph.class_count();
+            report.states_line = format!("classes: {}", graph.class_count());
+            report.verdict = Verdict::from_observation(graph.has_deadlock(), true, 0);
+            Ok(report)
+        }
+        other => Err(format!("unknown engine `{other}`")),
+    }
+}

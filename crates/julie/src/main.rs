@@ -6,6 +6,7 @@
 //! julie check <net> [options]      deadlock verification with a chosen engine
 //! julie dot   <net> [--rg]         Graphviz output of the net (or its reachability graph)
 //! julie model <name> <n>           print a built-in benchmark as .net text
+//! julie serve --data-dir=DIR       crash-safe verification service (HTTP/1.1)
 //!
 //! options:
 //!   --engine=full|po|gpo|bdd       verification engine (default: gpo)
@@ -19,30 +20,37 @@
 //!   --checkpoint-every=N           also snapshot about every N stored states
 //!   --resume=PATH                  resume from a snapshot written by --checkpoint
 //!   --reduce[=RULES]               structural reduction pre-pass (sp,st,rp,it,dt)
+//!   --json                         machine-readable report instead of prose
 //!   <net> is a file in the `.net` text format, or `-` for stdin
 //! ```
 //!
 //! `julie check` exits 0 when the net is verified deadlock-free, 1 when a
 //! deadlock was found, 2 when a budget ran out first (inconclusive), and
 //! 3 on errors. Budgets degrade gracefully: the partial exploration is
-//! reported with coverage statistics instead of being discarded.
+//! reported with coverage statistics instead of being discarded. SIGINT
+//! and SIGTERM trip the run's budget, so an interrupted `--checkpoint`
+//! run writes its final snapshot and exits 2 instead of dying mid-write.
+
+mod engine;
+mod json;
+mod report;
+mod serve;
+mod signals;
 
 use std::io::Read;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use gpo_core::{analyze_checkpointed, GpoOptions, Representation};
-use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
 use petri::checkpoint::read_checkpoint_with_fallback;
 use petri::{
     net_to_dot, parse_net, place_invariants, reachability_to_dot, to_text, Budget,
-    CheckpointConfig, ConflictInfo, ExploreOptions, Marking, Outcome, PetriNet, ReachabilityGraph,
-    ReduceOptions, Reduction, ReductionStamp, Snapshot, TransitionId, Verdict,
+    CheckpointConfig, ConflictInfo, PetriNet, ReachabilityGraph, ReduceOptions, Reduction,
+    ReductionStamp, Snapshot, Verdict,
 };
-use symbolic::{SymbolicOptions, SymbolicReachability};
-use timed::{ClassGraph, TimedNet};
 use unfolding::{UnfoldOptions, Unfolding};
+
+use engine::RunSpec;
 
 /// Exit code for usage, I/O, parse and engine errors (0–2 are verdicts).
 const EXIT_ERROR: u8 = 3;
@@ -73,9 +81,19 @@ fn run(args: &[String]) -> Result<u8, String> {
             "checkpoint-every",
             "resume",
             "reduce",
+            "json",
         ],
         "dot" => &["rg"],
         "unfold" => &["dot"],
+        "serve" => &[
+            "addr",
+            "data-dir",
+            "workers",
+            "queue-bound",
+            "max-job-states",
+            "checkpoint-every",
+            "drain-secs",
+        ],
         _ => &[],
     };
     reject_unknown_flags(args, allowed)?;
@@ -85,6 +103,7 @@ fn run(args: &[String]) -> Result<u8, String> {
         "dot" => dot(&load_net(args)?, args).map(|()| 0),
         "unfold" => unfold(&load_net(args)?, args).map(|()| 0),
         "model" => model(args).map(|()| 0),
+        "serve" => serve::serve(args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(0)
@@ -133,6 +152,11 @@ usage:
   julie unfold <net> [--dot]   McMillan finite complete prefix (stats or Graphviz)
   julie model <name> <n>       print a built-in benchmark as .net text
                                (nsdp, asat, over, rw, cyclic, fig1, fig2, fig3, fig7)
+  julie serve --data-dir=DIR   run the crash-safe verification service
+                               (HTTP/1.1; see the README for the wire
+                               protocol and the --addr, --workers,
+                               --queue-bound, --max-job-states,
+                               --checkpoint-every, --drain-secs flags)
 
 options:
   --engine=full|po|gpo|bdd|unfold|classes
@@ -161,6 +185,10 @@ options:
                                transitions); bare --reduce enables all.
                                Witness traces and markings are lifted back
                                to the original net before printing
+  --json                       print one machine-readable JSON report
+                               instead of prose (same document the serve
+                               wire protocol returns); exit codes are
+                               unchanged
 
 exit codes (julie check):
   0  verified: the whole state space was explored, no deadlock exists
@@ -368,66 +396,9 @@ fn check_resume_stamp(
     }
 }
 
-/// Prints a dead marking and (when available) its witness trace, lifting
-/// both back to the original net first when a reduction pre-pass ran.
-fn print_dead(
-    original: &PetriNet,
-    reduction: Option<&Reduction>,
-    marking: &Marking,
-    trace: Option<&[TransitionId]>,
-) -> Result<(), String> {
-    let Some(r) = reduction else {
-        println!("dead marking: {}", original.display_marking(marking));
-        if let Some(t) = trace {
-            let names: Vec<&str> = t.iter().map(|&x| original.transition_name(x)).collect();
-            println!("witness trace: {}", names.join(" "));
-        }
-        return Ok(());
-    };
-    if let Some(t) = trace {
-        let lifted = r
-            .map
-            .lift_trace(t)
-            .map_err(|e| e.to_string())?
-            .ok_or("reduced-net witness does not lift to the original net")?;
-        let m = original
-            .fire_sequence(original.initial_marking(), lifted.iter().copied())
-            .map_err(|e| e.to_string())?
-            .ok_or("lifted witness does not replay on the original net")?;
-        println!("dead marking: {}", original.display_marking(&m));
-        let names: Vec<&str> = lifted
-            .iter()
-            .map(|&x| original.transition_name(x))
-            .collect();
-        println!("witness trace: {}", names.join(" "));
-    } else {
-        // no trace recorded (the po engine stores markings only): static
-        // lift — exact except that removed sink places show their initial
-        // value, hence the distinct label
-        println!(
-            "dead marking (lifted): {}",
-            original.display_marking(&r.map.lift_marking(marking))
-        );
-    }
-    Ok(())
-}
-
-/// Prints the budget line of a partial run and returns the verdict inputs
-/// (`complete`, `frontier`) shared by every engine.
-fn report_partial<T>(outcome: &Outcome<T>) -> (bool, usize) {
-    match outcome {
-        Outcome::Complete(_) => (true, 0),
-        Outcome::Partial {
-            reason, coverage, ..
-        } => {
-            println!("budget: {reason} — {coverage}");
-            (false, coverage.frontier_len)
-        }
-    }
-}
-
 fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
     let engine = option(args, "engine").unwrap_or("gpo");
+    let json_mode = flag(args, "json");
     let budget = budget_from_args(args)?;
     let witnesses: usize = option(args, "witnesses")
         .map(|s| s.parse().map_err(|_| format!("bad --witnesses `{s}`")))
@@ -438,7 +409,13 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
         .transpose()?
         .unwrap_or_else(petri::parallel::default_threads);
     let (mut ckpt, resume) = checkpoint_from_args(args)?;
-    if !matches!(engine, "full" | "po" | "gpo") && (!ckpt.is_disabled() || resume.is_some()) {
+    let spec = RunSpec {
+        engine: engine.to_string(),
+        zdd: flag(args, "zdd"),
+        witnesses,
+        threads,
+    };
+    if !spec.supports_checkpoint() && (!ckpt.is_disabled() || resume.is_some()) {
         return Err(format!(
             "engine `{engine}` does not support --checkpoint/--resume (use full, po, or gpo)"
         ));
@@ -459,17 +436,19 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
         check_resume_stamp(snap, reduction.as_ref(), &rules, net)?;
     }
     let original = net;
-    let target: &PetriNet = reduction.as_ref().map_or(net, |r| &r.net);
     if let Some(r) = &reduction {
-        println!(
-            "net `{}`: {} places, {} transitions (reduced from {}/{})",
-            original.name(),
-            target.place_count(),
-            target.transition_count(),
-            r.report.places_before,
-            r.report.transitions_before
-        );
-        println!("reduction[{rules}]: {}", r.report);
+        let target = &r.net;
+        if !json_mode {
+            println!(
+                "net `{}`: {} places, {} transitions (reduced from {}/{})",
+                original.name(),
+                target.place_count(),
+                target.transition_count(),
+                r.report.places_before,
+                r.report.transitions_before
+            );
+            println!("reduction[{rules}]: {}", r.report);
+        }
         // stamp every snapshot this run writes, so a later --resume with
         // different reduction flags fails with a precise diagnostic
         ckpt.annotations.push(
@@ -482,150 +461,27 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
             .section(),
         );
     }
-    let net = target;
 
-    let verdict = match engine {
-        "full" => {
-            let opts = ExploreOptions {
-                max_states: usize::MAX,
-                record_edges: true,
-                threads,
-            };
-            let outcome = ReachabilityGraph::explore_checkpointed(
-                net,
-                &opts,
-                &budget,
-                &ckpt,
-                resume.as_ref(),
-            )
-            .map_err(|e| e.to_string())?;
-            println!("engine: exhaustive reachability");
-            let (complete, frontier) = report_partial(&outcome);
-            let rg = outcome.into_value();
-            println!("states: {}", rg.state_count());
-            let verdict = Verdict::from_observation(rg.has_deadlock(), complete, frontier);
-            report_verdict(verdict);
-            for &d in rg.deadlocks().iter().take(witnesses) {
-                let trace = rg.path_to(d);
-                print_dead(
-                    original,
-                    reduction.as_ref(),
-                    rg.marking(d),
-                    trace.as_deref(),
-                )?;
-            }
-            verdict
-        }
-        "po" => {
-            let opts = ReducedOptions {
-                strategy: SeedStrategy::BestOfEnabled,
-                max_states: usize::MAX,
-                threads,
-            };
-            let outcome = ReducedReachability::explore_checkpointed(
-                net,
-                &opts,
-                &budget,
-                &ckpt,
-                resume.as_ref(),
-            )
-            .map_err(|e| e.to_string())?;
-            println!("engine: stubborn-set partial-order reduction");
-            let (complete, frontier) = report_partial(&outcome);
-            let red = outcome.into_value();
-            println!("states: {}", red.state_count());
-            let verdict = Verdict::from_observation(red.has_deadlock(), complete, frontier);
-            report_verdict(verdict);
-            for m in red.deadlock_markings().take(witnesses) {
-                print_dead(original, reduction.as_ref(), m, None)?;
-            }
-            verdict
-        }
-        "bdd" => {
-            let outcome =
-                SymbolicReachability::explore_bounded(net, &SymbolicOptions::default(), &budget);
-            println!("engine: symbolic (BDD) reachability");
-            let (complete, frontier) = report_partial(&outcome);
-            let sym = outcome.into_value();
-            println!("states: {}", sym.state_count());
-            println!("peak BDD nodes: {}", sym.peak_live_nodes());
-            let verdict = Verdict::from_observation(sym.has_deadlock(), complete, frontier);
-            report_verdict(verdict);
-            verdict
-        }
-        "gpo" => {
-            let opts = GpoOptions {
-                valid_set_limit: 1 << 24,
-                max_states: usize::MAX,
-                representation: if flag(args, "zdd") {
-                    Representation::Zdd
-                } else {
-                    Representation::Explicit
-                },
-                max_witnesses: witnesses,
-                threads,
-                coverage_query: Vec::new(),
-            };
-            let outcome = analyze_checkpointed(net, &opts, &budget, &ckpt, resume.as_ref())
-                .map_err(|e| e.to_string())?;
-            println!("engine: generalized partial order analysis");
-            let (complete, frontier) = report_partial(&outcome);
-            let mut report = outcome.into_value();
-            report.reduction = reduction.as_ref().map(|r| r.report.clone());
-            println!("GPN states: {}", report.state_count);
-            println!("valid sets |r0|: {}", report.valid_set_count);
-            if report.zdd_nodes_allocated > 0 {
-                println!(
-                    "zdd: {} nodes allocated, {} unique-table hits, {} op-cache hits, \
-                     {} op-cache evictions",
-                    report.zdd_nodes_allocated,
-                    report.unique_hits,
-                    report.op_cache_hits,
-                    report.op_cache_evictions
-                );
-            }
-            let verdict = Verdict::from_observation(report.deadlock_possible, complete, frontier);
-            report_verdict(verdict);
-            for (i, w) in report.deadlock_witnesses.iter().enumerate() {
-                let trace = report.deadlock_traces.get(i).map(Vec::as_slice);
-                print_dead(original, reduction.as_ref(), w, trace)?;
-            }
-            verdict
-        }
-        "unfold" => {
-            let opts = UnfoldOptions {
-                max_events: usize::MAX,
-            };
-            let outcome = Unfolding::build_bounded(net, &opts, &budget);
-            println!("engine: McMillan finite complete prefix");
-            let (complete, frontier) = report_partial(&outcome);
-            let unf = outcome.into_value();
-            println!(
-                "prefix: {} events, {} conditions, {} cut-offs",
-                unf.prefix().event_count(),
-                unf.prefix().condition_count(),
-                unf.prefix().cutoff_count()
-            );
-            let verdict = Verdict::from_observation(unf.has_deadlock(net), complete, frontier);
-            report_verdict(verdict);
-            verdict
-        }
-        "classes" => {
-            // untimed intervals: the class graph doubles as a reference
-            // explorer; real timing analyses use the `timed` crate API.
-            // The class graph has no budget hooks, so its verdicts are
-            // always complete.
-            let graph =
-                ClassGraph::explore(&TimedNet::new(net.clone())).map_err(|e| e.to_string())?;
-            println!("engine: state-class graph (untimed intervals)");
-            println!("classes: {}", graph.class_count());
-            let verdict = Verdict::from_observation(graph.has_deadlock(), true, 0);
-            report_verdict(verdict);
-            verdict
-        }
-        other => return Err(format!("unknown engine `{other}`")),
-    };
-    Ok(verdict.exit_code())
+    // SIGINT/SIGTERM become a cooperative budget exhaustion: the engine
+    // stops at the next poll, writes its final --checkpoint snapshot, and
+    // the run exits 2 (inconclusive) instead of dying mid-write
+    signals::cancel_on_termination(budget.cancel.clone());
+
+    let report = engine::run_engine(
+        original,
+        reduction.as_ref(),
+        &rules,
+        &spec,
+        &budget,
+        &ckpt,
+        resume.as_ref(),
+    )?;
+    if json_mode {
+        println!("{}", report.to_json().render());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(report.verdict.exit_code())
 }
 
 fn unfold(net: &PetriNet, args: &[String]) -> Result<(), String> {

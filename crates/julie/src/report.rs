@@ -1,0 +1,265 @@
+//! The engine-independent verification report: every `julie check` run
+//! (and every job a `julie serve` worker finishes) produces one
+//! [`CheckReport`], which renders either as the CLI's classic prose or as
+//! the machine-readable JSON document shared by `--json` and the serve
+//! wire protocol.
+
+use petri::{CoverageStats, ExhaustionReason, ReductionReport, Verdict};
+
+use crate::json::Json;
+
+/// One deadlock witness, already lifted back to the original net and
+/// rendered to display strings.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// The dead marking, e.g. `{p3}`.
+    pub marking: String,
+    /// The firing sequence into it (transition names), when the engine
+    /// records traces.
+    pub trace: Option<Vec<String>>,
+    /// `true` when the marking was lifted statically from a reduced net
+    /// (removed sink places show their initial value) — the prose output
+    /// labels these `dead marking (lifted):`.
+    pub statically_lifted: bool,
+}
+
+/// What a structural reduction pre-pass did to the net the engine saw.
+#[derive(Debug, Clone)]
+pub struct ReductionSummary {
+    /// Canonical rule list, e.g. `sp,st,rp,it,dt`.
+    pub rules: String,
+    /// Sizes before the pass.
+    pub places_before: usize,
+    /// Transitions before the pass.
+    pub transitions_before: usize,
+    /// Sizes after the pass.
+    pub places: usize,
+    /// Transitions after the pass.
+    pub transitions: usize,
+    /// The per-rule application counts, as the report displays them.
+    pub summary: String,
+}
+
+impl ReductionSummary {
+    /// Builds the summary from a reduction report and its rule string.
+    pub fn new(rules: &str, report: &ReductionReport) -> Self {
+        ReductionSummary {
+            rules: rules.to_string(),
+            places_before: report.places_before,
+            transitions_before: report.transitions_before,
+            places: report.places_after,
+            transitions: report.transitions_after,
+            summary: report.to_string(),
+        }
+    }
+}
+
+/// The unified result of one verification run.
+///
+/// `states_line` and `detail_lines` carry the *exact* prose lines the CLI
+/// has always printed (so scripts and tests matching them keep working);
+/// the typed fields feed the JSON rendering.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Name of the (original) net.
+    pub net: String,
+    /// Engine selector, as the CLI spells it (`full`, `po`, `gpo`, …).
+    pub engine: String,
+    /// Human-readable engine description.
+    pub engine_desc: &'static str,
+    /// The exact prose states line, e.g. `states: 12` or `GPN states: 3`.
+    pub states_line: String,
+    /// The state count behind `states_line`.
+    pub states: usize,
+    /// Three-valued deadlock verdict.
+    pub verdict: Verdict,
+    /// Which budget axis ran out, for partial runs.
+    pub exhausted: Option<ExhaustionReason>,
+    /// Coverage of a partial run.
+    pub coverage: Option<CoverageStats>,
+    /// Extra engine-specific prose lines, printed after the states line.
+    pub detail_lines: Vec<String>,
+    /// Engine-specific numeric counters for the JSON rendering.
+    pub details: Vec<(&'static str, u64)>,
+    /// Deadlock witnesses, lifted and rendered.
+    pub witnesses: Vec<Witness>,
+    /// The reduction pre-pass, when one ran.
+    pub reduction: Option<ReductionSummary>,
+}
+
+/// The canonical JSON spelling of a verdict.
+pub fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::DeadlockFree => "deadlock-free",
+        Verdict::HasDeadlock => "deadlock",
+        Verdict::Inconclusive { .. } => "inconclusive",
+    }
+}
+
+impl CheckReport {
+    /// Renders the classic CLI prose (without the reduction header, which
+    /// the CLI prints before the engine runs).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("engine: {}\n", self.engine_desc));
+        if let (Some(reason), Some(coverage)) = (self.exhausted, &self.coverage) {
+            out.push_str(&format!("budget: {reason} — {coverage}\n"));
+        }
+        out.push_str(&self.states_line);
+        out.push('\n');
+        for line in &self.detail_lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&format!("verdict: {}\n", self.verdict));
+        for w in &self.witnesses {
+            if w.statically_lifted {
+                out.push_str(&format!("dead marking (lifted): {}\n", w.marking));
+            } else {
+                out.push_str(&format!("dead marking: {}\n", w.marking));
+            }
+            if let Some(trace) = &w.trace {
+                out.push_str(&format!("witness trace: {}\n", trace.join(" ")));
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable report document. This is also the
+    /// `report` object of the serve wire protocol.
+    pub fn to_json(&self) -> Json {
+        let budget = match (&self.exhausted, &self.coverage) {
+            (Some(reason), Some(c)) => Json::Obj(vec![
+                ("exhausted".into(), Json::str(reason.to_string())),
+                ("states_stored".into(), Json::num(c.states_stored)),
+                ("states_expanded".into(), Json::num(c.states_expanded)),
+                ("frontier".into(), Json::num(c.frontier_len)),
+                ("bytes_estimate".into(), Json::num(c.bytes_estimate)),
+                ("elapsed_secs".into(), Json::Num(c.elapsed.as_secs_f64())),
+            ]),
+            _ => Json::Null,
+        };
+        let witnesses = Json::Arr(
+            self.witnesses
+                .iter()
+                .map(|w| {
+                    Json::Obj(vec![
+                        ("marking".into(), Json::str(&w.marking)),
+                        (
+                            "trace".into(),
+                            match &w.trace {
+                                Some(t) => Json::Arr(t.iter().map(Json::str).collect()),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("statically_lifted".into(), Json::Bool(w.statically_lifted)),
+                    ])
+                })
+                .collect(),
+        );
+        let reduction = match &self.reduction {
+            Some(r) => Json::Obj(vec![
+                ("rules".into(), Json::str(&r.rules)),
+                ("places_before".into(), Json::num(r.places_before)),
+                ("transitions_before".into(), Json::num(r.transitions_before)),
+                ("places".into(), Json::num(r.places)),
+                ("transitions".into(), Json::num(r.transitions)),
+                ("summary".into(), Json::str(&r.summary)),
+            ]),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("net".into(), Json::str(&self.net)),
+            ("engine".into(), Json::str(&self.engine)),
+            ("engine_desc".into(), Json::str(self.engine_desc)),
+            ("verdict".into(), Json::str(verdict_str(self.verdict))),
+            (
+                "exit_code".into(),
+                Json::num(self.verdict.exit_code() as usize),
+            ),
+            ("complete".into(), Json::Bool(self.exhausted.is_none())),
+            ("states".into(), Json::num(self.states)),
+            ("budget".into(), budget),
+            (
+                "details".into(),
+                Json::Obj(
+                    self.details
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("witnesses".into(), witnesses),
+            ("reduction".into(), reduction),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> CheckReport {
+        CheckReport {
+            net: "n".into(),
+            engine: "full".into(),
+            engine_desc: "exhaustive reachability",
+            states_line: "states: 3".into(),
+            states: 3,
+            verdict: Verdict::HasDeadlock,
+            exhausted: Some(ExhaustionReason::States),
+            coverage: Some(CoverageStats {
+                states_stored: 3,
+                states_expanded: 2,
+                frontier_len: 1,
+                bytes_estimate: 96,
+                elapsed: Duration::from_millis(1),
+            }),
+            detail_lines: vec!["peak BDD nodes: 7".into()],
+            details: vec![("peak_bdd_nodes", 7)],
+            witnesses: vec![Witness {
+                marking: "{q}".into(),
+                trace: Some(vec!["go".into()]),
+                statically_lifted: false,
+            }],
+            reduction: None,
+        }
+    }
+
+    #[test]
+    fn prose_matches_the_legacy_layout() {
+        let text = sample().render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "engine: exhaustive reachability");
+        assert!(lines[1].starts_with("budget: state budget exhausted — 3 states stored"));
+        assert_eq!(lines[2], "states: 3");
+        assert_eq!(lines[3], "peak BDD nodes: 7");
+        assert_eq!(lines[4], "verdict: DEADLOCK possible");
+        assert_eq!(lines[5], "dead marking: {q}");
+        assert_eq!(lines[6], "witness trace: go");
+    }
+
+    #[test]
+    fn json_carries_verdict_and_witnesses() {
+        let j = sample().to_json();
+        assert_eq!(j.get("verdict").unwrap().as_str(), Some("deadlock"));
+        assert_eq!(j.get("exit_code").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("complete").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            j.get("budget").unwrap().get("frontier").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("details")
+                .unwrap()
+                .get("peak_bdd_nodes")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        // the rendered document re-parses
+        let round = Json::parse(&j.render()).unwrap();
+        assert_eq!(round.get("net").unwrap().as_str(), Some("n"));
+    }
+}

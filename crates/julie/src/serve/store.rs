@@ -1,0 +1,426 @@
+//! The in-memory job table of `julie serve`, backed by the on-disk
+//! journal in [`super::job`]. All mutation goes through one mutex; the
+//! condvar wakes workers when jobs are queued or a drain begins.
+//!
+//! Admission control: `queued + running >= queue_bound` rejects the
+//! submission *before* anything is journaled — the caller turns that into
+//! `503 + Retry-After`. Admitted submissions are journaled first and
+//! acknowledged second, so an acknowledged job is always recoverable.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::json::Json;
+
+use super::job::{self, JobResult, JobSpec, JobState};
+
+/// One tracked job.
+pub struct Job {
+    /// The admitted, journaled spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Rendered report JSON once the engine finished.
+    pub report_json: Option<String>,
+    /// Failure / cancellation message.
+    pub error: Option<String>,
+    /// The budget cancel flag shared with the running engine.
+    pub cancel: Arc<AtomicBool>,
+    /// Set when DELETE or a client disconnect asked for cancellation (as
+    /// opposed to a drain, which interrupts without cancelling).
+    pub user_cancelled: bool,
+    /// Whether the result came from the fingerprint cache.
+    pub cached: bool,
+}
+
+/// Outcome of a submission attempt.
+pub enum Admission {
+    /// Journaled and queued (or served from the results cache).
+    Accepted {
+        /// The assigned job id.
+        id: String,
+        /// True when the cache short-circuited the run.
+        cached: bool,
+    },
+    /// The queue bound is reached; retry later.
+    OverCapacity,
+    /// The server is draining; no new work.
+    Draining,
+}
+
+/// Outcome of a cancel request.
+pub enum CancelOutcome {
+    /// The job was still queued; it is now terminally cancelled.
+    Cancelled,
+    /// The job is running; its budget was tripped and a worker will
+    /// journal the terminal state shortly.
+    Signalled,
+    /// The job was already terminal.
+    AlreadyTerminal,
+    /// No such job.
+    NotFound,
+}
+
+struct Inner {
+    jobs: BTreeMap<String, Job>,
+    queue: VecDeque<String>,
+    running: usize,
+    next_id: u64,
+    cache: HashMap<String, String>,
+    draining: bool,
+}
+
+/// The shared job store.
+pub struct Store {
+    /// Root data directory (jobs live in `<data_dir>/jobs/<id>/`).
+    pub data_dir: PathBuf,
+    queue_bound: usize,
+    inner: Mutex<Inner>,
+    work: Condvar,
+}
+
+impl Store {
+    /// An empty store over `data_dir`.
+    pub fn new(data_dir: PathBuf, queue_bound: usize) -> Store {
+        Store {
+            data_dir,
+            queue_bound,
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                running: 0,
+                next_id: 1,
+                cache: HashMap::new(),
+                draining: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    /// Poison-tolerant lock: a worker that panicked while holding the
+    /// lock must not take the whole server down with it.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Scans the journal and rebuilds the table: jobs with a `result.job`
+    /// become terminal (feeding the results cache); jobs with only a
+    /// `spec.job` are re-queued for (re-)execution — their `run.ckpt`, if
+    /// any, lets the engine resume instead of restarting. Returns
+    /// `(recovered_terminal, requeued)`.
+    pub fn recover(&self) -> Result<(usize, usize), String> {
+        let jobs_root = self.data_dir.join("jobs");
+        let mut ids: Vec<String> = match std::fs::read_dir(&jobs_root) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().is_dir())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect(),
+            Err(_) => Vec::new(), // first boot: nothing journaled yet
+        };
+        ids.sort();
+        let mut terminal = 0usize;
+        let mut requeued = 0usize;
+        let mut inner = self.lock();
+        for id in ids {
+            let dir = job::job_dir(&self.data_dir, &id);
+            let spec = match job::read_spec(&dir) {
+                Ok(s) => s,
+                // a torn spec means the submission was never acknowledged
+                Err(_) => continue,
+            };
+            if let Some(n) = id.strip_prefix('j').and_then(|n| n.parse::<u64>().ok()) {
+                inner.next_id = inner.next_id.max(n + 1);
+            }
+            let mut jb = Job {
+                state: JobState::Queued,
+                report_json: None,
+                error: None,
+                cancel: Arc::new(AtomicBool::new(false)),
+                user_cancelled: false,
+                cached: false,
+                spec,
+            };
+            if let Ok(result) = job::read_result(&dir) {
+                jb.state = result.state;
+                jb.report_json = result.report_json;
+                jb.error = result.error;
+                if jb.state == JobState::Done {
+                    if let (Some(key), Some(report)) = (jb.spec.cache_key(), &jb.report_json) {
+                        inner.cache.entry(key).or_insert_with(|| report.clone());
+                    }
+                }
+                terminal += 1;
+            } else {
+                inner.queue.push_back(id.clone());
+                requeued += 1;
+            }
+            inner.jobs.insert(id, jb);
+        }
+        drop(inner);
+        self.work.notify_all();
+        Ok((terminal, requeued))
+    }
+
+    /// Reserves the next job id (monotonic across restarts).
+    pub fn assign_id(&self) -> String {
+        let mut inner = self.lock();
+        let id = format!("j{:06}", inner.next_id);
+        inner.next_id += 1;
+        id
+    }
+
+    /// Admits `spec`: enforces the queue bound, journals the spec, and
+    /// either queues the job or satisfies it from the results cache.
+    pub fn submit(&self, spec: JobSpec) -> Result<Admission, String> {
+        let dir = job::job_dir(&self.data_dir, &spec.id);
+        let (cached_report, key) = {
+            let inner = self.lock();
+            if inner.draining {
+                return Ok(Admission::Draining);
+            }
+            if inner.queue.len() + inner.running >= self.queue_bound {
+                return Ok(Admission::OverCapacity);
+            }
+            let key = spec.cache_key();
+            let hit = key.as_ref().and_then(|k| inner.cache.get(k).cloned());
+            (hit, key)
+        };
+        // journal outside the lock — fsync is slow
+        job::write_spec(&dir, &spec)?;
+        let id = spec.id.clone();
+        if let Some(report) = cached_report {
+            let result = JobResult {
+                state: JobState::Done,
+                report_json: Some(report.clone()),
+                error: None,
+            };
+            job::write_result(&dir, spec.fingerprint, &result)?;
+            let mut inner = self.lock();
+            inner.jobs.insert(
+                id.clone(),
+                Job {
+                    spec,
+                    state: JobState::Done,
+                    report_json: Some(report),
+                    error: None,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    user_cancelled: false,
+                    cached: true,
+                },
+            );
+            let _ = key; // already in the cache
+            return Ok(Admission::Accepted { id, cached: true });
+        }
+        let mut inner = self.lock();
+        // the bound may have been crossed while we were journaling; admit
+        // anyway (the spec is durable) — the window is one submission wide
+        inner.jobs.insert(
+            id.clone(),
+            Job {
+                spec,
+                state: JobState::Queued,
+                report_json: None,
+                error: None,
+                cancel: Arc::new(AtomicBool::new(false)),
+                user_cancelled: false,
+                cached: false,
+            },
+        );
+        inner.queue.push_back(id.clone());
+        drop(inner);
+        self.work.notify_one();
+        Ok(Admission::Accepted { id, cached: false })
+    }
+
+    /// Blocks until a job is available and claims it (marking it
+    /// `Running`), or returns `None` when the server is draining —
+    /// queued jobs stay journaled for the next boot.
+    pub fn next_job(&self) -> Option<(String, JobSpec, Arc<AtomicBool>)> {
+        let mut inner = self.lock();
+        loop {
+            if inner.draining {
+                return None;
+            }
+            if let Some(id) = inner.queue.pop_front() {
+                let jb = inner.jobs.get_mut(&id).expect("queued job exists");
+                jb.state = JobState::Running;
+                let spec = jb.spec.clone();
+                let cancel = jb.cancel.clone();
+                inner.running += 1;
+                return Some((id, spec, cancel));
+            }
+            inner = self
+                .work
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Journals and records a terminal result for a claimed job.
+    pub fn finish(&self, id: &str, result: JobResult) -> Result<(), String> {
+        let dir = job::job_dir(&self.data_dir, id);
+        let fingerprint = {
+            let inner = self.lock();
+            inner.jobs[id].spec.fingerprint
+        };
+        job::write_result(&dir, fingerprint, &result)?;
+        // the engine snapshot is dead weight once the result is durable
+        if result.state.is_terminal() {
+            let ck = job::ckpt_path(&dir);
+            let _ = std::fs::remove_file(&ck);
+            let mut prev = ck.into_os_string();
+            prev.push(".prev");
+            let _ = std::fs::remove_file(PathBuf::from(prev));
+        }
+        let mut inner = self.lock();
+        inner.running = inner.running.saturating_sub(1);
+        if result.state == JobState::Done {
+            if let Some(key) = inner.jobs[id].spec.cache_key() {
+                if let Some(report) = &result.report_json {
+                    inner.cache.insert(key, report.clone());
+                }
+            }
+        }
+        let jb = inner.jobs.get_mut(id).expect("finished job exists");
+        jb.state = result.state;
+        jb.report_json = result.report_json;
+        jb.error = result.error;
+        Ok(())
+    }
+
+    /// Records that a drain interrupted a running job before it finished:
+    /// no result is journaled, the in-memory state returns to `Queued`,
+    /// and the job's `run.ckpt` (written by the engine on cancellation)
+    /// lets the next boot resume it.
+    pub fn interrupt(&self, id: &str) {
+        let mut inner = self.lock();
+        inner.running = inner.running.saturating_sub(1);
+        if let Some(jb) = inner.jobs.get_mut(id) {
+            jb.state = JobState::Queued;
+        }
+    }
+
+    /// Cancels a job on behalf of a client (DELETE or disconnect).
+    pub fn cancel(&self, id: &str) -> Result<CancelOutcome, String> {
+        let (outcome, fingerprint) = {
+            let mut inner = self.lock();
+            let Some(jb) = inner.jobs.get_mut(id) else {
+                return Ok(CancelOutcome::NotFound);
+            };
+            match jb.state {
+                JobState::Queued => {
+                    jb.state = JobState::Cancelled;
+                    jb.user_cancelled = true;
+                    jb.error = Some("cancelled before running".into());
+                    let fp = jb.spec.fingerprint;
+                    inner.queue.retain(|q| q != id);
+                    (CancelOutcome::Cancelled, Some(fp))
+                }
+                JobState::Running => {
+                    jb.user_cancelled = true;
+                    jb.cancel.store(true, Ordering::SeqCst);
+                    (CancelOutcome::Signalled, None)
+                }
+                _ => (CancelOutcome::AlreadyTerminal, None),
+            }
+        };
+        if let Some(fp) = fingerprint {
+            job::write_result(
+                &job::job_dir(&self.data_dir, id),
+                fp,
+                &JobResult {
+                    state: JobState::Cancelled,
+                    report_json: None,
+                    error: Some("cancelled before running".into()),
+                },
+            )?;
+        }
+        Ok(outcome)
+    }
+
+    /// Whether a user (vs the drain) asked this job to stop.
+    pub fn user_cancelled(&self, id: &str) -> bool {
+        let inner = self.lock();
+        inner.jobs.get(id).is_some_and(|j| j.user_cancelled)
+    }
+
+    /// Stops admissions, wakes all workers, and trips every running job's
+    /// budget so engines checkpoint and return promptly.
+    pub fn begin_drain(&self) {
+        let mut inner = self.lock();
+        inner.draining = true;
+        for jb in inner.jobs.values() {
+            if jb.state == JobState::Running {
+                jb.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        drop(inner);
+        self.work.notify_all();
+    }
+
+    /// Number of jobs currently claimed by workers.
+    pub fn running_count(&self) -> usize {
+        self.lock().running
+    }
+
+    /// The job's current state, if it exists.
+    pub fn state_of(&self, id: &str) -> Option<JobState> {
+        self.lock().jobs.get(id).map(|j| j.state.clone())
+    }
+
+    /// The wire status document for one job, if it exists.
+    pub fn status_json(&self, id: &str) -> Option<Json> {
+        let inner = self.lock();
+        let jb = inner.jobs.get(id)?;
+        let checkpointed = job::ckpt_path(&job::job_dir(&self.data_dir, id)).exists();
+        Some(Json::Obj(vec![
+            ("id".into(), Json::str(id)),
+            ("state".into(), Json::str(jb.state.as_str())),
+            ("net".into(), Json::str(&jb.spec.net_name)),
+            ("engine".into(), Json::str(&jb.spec.engine)),
+            ("checkpointed".into(), Json::Bool(checkpointed)),
+            ("cached".into(), Json::Bool(jb.cached)),
+            (
+                "report".into(),
+                match &jb.report_json {
+                    Some(r) => Json::Raw(r.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "error".into(),
+                match &jb.error {
+                    Some(e) => Json::str(e),
+                    None => Json::Null,
+                },
+            ),
+        ]))
+    }
+
+    /// The wire listing of all jobs.
+    pub fn list_json(&self) -> Json {
+        let inner = self.lock();
+        Json::Obj(vec![(
+            "jobs".into(),
+            Json::Arr(
+                inner
+                    .jobs
+                    .iter()
+                    .map(|(id, jb)| {
+                        Json::Obj(vec![
+                            ("id".into(), Json::str(id)),
+                            ("state".into(), Json::str(jb.state.as_str())),
+                            ("net".into(), Json::str(&jb.spec.net_name)),
+                            ("engine".into(), Json::str(&jb.spec.engine)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal Unix signal wiring, std-only.
+//!
+//! The petri crate forbids `unsafe`, so the one `extern "C"` call a signal
+//! handler needs lives here in the binary. The handler only flips
+//! `static` atomics — the async-signal-safe minimum — and everything else
+//! polls those flags: `julie check` runs a watcher thread that trips the
+//! run's [`petri::Budget`] cancel flag (so the engine stops cooperatively
+//! and writes its final `--checkpoint` snapshot), and `julie serve` polls
+//! [`termination_requested`] from its accept loop to begin a graceful
+//! drain.
+//!
+//! On non-Unix targets installation is a no-op and the flags stay false.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the handler on SIGINT or SIGTERM.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been received.
+pub fn termination_requested() -> bool {
+    TERMINATE.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATE;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // POSIX signal(2). glibc gives it BSD semantics (handler stays
+        // installed, syscalls restart), which is why callers must poll the
+        // flag instead of waiting for an EINTR that never comes.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent; no-op off Unix).
+pub fn install() {
+    imp::install();
+}
+
+/// Installs the handler and spawns a watcher that trips `cancel` when a
+/// termination signal arrives, turning the signal into an ordinary
+/// cooperative budget exhaustion. The watcher is a daemon thread; it dies
+/// with the process.
+pub fn cancel_on_termination(cancel: Arc<AtomicBool>) {
+    install();
+    std::thread::spawn(move || loop {
+        if termination_requested() {
+            cancel.store(true, Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+}

@@ -351,6 +351,40 @@ impl Snapshot {
     }
 }
 
+/// Fault-injection hooks for the checkpoint write path, compiled only for
+/// tests and the `fault-injection` feature. Arming a stage makes the
+/// *next* [`write_checkpoint`] call fail there with a typed
+/// [`CheckpointError::Io`]; the hook then disarms itself.
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod fault {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Fail while streaming bytes into the temp file (before any rename).
+    pub const STAGE_TMP_WRITE: u8 = 1;
+    /// Fail after rotating the primary to `.prev`, before the final
+    /// rename lands the new snapshot — the worst crash window.
+    pub const STAGE_RENAME: u8 = 2;
+
+    static ARMED: AtomicU8 = AtomicU8::new(0);
+
+    /// Arms the next checkpoint write to fail at `stage`.
+    pub fn arm(stage: u8) {
+        ARMED.store(stage, Ordering::SeqCst);
+    }
+
+    /// Disarms any pending injected fault.
+    pub fn disarm() {
+        ARMED.store(0, Ordering::SeqCst);
+    }
+
+    /// Consumes the armed fault if it matches `stage`.
+    pub(super) fn take(stage: u8) -> bool {
+        ARMED
+            .compare_exchange(stage, 0, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
 /// The companion path holding the previous checkpoint generation.
 pub fn previous_generation(path: &Path) -> PathBuf {
     let mut name = path.as_os_str().to_os_string();
@@ -377,11 +411,31 @@ pub fn write_checkpoint(path: &Path, snapshot: &Snapshot) -> Result<(), Checkpoi
     let tmp = PathBuf::from(tmp);
     {
         let mut f = fs::File::create(&tmp)?;
+        #[cfg(any(test, feature = "fault-injection"))]
+        if fault::take(fault::STAGE_TMP_WRITE) {
+            // emulate the device dying mid-write: half the bytes land in
+            // the temp file and the error surfaces before any rename, so
+            // the primary and previous generations stay untouched
+            let _ = f.write_all(&bytes[..bytes.len() / 2]);
+            return Err(CheckpointError::Io(std::io::Error::other(
+                "injected fault during temp-file write",
+            )));
+        }
         f.write_all(&bytes)?;
         f.sync_all()?;
     }
     if path.exists() {
         fs::rename(path, previous_generation(path))?;
+    }
+    #[cfg(any(test, feature = "fault-injection"))]
+    if fault::take(fault::STAGE_RENAME) {
+        // emulate a crash in the worst window: the previous primary has
+        // already been rotated to `.prev` but the fresh temp file never
+        // reaches the primary name — the fallback reader must recover
+        // the rotated generation
+        return Err(CheckpointError::Io(std::io::Error::other(
+            "injected fault before final rename",
+        )));
     }
     fs::rename(&tmp, path)?;
     // directory fsync makes the rename durable; best-effort because some
@@ -567,6 +621,100 @@ impl ReductionStamp {
     pub fn section(&self) -> Section {
         Section {
             tag: REDUCTION_SECTION,
+            payload: self.encode(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job stamp
+// ---------------------------------------------------------------------
+
+/// Section tag reserved across *all* engines for the job stamp written by
+/// `julie serve`. Like [`REDUCTION_SECTION`], far outside the per-engine
+/// tag ranges.
+pub const JOB_SECTION: u32 = 0x4A4F_4253; // "JOBS"
+
+/// Records, inside every snapshot a verification *service* writes, which
+/// job the snapshot belongs to and the budget it was admitted under.
+///
+/// A crashed server finds `run.ckpt` files on restart; the stamp lets it
+/// verify a snapshot really belongs to the job directory it sits in (and
+/// was produced under the same budget) before resuming from it — a moved
+/// or copied snapshot is ignored instead of silently resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStamp {
+    /// Server-assigned job id (e.g. `"j000007"`).
+    pub id: String,
+    /// The job's admitted state budget.
+    pub max_states: u64,
+    /// The job's admitted byte budget (`u64::MAX` when uncapped).
+    pub max_bytes: u64,
+    /// The job's wall-clock budget in seconds, 0 when none was set.
+    pub timeout_secs: u64,
+}
+
+impl JobStamp {
+    /// Serializes the stamp to a section payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(1); // stamp layout version
+        w.u64(self.max_states);
+        w.u64(self.max_bytes);
+        w.u64(self.timeout_secs);
+        w.usize(self.id.len());
+        for b in self.id.bytes() {
+            w.u8(b);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a stamp payload written by [`JobStamp::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] on truncation or an unknown
+    /// layout version.
+    pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(payload, JOB_SECTION);
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(r.malformed(format!("unknown job stamp version {version}")));
+        }
+        let max_states = r.u64()?;
+        let max_bytes = r.u64()?;
+        let timeout_secs = r.u64()?;
+        let len = r.usize()?;
+        if len > 256 {
+            return Err(r.malformed("implausible job id length"));
+        }
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(r.u8()?);
+        }
+        let id = String::from_utf8(bytes).map_err(|_| CheckpointError::Malformed {
+            section: JOB_SECTION,
+            detail: "job id is not UTF-8".into(),
+        })?;
+        r.finish()?;
+        Ok(JobStamp {
+            id,
+            max_states,
+            max_bytes,
+            timeout_secs,
+        })
+    }
+
+    /// Extracts and parses the stamp of a snapshot, if one was written.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Option<Result<Self, CheckpointError>> {
+        snapshot.section(JOB_SECTION).map(Self::decode)
+    }
+
+    /// The stamp as a ready-to-append [`Section`] (for
+    /// [`CheckpointConfig::annotations`]).
+    pub fn section(&self) -> Section {
+        Section {
+            tag: JOB_SECTION,
             payload: self.encode(),
         }
     }

@@ -190,3 +190,105 @@ fn marking_place_ids_roundtrip() {
     assert!(net.initial_marking().is_marked(PlaceId::new(0)));
     assert_eq!(net.place_count(), 3);
 }
+
+/// Satellite for the checkpoint layer: an io failure injected into the
+/// snapshot write path — mid temp-file write, or in the window between
+/// rotating the previous generation and the final rename — must surface
+/// as a typed [`CheckpointError::Io`] while leaving a loadable snapshot
+/// generation behind. One sequential test function: the armed-fault state
+/// is global, so interleaving two of these would race.
+#[test]
+fn checkpoint_write_faults_keep_a_loadable_generation() {
+    use petri::checkpoint::{fault, previous_generation};
+    use petri::{
+        read_checkpoint, read_checkpoint_with_fallback, write_checkpoint, CheckpointError,
+        EngineKind, Snapshot,
+    };
+
+    let dir = std::env::temp_dir().join(format!("ckpt-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+    let net = chain(3);
+    let snap = |gen: u8| {
+        let mut s = Snapshot::new(EngineKind::Full, &net);
+        s.push_section(1, vec![gen; 64]);
+        s
+    };
+
+    // generation A lands cleanly
+    write_checkpoint(&path, &snap(0xAA)).unwrap();
+    assert_eq!(read_checkpoint(&path).unwrap(), snap(0xAA));
+
+    // a fault during the temp-file write surfaces as a typed io error and
+    // leaves the primary byte-identical
+    fault::arm(fault::STAGE_TMP_WRITE);
+    let err = write_checkpoint(&path, &snap(0xBB)).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "typed: {err}");
+    assert!(err.to_string().contains("injected fault"), "{err}");
+    assert_eq!(
+        read_checkpoint_with_fallback(&path).unwrap(),
+        snap(0xAA),
+        "primary generation survived the torn temp write"
+    );
+
+    // disarmed, the same write succeeds and rotates A to `.prev`
+    write_checkpoint(&path, &snap(0xBB)).unwrap();
+    assert_eq!(read_checkpoint(&path).unwrap(), snap(0xBB));
+    assert_eq!(
+        read_checkpoint(&previous_generation(&path)).unwrap(),
+        snap(0xAA)
+    );
+
+    // a fault after the `.prev` rotation but before the final rename is
+    // the worst crash window: the primary name is empty, and the fallback
+    // reader must recover the rotated generation
+    fault::arm(fault::STAGE_RENAME);
+    let err = write_checkpoint(&path, &snap(0xCC)).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "typed: {err}");
+    assert!(!path.exists(), "primary gone mid-rotation, as in a crash");
+    assert_eq!(
+        read_checkpoint_with_fallback(&path).unwrap(),
+        snap(0xBB),
+        "fallback recovers the rotated generation"
+    );
+
+    // and the system heals: the next clean write restores the primary
+    write_checkpoint(&path, &snap(0xCC)).unwrap();
+    assert_eq!(read_checkpoint_with_fallback(&path).unwrap(), snap(0xCC));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The same injected write failure, end to end through an engine: a
+/// checkpointing exploration whose snapshot write fails must surface
+/// [`NetError::Checkpoint`] instead of panicking or corrupting state.
+#[test]
+fn engine_surfaces_injected_checkpoint_write_failure() {
+    use petri::checkpoint::fault;
+    use petri::{CheckpointConfig, ExploreOptions, ReachabilityGraph};
+
+    let dir = std::env::temp_dir().join(format!("ckpt-fault-engine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+    let net = chain(32);
+    let opts = ExploreOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    let ckpt = CheckpointConfig::at(&path);
+    fault::arm(fault::STAGE_TMP_WRITE);
+    let err = ReachabilityGraph::explore_checkpointed(
+        &net,
+        &opts,
+        &Budget::default().cap_states(4),
+        &ckpt,
+        None,
+    )
+    .unwrap_err();
+    fault::disarm();
+    assert!(
+        matches!(err, NetError::Checkpoint(_)),
+        "typed engine error: {err:?}"
+    );
+    assert!(!path.exists(), "no torn snapshot under the primary name");
+    std::fs::remove_dir_all(&dir).ok();
+}
