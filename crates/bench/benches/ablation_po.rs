@@ -24,6 +24,7 @@ fn bench_po_strategies(c: &mut Criterion) {
                 max_states: usize::MAX,
                 // serial: the ablation isolates the strategy, not scaling
                 threads: 1,
+                visible: None,
             };
             group.bench_with_input(BenchmarkId::new(name, label), &net, |b, net| {
                 b.iter(|| ReducedReachability::explore_with(net, &opts).expect("safe net"))

@@ -7,8 +7,9 @@
 use gpo_core::{analyze_checkpointed, GpoOptions, Representation};
 use partial_order::{ReducedOptions, ReducedReachability, SeedStrategy};
 use petri::{
-    Budget, CheckpointConfig, CoverageStats, ExhaustionReason, ExploreOptions, Marking, Outcome,
-    PetriNet, ReachabilityGraph, Reduction, Snapshot, TransitionId, Verdict,
+    Budget, CheckpointConfig, CompiledProperty, CoverageStats, ExhaustionReason, ExploreOptions,
+    Marking, Outcome, PetriNet, Property, ReachabilityGraph, Reduction, Snapshot, TransitionId,
+    Verdict,
 };
 use symbolic::{SymbolicOptions, SymbolicReachability};
 use timed::{ClassGraph, TimedNet};
@@ -27,6 +28,11 @@ pub struct RunSpec {
     pub witnesses: usize,
     /// Worker threads for the full/po/gpo engines.
     pub threads: usize,
+    /// The property to verify. The default (`EF deadlock`) follows the
+    /// exact legacy deadlock path of every engine; any other property
+    /// re-aims the search at its goal markings (φ under `EF`, ¬φ under
+    /// `AG`).
+    pub property: Property,
 }
 
 impl RunSpec {
@@ -116,6 +122,13 @@ pub fn run_engine(
     resume: Option<&Snapshot>,
 ) -> Result<CheckReport, String> {
     let net: &PetriNet = reduction.map_or(original, |r| &r.net);
+    // resolve the property against the net the engine actually explores;
+    // `--reduce` protects observed nodes, so the names are still there
+    let compiled = spec
+        .property
+        .compile(net)
+        .map_err(|e| format!("property error: {e}"))?;
+    let default = spec.property.is_default();
     let summary = reduction.map(|r| ReductionSummary::new(rules, &r.report));
     let base = |engine_desc: &'static str| CheckReport {
         net: original.name().to_string(),
@@ -130,10 +143,11 @@ pub fn run_engine(
         details: Vec::new(),
         witnesses: Vec::new(),
         reduction: summary.clone(),
+        property: spec.property.clone(),
     };
 
-    match spec.engine.as_str() {
-        "full" => {
+    match (spec.engine.as_str(), default) {
+        ("full", _) => {
             let opts = ExploreOptions {
                 max_states: usize::MAX,
                 record_edges: true,
@@ -148,23 +162,44 @@ pub fn run_engine(
             let rg = outcome.into_value();
             report.states = rg.state_count();
             report.states_line = format!("states: {}", rg.state_count());
-            report.verdict = Verdict::from_observation(rg.has_deadlock(), complete, frontier);
-            for &d in rg.deadlocks().iter().take(spec.witnesses) {
-                let trace = rg.path_to(d);
-                report.witnesses.push(lift_witness(
-                    original,
-                    reduction,
-                    rg.marking(d),
-                    trace.as_deref(),
-                )?);
+            if default {
+                report.verdict = Verdict::from_observation(rg.has_deadlock(), complete, frontier);
+                for &d in rg.deadlocks().iter().take(spec.witnesses) {
+                    let trace = rg.path_to(d);
+                    report.witnesses.push(lift_witness(
+                        original,
+                        reduction,
+                        rg.marking(d),
+                        trace.as_deref(),
+                    )?);
+                }
+            } else {
+                // post-hoc goal scan; smallest goal markings first so the
+                // reported witness is deterministic across thread counts
+                let mut goals: Vec<_> = rg
+                    .states()
+                    .filter(|&s| compiled.goal(net, rg.marking(s)))
+                    .collect();
+                goals.sort_by(|&a, &b| rg.marking(a).cmp(rg.marking(b)));
+                report.verdict = Verdict::from_observation(!goals.is_empty(), complete, frontier);
+                for &g in goals.iter().take(spec.witnesses) {
+                    let trace = rg.path_to(g);
+                    report.witnesses.push(lift_witness(
+                        original,
+                        reduction,
+                        rg.marking(g),
+                        trace.as_deref(),
+                    )?);
+                }
             }
             Ok(report)
         }
-        "po" => {
+        ("po", true) => {
             let opts = ReducedOptions {
                 strategy: SeedStrategy::BestOfEnabled,
                 max_states: usize::MAX,
                 threads: spec.threads,
+                visible: None,
             };
             let outcome =
                 ReducedReachability::explore_checkpointed(net, &opts, budget, ckpt, resume)
@@ -184,9 +219,37 @@ pub fn run_engine(
             }
             Ok(report)
         }
-        "bdd" => {
-            let outcome =
-                SymbolicReachability::explore_bounded(net, &SymbolicOptions::default(), budget);
+        // the GPN exploration only decides the default `EF deadlock` (its
+        // states are whole firing families, blind to individual marking
+        // predicates), so for any other property the gpo engine honestly
+        // runs the property-preserving stubborn-set search instead
+        ("po", false) | ("gpo", false) => {
+            let desc = if spec.engine == "po" {
+                "stubborn-set partial-order reduction"
+            } else {
+                "generalized partial order analysis (via property-preserving stubborn sets)"
+            };
+            let mut report = base(desc);
+            run_visible_po(
+                original,
+                reduction,
+                net,
+                &compiled,
+                spec,
+                budget,
+                ckpt,
+                resume,
+                &mut report,
+            )?;
+            Ok(report)
+        }
+        ("bdd", _) => {
+            let sym_opts = SymbolicOptions::default();
+            let outcome = if default {
+                SymbolicReachability::explore_bounded(net, &sym_opts, budget)
+            } else {
+                SymbolicReachability::explore_goal_bounded(net, &sym_opts, budget, &compiled)
+            };
             let mut report = base("symbolic (BDD) reachability");
             (report.exhausted, report.coverage) = partial_info(&outcome);
             let complete = report.exhausted.is_none();
@@ -202,9 +265,16 @@ pub fn run_engine(
                 .details
                 .push(("peak_bdd_nodes", sym.peak_live_nodes() as u64));
             report.verdict = Verdict::from_observation(sym.has_deadlock(), complete, frontier);
+            if !default {
+                if let Some(w) = sym.deadlock_witness() {
+                    report
+                        .witnesses
+                        .push(lift_witness(original, reduction, w, None)?);
+                }
+            }
             Ok(report)
         }
-        "gpo" => {
+        ("gpo", true) => {
             let opts = GpoOptions {
                 valid_set_limit: 1 << 24,
                 max_states: usize::MAX,
@@ -261,7 +331,7 @@ pub fn run_engine(
             }
             Ok(report)
         }
-        "unfold" => {
+        ("unfold", _) => {
             let opts = UnfoldOptions {
                 max_events: usize::MAX,
             };
@@ -287,10 +357,26 @@ pub fn run_engine(
             report
                 .details
                 .push(("cutoffs", unf.prefix().cutoff_count() as u64));
-            report.verdict = Verdict::from_observation(unf.has_deadlock(net), complete, frontier);
+            if default {
+                report.verdict =
+                    Verdict::from_observation(unf.has_deadlock(net), complete, frontier);
+            } else {
+                let goal = unf.goal_marking(net, &compiled);
+                report.verdict = Verdict::from_observation(goal.is_some(), complete, frontier);
+                if let Some(m) = goal {
+                    report
+                        .witnesses
+                        .push(lift_witness(original, reduction, &m, None)?);
+                }
+            }
             Ok(report)
         }
-        "classes" => {
+        ("classes", false) => Err(format!(
+            "engine `classes` supports only the default property `EF deadlock` \
+             (got `{}`); use full, po, gpo, bdd, or unfold",
+            spec.property
+        )),
+        ("classes", true) => {
             // untimed intervals: the class graph doubles as a reference
             // explorer; real timing analyses use the `timed` crate API.
             // The class graph has no budget hooks, so its verdicts are
@@ -303,6 +389,59 @@ pub fn run_engine(
             report.verdict = Verdict::from_observation(graph.has_deadlock(), true, 0);
             Ok(report)
         }
-        other => Err(format!("unknown engine `{other}`")),
+        (other, _) => Err(format!("unknown engine `{other}`")),
     }
+}
+
+/// The property-preserving stubborn-set search shared by the `po` engine
+/// (non-default properties) and the `gpo` engine's fallback: explores with
+/// the property's visible transitions seeded into every stubborn set, then
+/// scans the stored markings for goal states. Fills the exploration facts
+/// and verdict into `report` (whose header fields the caller prepared).
+#[allow(clippy::too_many_arguments)]
+fn run_visible_po(
+    original: &PetriNet,
+    reduction: Option<&Reduction>,
+    net: &PetriNet,
+    compiled: &CompiledProperty,
+    spec: &RunSpec,
+    budget: &Budget,
+    ckpt: &CheckpointConfig,
+    resume: Option<&Snapshot>,
+    report: &mut CheckReport,
+) -> Result<(), String> {
+    let visible = compiled
+        .visible_transitions(net)
+        .expect("non-default properties always have a visible-transition set");
+    let visible_count = visible.len();
+    let opts = ReducedOptions {
+        strategy: SeedStrategy::BestOfEnabled,
+        max_states: usize::MAX,
+        threads: spec.threads,
+        visible: Some(visible),
+    };
+    let outcome = ReducedReachability::explore_checkpointed(net, &opts, budget, ckpt, resume)
+        .map_err(|e| e.to_string())?;
+    (report.exhausted, report.coverage) = partial_info(&outcome);
+    let complete = report.exhausted.is_none();
+    let frontier = report.coverage.as_ref().map_or(0, |c| c.frontier_len);
+    let red = outcome.into_value();
+    report.states = red.state_count();
+    report.states_line = format!("states: {}", red.state_count());
+    report
+        .detail_lines
+        .push(format!("visible transitions: {visible_count}"));
+    report
+        .details
+        .push(("visible_transitions", visible_count as u64));
+    // smallest goal markings first, for a deterministic witness choice
+    let mut goals: Vec<&Marking> = red.markings().filter(|m| compiled.goal(net, m)).collect();
+    goals.sort();
+    report.verdict = Verdict::from_observation(!goals.is_empty(), complete, frontier);
+    for m in goals.iter().take(spec.witnesses) {
+        report
+            .witnesses
+            .push(lift_witness(original, reduction, m, None)?);
+    }
+    Ok(())
 }

@@ -11,6 +11,9 @@
 //! options:
 //!   --engine=full|po|gpo|bdd       verification engine (default: gpo)
 //!   --zdd                          ZDD-backed families for the gpo engine
+//!   --property=PROP                property to verify (default: `EF deadlock`)
+//!   --property-file=PATH           read the property from a file
+//!   --format=net|pnml              input format (default: by extension/content)
 //!   --max-states=N                 state budget (default: 10,000,000)
 //!   --timeout=SECS                 wall-clock budget for the exploration
 //!   --mem-limit=MB                 approximate memory budget
@@ -21,11 +24,14 @@
 //!   --resume=PATH                  resume from a snapshot written by --checkpoint
 //!   --reduce[=RULES]               structural reduction pre-pass (sp,st,rp,it,dt)
 //!   --json                         machine-readable report instead of prose
-//!   <net> is a file in the `.net` text format, or `-` for stdin
+//!   <net> is a file in the `.net` text format (or PNML), or `-` for stdin
 //! ```
 //!
-//! `julie check` exits 0 when the net is verified deadlock-free, 1 when a
-//! deadlock was found, 2 when a budget ran out first (inconclusive), and
+//! Properties are quantified marking predicates, e.g. `EF m(p) >= 1`,
+//! `AG not fireable(t)`, `EF (m(a) = 1 and m(b) = 0)`; see the README for
+//! the grammar. `julie check` exits 0 when the property is verified
+//! (deadlock-free / `AG` holds / `EF` does not hold), 1 when a witness was
+//! found, 2 when a budget ran out first (inconclusive), and
 //! 3 on errors. Budgets degrade gracefully: the partial exploration is
 //! reported with coverage statistics instead of being discarded. SIGINT
 //! and SIGTERM trip the run's budget, so an interrupted `--checkpoint`
@@ -43,10 +49,11 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use petri::checkpoint::read_checkpoint_with_fallback;
+use petri::pnml::looks_like_pnml;
 use petri::{
-    net_to_dot, parse_net, place_invariants, reachability_to_dot, to_text, Budget,
-    CheckpointConfig, ConflictInfo, PetriNet, ReachabilityGraph, ReduceOptions, Reduction,
-    ReductionStamp, Snapshot, Verdict,
+    net_to_dot, parse_net, parse_pnml, place_invariants, reachability_to_dot, to_text, Budget,
+    CheckpointConfig, ConflictInfo, Observed, PetriNet, Property, PropertyStamp, ReachabilityGraph,
+    ReduceOptions, Reduction, ReductionStamp, Snapshot, Verdict,
 };
 use unfolding::{UnfoldOptions, Unfolding};
 
@@ -81,6 +88,9 @@ fn run(args: &[String]) -> Result<u8, String> {
             "checkpoint-every",
             "resume",
             "reduce",
+            "property",
+            "property-file",
+            "format",
             "json",
         ],
         "dot" => &["rg"],
@@ -162,6 +172,18 @@ options:
   --engine=full|po|gpo|bdd|unfold|classes
                                verification engine (default: gpo)
   --zdd                        ZDD-backed families for the gpo engine
+  --property=PROP              property to verify (default: EF deadlock).
+                               PROP is (EF|AG) over atoms m(place) >= k,
+                               m(place) = k, fireable(transition), and
+                               deadlock, combined with and/or/not and
+                               parentheses. EF holding or AG violated
+                               exits 1 with a witness; the po and gpo
+                               engines preserve the property with
+                               visible-transition stubborn sets
+  --property-file=PATH         read the property from PATH instead
+  --format=net|pnml            input format; default: .pnml extension or
+                               a leading `<` selects PNML (P/T subset,
+                               1-safe), anything else is .net text
   --max-states=N               state budget (default: 10000000)
   --timeout=SECS               wall-clock budget for the exploration
   --mem-limit=MB               approximate memory budget for stored states
@@ -191,13 +213,15 @@ options:
                                unchanged
 
 exit codes (julie check):
-  0  verified: the whole state space was explored, no deadlock exists
-  1  property violated: a reachable deadlock was found (real even if a
-     budget ran out — every explored marking is genuinely reachable)
+  0  verified: the whole state space was explored and the property is
+     settled (no deadlock / AG holds / EF does not hold)
+  1  witness found: a reachable deadlock or goal marking exists (real
+     even if a budget ran out — every explored marking is genuinely
+     reachable)
   2  inconclusive: a budget ran out before the question was settled
   3  error: bad usage, unreadable input, or an engine failure
 
-<net> is a file in the .net text format, or `-` for stdin.
+<net> is a file in the .net text format or PNML, or `-` for stdin.
 ";
 
 fn positional(args: &[String]) -> Vec<&String> {
@@ -230,7 +254,19 @@ fn load_net(args: &[String]) -> Result<PetriNet, String> {
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
     };
-    parse_net(&text).map_err(|e| e.to_string())
+    // explicit --format wins; otherwise a .pnml extension or an XML-looking
+    // payload selects the PNML reader, and everything else stays .net text
+    let pnml = match option(args, "format") {
+        Some("pnml") => true,
+        Some("net") => false,
+        Some(other) => return Err(format!("bad --format `{other}` (use net or pnml)")),
+        None => path.to_ascii_lowercase().ends_with(".pnml") || looks_like_pnml(&text),
+    };
+    if pnml {
+        parse_pnml(&text).map_err(|e| e.to_string())
+    } else {
+        parse_net(&text).map_err(|e| e.to_string())
+    }
 }
 
 fn info(net: &PetriNet) -> Result<(), String> {
@@ -355,6 +391,48 @@ fn reduce_from_args(args: &[String]) -> Result<Option<ReduceOptions>, String> {
     Ok(None)
 }
 
+/// Parses the `--property` / `--property-file` flags into a [`Property`]
+/// (default: `EF deadlock`, the classic deadlock check).
+fn property_from_args(args: &[String]) -> Result<Property, String> {
+    let text = match (option(args, "property"), option(args, "property-file")) {
+        (Some(_), Some(_)) => {
+            return Err("--property and --property-file are mutually exclusive".into())
+        }
+        (Some(text), None) => text.to_string(),
+        (None, Some(path)) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read --property-file `{path}`: {e}"))?
+            .trim()
+            .to_string(),
+        (None, None) => return Ok(Property::deadlock()),
+    };
+    Property::parse(&text).map_err(|e| format!("bad --property: {e}"))
+}
+
+/// The `--property` analogue of [`check_resume_stamp`]: a snapshot records
+/// the property its exploration preserved, and resuming it under any other
+/// property fails closed with a flag-precise diagnostic — a visible-set
+/// exploration for one property proves nothing about another.
+fn check_resume_property(snap: &Snapshot, property: &Property) -> Result<(), String> {
+    let stamp = match PropertyStamp::from_snapshot(snap) {
+        Some(Ok(s)) => Some(s),
+        Some(Err(e)) => return Err(format!("corrupt property stamp in --resume snapshot: {e}")),
+        None => None,
+    };
+    let current = property.to_string();
+    match stamp {
+        None if !property.is_default() => Err(format!(
+            "--resume snapshot was written without --property; drop --property to resume it, \
+             or restart with --property '{current}' and a fresh --checkpoint"
+        )),
+        Some(st) if st.property != current => Err(format!(
+            "--resume snapshot was written with --property '{}' but this run uses \
+             --property '{current}'; pass --property '{}' to resume it",
+            st.property, st.property
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// Turns a `--resume` net-fingerprint mismatch involving `--reduce` into a
 /// precise misuse diagnostic, instead of the engine's generic one: the
 /// snapshot's [`ReductionStamp`] records how the checkpointed run derived
@@ -409,11 +487,18 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
         .transpose()?
         .unwrap_or_else(petri::parallel::default_threads);
     let (mut ckpt, resume) = checkpoint_from_args(args)?;
+    let property = property_from_args(args)?;
+    // resolve the property against the net as written, so an unknown name
+    // is reported before any reduction or engine work starts
+    property
+        .compile(net)
+        .map_err(|e| format!("bad --property: {e}"))?;
     let spec = RunSpec {
         engine: engine.to_string(),
         zdd: flag(args, "zdd"),
         witnesses,
         threads,
+        property: property.clone(),
     };
     if !spec.supports_checkpoint() && (!ckpt.is_disabled() || resume.is_some()) {
         return Err(format!(
@@ -423,17 +508,26 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
 
     // Structural reduction pre-pass: every engine below explores `target`
     // (the reduced net) and every printed fact is lifted back to `net`.
+    // The property's observed places and transitions are protected from
+    // the reduction, so they survive for the engine to evaluate.
     let reduce_opts = reduce_from_args(args)?;
     let rules = reduce_opts
         .as_ref()
         .map(ReduceOptions::rules_string)
         .unwrap_or_default();
+    let observed = Observed {
+        places: property.observed_places(),
+        transitions: property.observed_transitions(),
+    };
     let reduction = match &reduce_opts {
-        Some(opts) => Some(petri::reduce(net, opts).map_err(|e| e.to_string())?),
+        Some(opts) => {
+            Some(petri::reduce_observed(net, opts, &observed).map_err(|e| e.to_string())?)
+        }
         None => None,
     };
     if let Some(snap) = &resume {
         check_resume_stamp(snap, reduction.as_ref(), &rules, net)?;
+        check_resume_property(snap, &property)?;
     }
     let original = net;
     if let Some(r) = &reduction {
@@ -457,6 +551,17 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
                 original_fingerprint: original.fingerprint(),
                 places: target.place_count(),
                 transitions: target.transition_count(),
+            }
+            .section(),
+        );
+    }
+    if !property.is_default() {
+        // same fail-closed story for --property: snapshots record the
+        // property their exploration preserved (default runs stay
+        // byte-identical to pre-property snapshots)
+        ckpt.annotations.push(
+            PropertyStamp {
+                property: property.to_string(),
             }
             .section(),
         );

@@ -4,7 +4,8 @@
 //! the machine-readable JSON document shared by `--json` and the serve
 //! wire protocol.
 
-use petri::{CoverageStats, ExhaustionReason, ReductionReport, Verdict};
+use petri::property::Quantifier;
+use petri::{CoverageStats, ExhaustionReason, Property, ReductionReport, Verdict};
 
 use crate::json::Json;
 
@@ -85,9 +86,14 @@ pub struct CheckReport {
     pub witnesses: Vec<Witness>,
     /// The reduction pre-pass, when one ran.
     pub reduction: Option<ReductionSummary>,
+    /// The property this run answered. With the default (`EF deadlock`)
+    /// the report renders exactly as it always has; any other property
+    /// re-aims the verdict, witness labels, and a `property:` line at
+    /// goal markings (φ under `EF`, ¬φ under `AG`).
+    pub property: Property,
 }
 
-/// The canonical JSON spelling of a verdict.
+/// The canonical JSON spelling of a verdict (default-property runs).
 pub fn verdict_str(v: Verdict) -> &'static str {
     match v {
         Verdict::DeadlockFree => "deadlock-free",
@@ -96,12 +102,34 @@ pub fn verdict_str(v: Verdict) -> &'static str {
     }
 }
 
+/// The JSON spelling of a verdict under an explicit property. `HasDeadlock`
+/// means "a goal marking was found": the `EF` property holds, or the `AG`
+/// property is violated. `DeadlockFree` means the complete exploration
+/// found no goal marking: the `EF` property does not hold, or the `AG`
+/// property holds.
+pub fn property_verdict_str(property: &Property, v: Verdict) -> &'static str {
+    if property.is_default() {
+        return verdict_str(v);
+    }
+    match (v, property.quantifier) {
+        (Verdict::HasDeadlock, Quantifier::Ef) => "holds",
+        (Verdict::HasDeadlock, Quantifier::Ag) => "violated",
+        (Verdict::DeadlockFree, Quantifier::Ef) => "does-not-hold",
+        (Verdict::DeadlockFree, Quantifier::Ag) => "holds",
+        (Verdict::Inconclusive { .. }, _) => "inconclusive",
+    }
+}
+
 impl CheckReport {
     /// Renders the classic CLI prose (without the reduction header, which
     /// the CLI prints before the engine runs).
     pub fn render_text(&self) -> String {
+        let default = self.property.is_default();
         let mut out = String::new();
         out.push_str(&format!("engine: {}\n", self.engine_desc));
+        if !default {
+            out.push_str(&format!("property: {}\n", self.property));
+        }
         if let (Some(reason), Some(coverage)) = (self.exhausted, &self.coverage) {
             out.push_str(&format!("budget: {reason} — {coverage}\n"));
         }
@@ -111,18 +139,39 @@ impl CheckReport {
             out.push_str(line);
             out.push('\n');
         }
-        out.push_str(&format!("verdict: {}\n", self.verdict));
+        out.push_str(&format!("verdict: {}\n", self.verdict_line()));
+        let label = if default {
+            "dead marking"
+        } else {
+            "goal marking"
+        };
         for w in &self.witnesses {
             if w.statically_lifted {
-                out.push_str(&format!("dead marking (lifted): {}\n", w.marking));
+                out.push_str(&format!("{label} (lifted): {}\n", w.marking));
             } else {
-                out.push_str(&format!("dead marking: {}\n", w.marking));
+                out.push_str(&format!("{label}: {}\n", w.marking));
             }
             if let Some(trace) = &w.trace {
                 out.push_str(&format!("witness trace: {}\n", trace.join(" ")));
             }
         }
         out
+    }
+
+    /// The prose after `verdict: `. Default property: the classic
+    /// [`Verdict`] display. Otherwise the verdict is re-phrased for the
+    /// property's quantifier.
+    fn verdict_line(&self) -> String {
+        if self.property.is_default() {
+            return self.verdict.to_string();
+        }
+        match (self.verdict, self.property.quantifier) {
+            (Verdict::HasDeadlock, Quantifier::Ef) => "EF property HOLDS (witness found)".into(),
+            (Verdict::HasDeadlock, Quantifier::Ag) => "AG property VIOLATED (witness found)".into(),
+            (Verdict::DeadlockFree, Quantifier::Ef) => "EF property does not hold".into(),
+            (Verdict::DeadlockFree, Quantifier::Ag) => "AG property holds".into(),
+            (Verdict::Inconclusive { .. }, _) => self.verdict.to_string(),
+        }
     }
 
     /// Renders the machine-readable report document. This is also the
@@ -172,7 +221,11 @@ impl CheckReport {
             ("net".into(), Json::str(&self.net)),
             ("engine".into(), Json::str(&self.engine)),
             ("engine_desc".into(), Json::str(self.engine_desc)),
-            ("verdict".into(), Json::str(verdict_str(self.verdict))),
+            ("property".into(), Json::str(self.property.to_string())),
+            (
+                "verdict".into(),
+                Json::str(property_verdict_str(&self.property, self.verdict)),
+            ),
             (
                 "exit_code".into(),
                 Json::num(self.verdict.exit_code() as usize),
@@ -224,6 +277,7 @@ mod tests {
                 statically_lifted: false,
             }],
             reduction: None,
+            property: Property::deadlock(),
         }
     }
 
@@ -238,6 +292,50 @@ mod tests {
         assert_eq!(lines[4], "verdict: DEADLOCK possible");
         assert_eq!(lines[5], "dead marking: {q}");
         assert_eq!(lines[6], "witness trace: go");
+    }
+
+    #[test]
+    fn property_rendering_reaims_verdict_and_witness_labels() {
+        let mut r = sample();
+        r.property = Property::parse("EF m(q) >= 1").unwrap();
+        let text = r.render_text();
+        assert!(text.contains("property: EF m(q) >= 1\n"), "{text}");
+        assert!(text.contains("verdict: EF property HOLDS (witness found)\n"));
+        assert!(text.contains("goal marking: {q}\n"));
+        assert!(!text.contains("dead marking"));
+        let j = r.to_json();
+        assert_eq!(j.get("property").unwrap().as_str(), Some("EF m(q) >= 1"));
+        assert_eq!(j.get("verdict").unwrap().as_str(), Some("holds"));
+        assert_eq!(j.get("exit_code").unwrap().as_u64(), Some(1));
+
+        r.property = Property::parse("AG m(q) = 0").unwrap();
+        assert!(r
+            .render_text()
+            .contains("verdict: AG property VIOLATED (witness found)\n"));
+        assert_eq!(
+            r.to_json().get("verdict").unwrap().as_str(),
+            Some("violated")
+        );
+        r.verdict = Verdict::DeadlockFree;
+        assert!(r.render_text().contains("verdict: AG property holds\n"));
+        assert_eq!(r.to_json().get("verdict").unwrap().as_str(), Some("holds"));
+        r.property = Property::parse("EF m(q) >= 1").unwrap();
+        assert!(r
+            .render_text()
+            .contains("verdict: EF property does not hold\n"));
+        assert_eq!(
+            r.to_json().get("verdict").unwrap().as_str(),
+            Some("does-not-hold")
+        );
+    }
+
+    #[test]
+    fn default_property_rendering_is_unchanged_and_json_names_it() {
+        let r = sample();
+        assert!(!r.render_text().contains("property:"), "no prose line");
+        let j = r.to_json();
+        assert_eq!(j.get("property").unwrap().as_str(), Some("EF deadlock"));
+        assert_eq!(j.get("verdict").unwrap().as_str(), Some("deadlock"));
     }
 
     #[test]

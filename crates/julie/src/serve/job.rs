@@ -42,6 +42,9 @@ pub struct JobSpec {
     pub engine: String,
     /// ZDD-backed families for the gpo engine.
     pub zdd: bool,
+    /// The property to verify, in canonical text form (validated and
+    /// canonicalized at admission; default `EF deadlock`).
+    pub property: String,
     /// Deadlock witnesses to report.
     pub witnesses: usize,
     /// Worker threads inside the engine.
@@ -99,12 +102,34 @@ impl JobSpec {
                 "max_states {max_states} outside the admitted range 1..={max_job_states}"
             ));
         }
+        // properties are validated (and name-resolved against the net) at
+        // admission, then journaled in canonical form so the cache key and
+        // every worker agree on the spelling
+        let property = match body.get("property") {
+            None => petri::Property::deadlock(),
+            Some(p) => {
+                let text = p.as_str().ok_or("field `property` must be a string")?;
+                let parsed =
+                    petri::Property::parse(text).map_err(|e| format!("bad property: {e}"))?;
+                parsed
+                    .compile(&net)
+                    .map_err(|e| format!("bad property: {e}"))?;
+                parsed
+            }
+        };
+        if engine == "classes" && !property.is_default() {
+            return Err(format!(
+                "engine `classes` supports only the default property `EF deadlock` \
+                 (got `{property}`)"
+            ));
+        }
         let spec = JobSpec {
             id,
             net_name: net.name().to_string(),
             fingerprint: net.fingerprint(),
             engine,
             zdd: body.get("zdd").and_then(Json::as_bool).unwrap_or(false),
+            property: property.to_string(),
             witnesses: uint("witnesses", 1)?,
             threads: uint("threads", 1)?.max(1),
             max_states,
@@ -150,14 +175,15 @@ impl JobSpec {
             return None;
         }
         Some(format!(
-            "{:016x}/{}/zdd={}/s={}/m={}/t={}/w={}",
+            "{:016x}/{}/zdd={}/s={}/m={}/t={}/w={}/p={}",
             self.fingerprint,
             self.engine,
             self.zdd,
             self.max_states,
             self.mem_limit_mb,
             self.threads,
-            self.witnesses
+            self.witnesses,
+            self.property
         ))
     }
 
@@ -168,6 +194,7 @@ impl JobSpec {
             ("net_name".into(), Json::str(&self.net_name)),
             ("engine".into(), Json::str(&self.engine)),
             ("zdd".into(), Json::Bool(self.zdd)),
+            ("property".into(), Json::str(&self.property)),
             ("witnesses".into(), Json::num(self.witnesses)),
             ("threads".into(), Json::num(self.threads)),
             ("max_states".into(), Json::num(self.max_states)),
@@ -198,6 +225,13 @@ impl JobSpec {
             fingerprint: net.fingerprint(),
             engine: s("engine")?,
             zdd: j.get("zdd").and_then(Json::as_bool).unwrap_or(false),
+            // journals written before properties existed default to the
+            // classic deadlock check
+            property: j
+                .get("property")
+                .and_then(Json::as_str)
+                .unwrap_or("EF deadlock")
+                .to_string(),
             witnesses: n("witnesses")?,
             threads: n("threads")?,
             max_states: n("max_states")?,

@@ -93,11 +93,16 @@ fn run_job(
         Ok(n) => n,
         Err(e) => return fail(format!("journaled net no longer parses: {e}")),
     };
+    let property = match petri::Property::parse(&spec.property) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("journaled property no longer parses: {e}")),
+    };
     let run = RunSpec {
         engine: spec.engine.clone(),
         zdd: spec.zdd,
         witnesses: spec.witnesses,
         threads: spec.threads,
+        property,
     };
     let dir = job::job_dir(&store.data_dir, id);
     let (ckpt, resume) = if run.supports_checkpoint() {

@@ -105,6 +105,7 @@ fn reduced_engine_kill_and_resume_is_equivalent() {
                 strategy: SeedStrategy::BestOfEnabled,
                 max_states: usize::MAX,
                 threads,
+                visible: None,
             };
             let reference = ReducedReachability::explore_bounded(&net, &opts, &Budget::default())
                 .unwrap()

@@ -11,6 +11,10 @@ fn julie(args: &[&str]) -> Output {
         .expect("binary runs")
 }
 
+/// Runs julie with `stdin` piped in. Only for invocations that *read*
+/// stdin (a `-` net that survives flag validation): the write is strict,
+/// so an EPIPE here is a real regression, not a tolerated shutdown race.
+/// Invocations rejected before stdin is read go through [`julie_rejected`].
 fn julie_stdin(args: &[&str], stdin: &str) -> Output {
     let mut child = Command::new(env!("CARGO_BIN_EXE_julie"))
         .args(args)
@@ -19,18 +23,23 @@ fn julie_stdin(args: &[&str], stdin: &str) -> Output {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    // EPIPE is fine: a rejected invocation exits before reading stdin
-    match child
-        .stdin
-        .as_mut()
-        .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-    {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
-        Err(e) => panic!("stdin written: {e}"),
-    }
+    let mut handle = child.stdin.take().expect("stdin piped");
+    handle.write_all(stdin.as_bytes()).expect("stdin written");
+    // close the pipe before reaping, so the child sees EOF exactly once
+    // and wait_with_output can never deadlock on a full stdin buffer
+    drop(handle);
     child.wait_with_output().expect("binary finishes")
+}
+
+/// Runs an invocation that is rejected before stdin would be read (unknown
+/// flags and the like). stdin is /dev/null — piping data into a process
+/// that exits without reading it is what made the old helper race EPIPE.
+fn julie_rejected(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_julie"))
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("binary runs")
 }
 
 fn stdout(out: &Output) -> String {
@@ -220,21 +229,23 @@ fn deadlock_found_within_budget_still_exits_one() {
 
 #[test]
 fn unknown_flags_are_rejected_per_command() {
-    let out = julie_stdin(&["check", "-", "--frobnicate"], CYCLE);
+    // flag validation runs before the net is read, so these invocations
+    // never touch stdin: spawn them without a pipe (julie_rejected)
+    let out = julie_rejected(&["check", "-", "--frobnicate"]);
     assert_eq!(out.status.code(), Some(3));
     let err = stderr(&out);
     assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
     assert!(err.contains("--engine"), "lists supported flags: {err}");
 
-    let typo = julie_stdin(&["check", "-", "--max-state=5"], CYCLE);
+    let typo = julie_rejected(&["check", "-", "--max-state=5"]);
     assert_eq!(typo.status.code(), Some(3), "near-miss flags rejected");
     assert!(stderr(&typo).contains("--max-states"), "suggests the list");
 
-    let dot = julie_stdin(&["dot", "-", "--engine=full"], CYCLE);
+    let dot = julie_rejected(&["dot", "-", "--engine=full"]);
     assert_eq!(dot.status.code(), Some(3));
     assert!(stderr(&dot).contains("supported flags: --rg"));
 
-    let info = julie_stdin(&["info", "-", "--rg"], CYCLE);
+    let info = julie_rejected(&["info", "-", "--rg"]);
     assert_eq!(info.status.code(), Some(3));
     assert!(stderr(&info).contains("takes no flags"));
 }
@@ -817,4 +828,349 @@ fn sigint_writes_the_final_checkpoint_and_exits_2() {
     );
     assert!(stdout(&resumed).contains("states:"), "{}", stdout(&resumed));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// --property: the quantified marking-predicate language
+// ---------------------------------------------------------------------
+
+/// Spelling out the default property must change nothing: same bytes on
+/// stdout, same exit code, for every engine, in prose and JSON alike.
+#[test]
+fn explicit_default_property_is_byte_identical_to_propertyless_runs() {
+    for engine in ["full", "po", "gpo", "bdd", "unfold", "classes"] {
+        let eng = format!("--engine={engine}");
+        for net in [STUCK, CYCLE] {
+            let plain = julie_stdin(&["check", "-", &eng], net);
+            let spelled = julie_stdin(&["check", "-", &eng, "--property=EF deadlock"], net);
+            assert_eq!(plain.status.code(), spelled.status.code(), "{engine}");
+            assert_eq!(plain.stdout, spelled.stdout, "{engine}: prose differs");
+
+            let plain = julie_stdin(&["check", "-", &eng, "--json"], net);
+            let spelled = julie_stdin(
+                &["check", "-", &eng, "--json", "--property=EF deadlock"],
+                net,
+            );
+            assert_eq!(plain.stdout, spelled.stdout, "{engine}: json differs");
+        }
+    }
+}
+
+/// Non-default properties re-aim the verdict line, the exit code, and the
+/// witness label — consistently across every engine that supports them.
+#[test]
+fn property_verdicts_and_exit_codes_agree_across_engines() {
+    for engine in ["full", "po", "gpo", "bdd", "unfold"] {
+        let eng = format!("--engine={engine}");
+
+        // STUCK reaches {q}: the EF property holds, witness shown, exit 1
+        let holds = julie_stdin(&["check", "-", &eng, "--property=EF m(q) >= 1"], STUCK);
+        assert_eq!(holds.status.code(), Some(1), "{engine}: {}", stderr(&holds));
+        let text = stdout(&holds);
+        assert!(text.contains("property: EF m(q) >= 1"), "{engine}: {text}");
+        assert!(
+            text.contains("EF property HOLDS (witness found)"),
+            "{engine}: {text}"
+        );
+        assert!(text.contains("goal marking"), "{engine}: {text}");
+        assert!(text.contains("{q}"), "{engine}: {text}");
+
+        // the same marking violates the AG phrasing of its negation
+        let violated = julie_stdin(&["check", "-", &eng, "--property=AG m(q) = 0"], STUCK);
+        assert_eq!(violated.status.code(), Some(1), "{engine}");
+        assert!(
+            stdout(&violated).contains("AG property VIOLATED (witness found)"),
+            "{engine}: {}",
+            stdout(&violated)
+        );
+
+        // CYCLE is 1-safe and live: the invariant holds, exit 0
+        let safe = julie_stdin(&["check", "-", &eng, "--property=AG m(p) <= 1"], CYCLE);
+        assert_eq!(safe.status.code(), Some(0), "{engine}: {}", stderr(&safe));
+        assert!(stdout(&safe).contains("AG property holds"), "{engine}");
+
+        // ... and an unreachable goal does not, also exit 0
+        let never = julie_stdin(
+            &["check", "-", &eng, "--property=EF m(p) >= 1 && m(q) >= 1"],
+            CYCLE,
+        );
+        assert_eq!(never.status.code(), Some(0), "{engine}: {}", stderr(&never));
+        assert!(
+            stdout(&never).contains("EF property does not hold"),
+            "{engine}: {}",
+            stdout(&never)
+        );
+    }
+}
+
+#[test]
+fn property_json_carries_the_canonical_text_and_reaimed_verdict() {
+    let out = julie_stdin(
+        &[
+            "check",
+            "-",
+            "--engine=full",
+            "--json",
+            "--property=EF fireable( back )",
+        ],
+        CYCLE,
+    );
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let doc = stdout(&out);
+    // the journaled text is canonical, not the user's spelling
+    assert!(doc.contains("\"property\":\"EF fireable(back)\""), "{doc}");
+    assert!(doc.contains("\"verdict\":\"holds\""), "{doc}");
+    assert!(doc.contains("\"exit_code\":1"), "{doc}");
+}
+
+#[test]
+fn property_file_flag_reads_the_property_from_disk() {
+    let dir = temp_dir("propfile");
+    let path = dir.join("prop.txt");
+    std::fs::write(&path, "AG m(q) = 0\n").unwrap();
+    let flag = format!("--property-file={}", path.display());
+    let out = julie_stdin(&["check", "-", "--engine=full", &flag], STUCK);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("AG property VIOLATED"),
+        "{}",
+        stdout(&out)
+    );
+
+    let both = julie_stdin(&["check", "-", &flag, "--property=EF deadlock"], STUCK);
+    assert_eq!(both.status.code(), Some(3));
+    assert!(
+        stderr(&both).contains("mutually exclusive"),
+        "{}",
+        stderr(&both)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_properties_are_rejected_with_flag_precise_diagnostics() {
+    let syntax = julie_stdin(&["check", "-", "--property=EF m("], STUCK);
+    assert_eq!(syntax.status.code(), Some(3));
+    assert!(
+        stderr(&syntax).contains("bad --property"),
+        "{}",
+        stderr(&syntax)
+    );
+
+    // name resolution happens against the net as written
+    let unknown = julie_stdin(&["check", "-", "--property=EF m(nowhere) >= 1"], STUCK);
+    assert_eq!(unknown.status.code(), Some(3));
+    let err = stderr(&unknown);
+    assert!(err.contains("bad --property"), "{err}");
+    assert!(err.contains("nowhere"), "names the offender: {err}");
+}
+
+#[test]
+fn classes_engine_supports_only_the_default_property() {
+    let out = julie_stdin(
+        &["check", "-", "--engine=classes", "--property=EF m(q) >= 1"],
+        STUCK,
+    );
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        stderr(&out).contains("supports only the default property"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+/// Property/resume mismatches fail closed exactly like `--reduce` ones: a
+/// visible-set exploration for one property proves nothing about another.
+#[test]
+fn property_resume_mismatches_fail_closed_with_precise_diagnostics() {
+    let dir = temp_dir("prop-resume");
+    let net_path = dir.join("pipe.net");
+    std::fs::write(&net_path, PIPE).unwrap();
+    let net = net_path.to_str().unwrap();
+
+    // a propertyless snapshot cannot be resumed under --property ...
+    let plain_ckpt = dir.join("plain.ckpt");
+    let plain_ckpt = plain_ckpt.to_str().unwrap();
+    let partial = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--max-states=2",
+        &format!("--checkpoint={plain_ckpt}"),
+    ]);
+    assert_eq!(partial.status.code(), Some(2), "{}", stderr(&partial));
+    let wrong = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--property=EF m(p3) >= 1",
+        &format!("--resume={plain_ckpt}"),
+    ]);
+    assert_eq!(wrong.status.code(), Some(3));
+    assert!(
+        stderr(&wrong).contains("written without --property"),
+        "{}",
+        stderr(&wrong)
+    );
+
+    // ... and a property snapshot names its property when resumed differently
+    let prop_ckpt = dir.join("prop.ckpt");
+    let prop_ckpt = prop_ckpt.to_str().unwrap();
+    let partial = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--property=EF m(p3) >= 1",
+        "--max-states=2",
+        &format!("--checkpoint={prop_ckpt}"),
+    ]);
+    assert_eq!(partial.status.code(), Some(2), "{}", stderr(&partial));
+
+    let plain = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        &format!("--resume={prop_ckpt}"),
+    ]);
+    assert_eq!(plain.status.code(), Some(3));
+    assert!(
+        stderr(&plain).contains("written with --property 'EF m(p3) >= 1'"),
+        "{}",
+        stderr(&plain)
+    );
+
+    let other = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--property=EF m(p2) >= 1",
+        &format!("--resume={prop_ckpt}"),
+    ]);
+    assert_eq!(other.status.code(), Some(3));
+    assert!(
+        stderr(&other).contains("but this run uses --property 'EF m(p2) >= 1'"),
+        "{}",
+        stderr(&other)
+    );
+
+    // the matching property resumes cleanly to the goal
+    let ok = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--property=EF m(p3) >= 1",
+        &format!("--resume={prop_ckpt}"),
+    ]);
+    assert_eq!(
+        ok.status.code(),
+        Some(1),
+        "matching --property resumes to the goal: {}",
+        stderr(&ok)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--reduce` under a property must not fuse the observed place away: the
+/// witness marking names it directly, no lifting required.
+#[test]
+fn reduce_keeps_observed_places_intact() {
+    // propertyless reduction collapses the whole pipeline (see
+    // check_reduce_shows_header_and_lifts_witness); observing p1 pins it
+    let out = julie_stdin(
+        &[
+            "check",
+            "-",
+            "--engine=full",
+            "--reduce",
+            "--property=EF m(p1) >= 1",
+        ],
+        PIPE,
+    );
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("goal marking: {p1}"), "{text}");
+    // the verdict agrees with the unreduced run
+    let plain = julie_stdin(
+        &["check", "-", "--engine=full", "--property=EF m(p1) >= 1"],
+        PIPE,
+    );
+    assert_eq!(plain.status.code(), Some(1), "{}", stderr(&plain));
+}
+
+// ---------------------------------------------------------------------
+// PNML input
+// ---------------------------------------------------------------------
+
+fn fixture(name: &str) -> String {
+    format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn pnml_files_are_detected_by_extension_and_checked() {
+    let toggle = julie(&["check", &fixture("toggle.pnml"), "--engine=full"]);
+    assert_eq!(toggle.status.code(), Some(0), "{}", stderr(&toggle));
+    assert!(
+        stdout(&toggle).contains("deadlock-free"),
+        "{}",
+        stdout(&toggle)
+    );
+
+    let handoff = julie(&["check", &fixture("handoff.pnml"), "--engine=full"]);
+    assert_eq!(handoff.status.code(), Some(1), "{}", stderr(&handoff));
+    let text = stdout(&handoff);
+    assert!(text.contains("dead marking: {done}"), "{text}");
+    assert!(text.contains("witness trace: start finish"), "{text}");
+
+    // nested pages and toolspecific clutter parse; the join deadlocks
+    let fork = julie(&["check", &fixture("fork-join.pnml"), "--engine=full"]);
+    assert_eq!(fork.status.code(), Some(1), "{}", stderr(&fork));
+    assert!(
+        stdout(&fork).contains("dead marking: {end}"),
+        "{}",
+        stdout(&fork)
+    );
+}
+
+#[test]
+fn pnml_on_stdin_is_sniffed_and_format_flag_overrides() {
+    let pnml = std::fs::read_to_string(fixture("handoff.pnml")).unwrap();
+    // content sniffing: stdin has no extension to go by
+    let sniffed = julie_stdin(&["check", "-", "--engine=full"], &pnml);
+    assert_eq!(sniffed.status.code(), Some(1), "{}", stderr(&sniffed));
+
+    // the explicit flag gives the same answer
+    let explicit = julie_stdin(&["check", "-", "--engine=full", "--format=pnml"], &pnml);
+    assert_eq!(explicit.stdout, sniffed.stdout);
+
+    // --format=net forces the native parser, which rejects the XML
+    let forced = julie_stdin(&["check", "-", "--format=net"], &pnml);
+    assert_eq!(forced.status.code(), Some(3));
+
+    let bad = julie_stdin(&["check", "-", "--format=sbml"], &pnml);
+    assert_eq!(bad.status.code(), Some(3));
+    assert!(
+        stderr(&bad).contains("bad --format `sbml`"),
+        "{}",
+        stderr(&bad)
+    );
+}
+
+#[test]
+fn pnml_works_with_properties_and_other_subcommands() {
+    let out = julie(&[
+        "check",
+        &fixture("toggle.pnml"),
+        "--engine=po",
+        "--property=EF m(off) >= 1",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("EF property HOLDS"),
+        "{}",
+        stdout(&out)
+    );
+
+    let info = julie(&["info", &fixture("fork-join.pnml")]);
+    assert_eq!(info.status.code(), Some(0), "{}", stderr(&info));
+    assert!(stdout(&info).contains("fork-join"), "{}", stdout(&info));
 }

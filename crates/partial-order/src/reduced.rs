@@ -52,6 +52,12 @@ pub struct ReducedOptions {
     /// The stubborn set of a marking is a pure function of that marking,
     /// so the reduced graph is the same graph for every thread count.
     pub threads: usize,
+    /// Visible transitions of the property being checked, seeded into
+    /// every stubborn-set closure ([`StubbornSets::with_visible`]);
+    /// `None` for the classical deadlock-preserving exploration. The
+    /// visible set becomes part of the snapshot identity: resuming with a
+    /// different set is rejected.
+    pub visible: Option<Vec<TransitionId>>,
 }
 
 impl Default for ReducedOptions {
@@ -60,6 +66,7 @@ impl Default for ReducedOptions {
             strategy: SeedStrategy::default(),
             max_states: usize::MAX,
             threads: default_threads(),
+            visible: None,
         }
     }
 }
@@ -175,7 +182,7 @@ impl ReducedReachability {
         let real_budget = budget.clone().cap_states(opts.max_states);
         let mut prior = match resume {
             Some(snap) => Some(
-                Self::from_snapshot(net, snap, opts.strategy)
+                Self::from_snapshot_with(net, snap, opts.strategy, opts.visible.as_deref())
                     .map_err(|e| NetError::Checkpoint(e.to_string()))?,
             ),
             None => None,
@@ -192,7 +199,8 @@ impl ReducedReachability {
                     result, coverage, ..
                 } => {
                     if let Some(path) = &ckpt.path {
-                        let mut snap = result.to_snapshot(net, opts.strategy);
+                        let mut snap =
+                            result.to_snapshot_with(net, opts.strategy, opts.visible.as_deref());
                         ckpt.annotate(&mut snap);
                         write_checkpoint(path, &snap)
                             .map_err(|e| NetError::Checkpoint(e.to_string()))?;
@@ -220,7 +228,10 @@ impl ReducedReachability {
         prior: Option<Self>,
     ) -> Result<Outcome<Self>, NetError> {
         let start = Instant::now();
-        let stubborn = StubbornSets::new_with_threads(net, opts.strategy, opts.threads.max(1));
+        let mut stubborn = StubbornSets::new_with_threads(net, opts.strategy, opts.threads.max(1));
+        if let Some(visible) = &opts.visible {
+            stubborn = stubborn.with_visible(visible.clone());
+        }
 
         if opts.threads.max(1) > 1 {
             let (seed, base_elapsed) = match prior {
@@ -369,8 +380,21 @@ impl ReducedReachability {
         })
     }
 
-    /// Serializes this (typically partial) reduced graph as a snapshot.
+    /// Serializes this (typically partial) reduced graph as a snapshot
+    /// (no visible set: the classical deadlock-preserving exploration).
     pub fn to_snapshot(&self, net: &PetriNet, strategy: SeedStrategy) -> Snapshot {
+        self.to_snapshot_with(net, strategy, None)
+    }
+
+    /// Like [`to_snapshot`](Self::to_snapshot), also recording the
+    /// visible-transition set of a property-preserving exploration. With
+    /// `None` the snapshot is byte-identical to the legacy layout.
+    pub fn to_snapshot_with(
+        &self,
+        net: &PetriNet,
+        strategy: SeedStrategy,
+        visible: Option<&[TransitionId]>,
+    ) -> Snapshot {
         let mut snap = Snapshot::new(EngineKind::Reduced, net);
 
         let mut w = ByteWriter::new();
@@ -399,6 +423,15 @@ impl ReducedReachability {
 
         let mut w = ByteWriter::new();
         w.u8(strategy_tag(strategy));
+        if let Some(visible) = visible {
+            // the legacy layout is exactly one byte; a visible run appends
+            // its transition set so a resume can verify it explored under
+            // the same visibility condition
+            w.usize(visible.len());
+            for &t in visible {
+                w.u32(t.index() as u32);
+            }
+        }
         snap.push_section(section::STRATEGY, w.into_bytes());
 
         snap
@@ -417,17 +450,66 @@ impl ReducedReachability {
         snap: &Snapshot,
         strategy: SeedStrategy,
     ) -> Result<Self, CheckpointError> {
+        Self::from_snapshot_with(net, snap, strategy, None)
+    }
+
+    /// Like [`from_snapshot`](Self::from_snapshot), additionally
+    /// validating the stored visible-transition set against the current
+    /// run's: a stubborn-set exploration is only a sound prefix for the
+    /// visibility condition it was computed under.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CheckpointError`] for foreign, mismatched, or
+    /// inconsistent snapshots, including any visible-set disagreement.
+    pub fn from_snapshot_with(
+        net: &PetriNet,
+        snap: &Snapshot,
+        strategy: SeedStrategy,
+        visible: Option<&[TransitionId]>,
+    ) -> Result<Self, CheckpointError> {
         snap.validate(EngineKind::Reduced, net.fingerprint())?;
 
-        let mut r = ByteReader::new(snap.require_section(section::STRATEGY)?, section::STRATEGY);
+        let payload = snap.require_section(section::STRATEGY)?;
+        let mut r = ByteReader::new(payload, section::STRATEGY);
         let stored_strategy = r.u8()?;
-        r.finish()?;
         if stored_strategy != strategy_tag(strategy) {
             return Err(CheckpointError::Malformed {
                 section: section::STRATEGY,
                 detail: format!(
                     "snapshot uses stubborn-set strategy {stored_strategy}, run uses {}",
                     strategy_tag(strategy)
+                ),
+            });
+        }
+        // a one-byte payload is the legacy (deadlock-preserving) layout;
+        // anything longer carries the visible set of a property run
+        let stored_visible: Option<Vec<TransitionId>> = if payload.len() > 1 {
+            let n = r.usize()?;
+            if n > net.transition_count() {
+                return Err(r.malformed("implausible visible-set length"));
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t = r.u32()? as usize;
+                if t >= net.transition_count() {
+                    return Err(r.malformed("visible transition id out of range"));
+                }
+                v.push(TransitionId::new(t));
+            }
+            Some(v)
+        } else {
+            None
+        };
+        r.finish()?;
+        if stored_visible.as_deref() != visible {
+            return Err(CheckpointError::Malformed {
+                section: section::STRATEGY,
+                detail: format!(
+                    "snapshot was written under visible set {:?}, run uses {:?} \
+                     (explorations under different properties cannot be mixed)",
+                    stored_visible.as_deref().map(<[TransitionId]>::len),
+                    visible.map(<[TransitionId]>::len),
                 ),
             });
         }
@@ -675,6 +757,7 @@ mod tests {
                 strategy: SeedStrategy::BestOfEnabled,
                 max_states: 3,
                 threads: 1,
+                visible: None,
             },
             &Budget::default(),
         )
@@ -709,6 +792,7 @@ mod tests {
                 strategy: SeedStrategy::BestOfEnabled,
                 max_states: usize::MAX,
                 threads,
+                visible: None,
             };
             let reference = ReducedReachability::explore_bounded(&net, &opts, &Budget::default())
                 .unwrap()

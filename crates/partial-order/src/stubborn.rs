@@ -14,6 +14,19 @@
 //! closure below enforces both conditions. The paper's §2.3 *anticipation*
 //! method corresponds to seeding the closure with a whole enabled conflict
 //! cluster (a maximal conflicting set) instead of a single transition.
+//!
+//! ## Visibility: preserving properties beyond deadlock
+//!
+//! Deadlock preservation is not enough when the search answers a general
+//! reachability query (`EF φ`): a stubborn set could postpone exactly the
+//! transition whose firing makes `φ` true. [`StubbornSets::with_visible`]
+//! fixes this by seeding every closure with the property's *visible*
+//! transitions — all transitions whose firing can change some atom of `φ`,
+//! enabled or not. Enabled visible transitions are then explored at every
+//! state (D2 adds their competitors), and *disabled* visible transitions
+//! pull in their enablers through D1, so no path to a `φ`-state can be
+//! pruned. See DESIGN.md "Property-preserving stubborn sets" for the
+//! induction argument.
 
 use petri::{BitSet, ConflictInfo, Marking, PetriNet, TransitionId};
 
@@ -62,6 +75,9 @@ pub struct StubbornSets<'net> {
     deps: Dependencies,
     conflicts: ConflictInfo,
     strategy: SeedStrategy,
+    /// Transitions seeded into every closure (empty for plain deadlock
+    /// preservation).
+    visible: Vec<TransitionId>,
 }
 
 impl<'net> StubbornSets<'net> {
@@ -72,6 +88,7 @@ impl<'net> StubbornSets<'net> {
             deps: Dependencies::new(net),
             conflicts: ConflictInfo::new(net),
             strategy,
+            visible: Vec::new(),
         }
     }
 
@@ -84,12 +101,28 @@ impl<'net> StubbornSets<'net> {
             deps: Dependencies::new_with_threads(net, threads),
             conflicts: ConflictInfo::new(net),
             strategy,
+            visible: Vec::new(),
         }
+    }
+
+    /// Makes every closure start from `visible` (plus its per-strategy
+    /// seed), turning deadlock-preserving stubborn sets into
+    /// property-preserving ones: a transition that can change an observed
+    /// atom is never postponed. Pass the set computed by
+    /// `CompiledProperty::visible_transitions`.
+    pub fn with_visible(mut self, visible: Vec<TransitionId>) -> Self {
+        self.visible = visible;
+        self
     }
 
     /// The seed strategy in use.
     pub fn strategy(&self) -> SeedStrategy {
         self.strategy
+    }
+
+    /// The visible-transition seed ([`StubbornSets::with_visible`]).
+    pub fn visible(&self) -> &[TransitionId] {
+        &self.visible
     }
 
     /// The enabled transitions of a stubborn set at `m` — the transitions a
@@ -99,14 +132,17 @@ impl<'net> StubbornSets<'net> {
         if enabled.is_empty() {
             return Vec::new();
         }
+        // every closure is additionally seeded with the visible
+        // transitions, so an observable firing is never postponed
+        let seeded = |seed: Vec<TransitionId>| seed.into_iter().chain(self.visible.iter().copied());
         match self.strategy {
             SeedStrategy::FirstEnabled => {
-                self.enabled_members(&self.closure([enabled[0]], m), &enabled)
+                self.enabled_members(&self.closure(seeded(vec![enabled[0]]), m), &enabled)
             }
             SeedStrategy::BestOfEnabled => {
                 let mut best: Option<Vec<TransitionId>> = None;
                 for &t in &enabled {
-                    let cand = self.enabled_members(&self.closure([t], m), &enabled);
+                    let cand = self.enabled_members(&self.closure(seeded(vec![t]), m), &enabled);
                     if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
                         let done = cand.len() == 1;
                         best = Some(cand);
@@ -134,7 +170,7 @@ impl<'net> StubbornSets<'net> {
                         .copied()
                         .filter(|&u| self.net.enabled(u, m))
                         .collect();
-                    let cand = self.enabled_members(&self.closure(seed, m), &enabled);
+                    let cand = self.enabled_members(&self.closure(seeded(seed), m), &enabled);
                     if best.as_ref().is_none_or(|b| cand.len() < b.len()) {
                         best = Some(cand);
                     }

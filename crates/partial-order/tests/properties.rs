@@ -75,6 +75,48 @@ proptest! {
         }
     }
 
+    /// Visible-transition preservation — the guarantee the property
+    /// engines build on: with every transition that moves tokens on an
+    /// observed place seeded into each closure, the reduced graph reaches
+    /// a goal marking iff the full graph does, for every seed strategy.
+    #[test]
+    fn visible_sets_preserve_goal_reachability(seed in 0u64..100_000) {
+        let Some(net) = random_safe_net(seed, &cfg()) else { return Ok(()); };
+        let full = ReachabilityGraph::explore(&net).expect("validated safe");
+        // observe each place in turn (capped to keep the case cheap),
+        // deriving the visible set through the real property pipeline
+        for place in net.places().take(4) {
+            let name = net.place_name(place);
+            let prop = petri::Property::parse(&format!("EF m({name}) >= 1"))
+                .expect("well-formed property");
+            let compiled = prop.compile(&net).expect("name resolves");
+            let visible = compiled
+                .visible_transitions(&net)
+                .expect("non-default properties have a visible set");
+            let full_goal = full.states().any(|s| compiled.goal(&net, full.marking(s)));
+            for strategy in STRATEGIES {
+                let red = ReducedReachability::explore_with(
+                    &net,
+                    &ReducedOptions {
+                        strategy,
+                        visible: Some(visible.clone()),
+                        max_states: usize::MAX,
+                        ..Default::default()
+                    },
+                ).expect("validated safe");
+                let red_goal = red.markings().any(|m| compiled.goal(&net, m));
+                prop_assert_eq!(
+                    red_goal,
+                    full_goal,
+                    "{:?} observing {}\n{}",
+                    strategy,
+                    name,
+                    petri::to_text(&net)
+                );
+            }
+        }
+    }
+
     /// The stubborn closure invariants (D1/D2) hold at every reachable
     /// marking: the selected set is non-empty exactly at live markings, and
     /// every conflicting transition of a selected enabled transition would

@@ -11,7 +11,8 @@ use crate::error::NetError;
 use crate::ids::TransitionId;
 use crate::marking::Marking;
 use crate::net::PetriNet;
-use crate::reachability::{ExploreOptions, ReachabilityGraph};
+use crate::property::Property;
+use crate::reachability::{ExploreOptions, ReachabilityGraph, StateId};
 use crate::reduce::{reduce, ReduceOptions, ReductionReport};
 
 /// Outcome of exhaustively verifying a safe net.
@@ -101,6 +102,12 @@ pub struct BoundedReport {
     /// What the structural reduction pre-pass did, when one ran
     /// ([`verify_bounded_reduced`]); `None` for unreduced runs.
     pub reduction: Option<ReductionReport>,
+    /// The property this run answered. [`Property::deadlock`] for the
+    /// plain deadlock entry points; for non-default properties
+    /// ([`verify_bounded_property`]) the `has_deadlock`/witness fields of
+    /// the embedded report describe the property's *goal* markings
+    /// (φ-states under `EF`, ¬φ-states under `AG`) instead of deadlocks.
+    pub property: Property,
 }
 
 impl BoundedReport {
@@ -158,6 +165,62 @@ pub fn verify_bounded(
         exhausted,
         coverage,
         reduction: None,
+        property: Property::deadlock(),
+    })
+}
+
+/// Like [`verify_bounded`], but answers an arbitrary [`Property`] instead
+/// of the fixed deadlock question. For the default property this *is*
+/// [`verify_bounded`]; otherwise the explored graph is scanned for the
+/// property's goal markings (φ under `EF`, ¬φ under `AG`) and the
+/// `has_deadlock`/witness fields of the embedded report are re-aimed at
+/// them: the smallest goal marking (by [`Marking`]'s order, for
+/// determinism across thread counts) becomes the witness.
+///
+/// The three-valued verdict carries over: a goal state found in a
+/// partial graph is a real witness, while the *absence* of goal states
+/// is only conclusive when the exploration completed.
+///
+/// # Errors
+///
+/// Returns [`NetError::Property`] when the property names a node `net`
+/// does not have, plus everything [`verify_bounded`] can return.
+pub fn verify_bounded_property(
+    net: &PetriNet,
+    opts: &ExploreOptions,
+    budget: &Budget,
+    property: &Property,
+) -> Result<BoundedReport, NetError> {
+    let compiled = property.compile(net).map_err(NetError::Property)?;
+    if property.is_default() {
+        return verify_bounded(net, opts, budget);
+    }
+    let start = Instant::now();
+    let outcome = ReachabilityGraph::explore_bounded(net, opts, budget)?;
+    let exhausted = outcome.reason();
+    let coverage = outcome.coverage().cloned();
+    let rg = match &outcome {
+        Outcome::Complete(rg) | Outcome::Partial { result: rg, .. } => rg,
+    };
+    let mut report = derive_report(net, rg, start.elapsed());
+    let mut goals: Vec<StateId> = rg
+        .states()
+        .filter(|&s| compiled.goal(net, rg.marking(s)))
+        .collect();
+    goals.sort_by(|&a, &b| rg.marking(a).cmp(rg.marking(b)));
+    report.has_deadlock = !goals.is_empty();
+    report.deadlock_count = goals.len();
+    report.deadlock_witness = goals.first().and_then(|&g| rg.path_to(g));
+    report.deadlock_marking = goals.first().map(|&g| rg.marking(g).clone());
+    let frontier = coverage.as_ref().map_or(0, |c| c.frontier_len);
+    let verdict = Verdict::from_observation(report.has_deadlock, exhausted.is_none(), frontier);
+    Ok(BoundedReport {
+        report,
+        verdict,
+        exhausted,
+        coverage,
+        reduction: None,
+        property: property.clone(),
     })
 }
 

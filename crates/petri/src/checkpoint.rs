@@ -627,6 +627,85 @@ impl ReductionStamp {
 }
 
 // ---------------------------------------------------------------------
+// Property stamp
+// ---------------------------------------------------------------------
+
+/// Section tag reserved across *all* engines for the property stamp.
+/// Like [`REDUCTION_SECTION`], far outside the per-engine tag ranges.
+pub const PROPERTY_SECTION: u32 = 0x5052_4F50; // "PROP"
+
+/// Records, inside every snapshot written by a non-default-property run,
+/// the canonical text of the property being checked.
+///
+/// A snapshot's stored state is only meaningful for the query that
+/// produced it (a stubborn-set exploration for one property is not a
+/// sound prefix for another), so resuming under a different `--property`
+/// must fail closed — the stamp lets the CLI turn that into a precise
+/// misuse diagnostic, exactly like [`ReductionStamp`] does for
+/// `--reduce`. Default (`EF deadlock`) runs write no stamp, keeping
+/// their snapshots byte-identical to pre-property ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyStamp {
+    /// Canonical text of the property (e.g. `"AG m(critical) <= 0"`).
+    pub property: String,
+}
+
+impl PropertyStamp {
+    /// Serializes the stamp to a section payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(1); // stamp layout version
+        w.usize(self.property.len());
+        for b in self.property.bytes() {
+            w.u8(b);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a stamp payload written by [`PropertyStamp::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] on truncation or an unknown
+    /// layout version.
+    pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(payload, PROPERTY_SECTION);
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(r.malformed(format!("unknown property stamp version {version}")));
+        }
+        let len = r.usize()?;
+        if len > 64 * 1024 {
+            return Err(r.malformed("implausible property length"));
+        }
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(r.u8()?);
+        }
+        let property = String::from_utf8(bytes).map_err(|_| CheckpointError::Malformed {
+            section: PROPERTY_SECTION,
+            detail: "property text is not UTF-8".into(),
+        })?;
+        r.finish()?;
+        Ok(PropertyStamp { property })
+    }
+
+    /// Extracts and parses the stamp of a snapshot, if one was written.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Option<Result<Self, CheckpointError>> {
+        snapshot.section(PROPERTY_SECTION).map(Self::decode)
+    }
+
+    /// The stamp as a ready-to-append [`Section`] (for
+    /// [`CheckpointConfig::annotations`]).
+    pub fn section(&self) -> Section {
+        Section {
+            tag: PROPERTY_SECTION,
+            payload: self.encode(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Job stamp
 // ---------------------------------------------------------------------
 
@@ -1279,5 +1358,37 @@ mod tests {
         .encode();
         good.push(0); // trailing byte
         assert!(ReductionStamp::decode(&good).is_err());
+    }
+
+    #[test]
+    fn property_stamp_round_trips_through_a_snapshot() {
+        let stamp = PropertyStamp {
+            property: "AG m(critical-1) <= 0 or fireable(release)".into(),
+        };
+        let mut snap = sample_snapshot();
+        assert!(PropertyStamp::from_snapshot(&snap).is_none());
+        let cfg = CheckpointConfig {
+            annotations: vec![stamp.section()],
+            ..CheckpointConfig::at("unused")
+        };
+        cfg.annotate(&mut snap);
+        assert_eq!(PropertyStamp::from_snapshot(&snap).unwrap().unwrap(), stamp);
+        let reread = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(
+            PropertyStamp::from_snapshot(&reread).unwrap().unwrap(),
+            stamp
+        );
+    }
+
+    #[test]
+    fn property_stamp_rejects_garbage() {
+        assert!(PropertyStamp::decode(&[]).is_err());
+        assert!(PropertyStamp::decode(&[7]).is_err(), "unknown version");
+        let mut good = PropertyStamp {
+            property: "EF deadlock".into(),
+        }
+        .encode();
+        good.push(0); // trailing byte
+        assert!(PropertyStamp::decode(&good).is_err());
     }
 }

@@ -59,6 +59,9 @@ pub enum NetError {
     /// The structural reduction pre-pass failed to lift a reduced-net
     /// result back to the original net.
     Reduction(String),
+    /// A property failed to parse or to compile against the net being
+    /// checked (e.g. it names a place the net does not have).
+    Property(String),
 }
 
 impl fmt::Display for NetError {
@@ -92,6 +95,7 @@ impl fmt::Display for NetError {
             }
             NetError::Checkpoint(detail) => write!(f, "checkpoint error: {detail}"),
             NetError::Reduction(detail) => write!(f, "reduction error: {detail}"),
+            NetError::Property(detail) => write!(f, "property error: {detail}"),
         }
     }
 }

@@ -58,19 +58,22 @@ mod marking;
 mod net;
 pub mod parallel;
 mod parser;
+pub mod pnml;
+pub mod property;
 mod reachability;
 pub mod reduce;
 mod siphons;
 
 pub use analysis::{
-    verify, verify_bounded, verify_bounded_reduced, verify_with, BoundedReport, VerificationReport,
+    verify, verify_bounded, verify_bounded_property, verify_bounded_reduced, verify_with,
+    BoundedReport, VerificationReport,
 };
 pub use bitset::{BitSet, Iter as BitSetIter};
 pub use budget::{Budget, CoverageStats, ExhaustionReason, Outcome, Verdict};
 pub use checkpoint::{
     read_checkpoint, read_checkpoint_with_fallback, write_checkpoint, CheckpointConfig,
-    CheckpointError, EngineKind, JobStamp, ReductionStamp, Section, Snapshot, JOB_SECTION,
-    REDUCTION_SECTION,
+    CheckpointError, EngineKind, JobStamp, PropertyStamp, ReductionStamp, Section, Snapshot,
+    JOB_SECTION, PROPERTY_SECTION, REDUCTION_SECTION,
 };
 pub use conflict::ConflictInfo;
 pub use dot::{net_to_dot, reachability_to_dot};
@@ -83,8 +86,12 @@ pub use invariants::{
 pub use marking::Marking;
 pub use net::{NetBuilder, PetriNet};
 pub use parser::{parse_net, to_text};
+pub use pnml::parse_pnml;
+pub use property::{CompiledProperty, Property};
 pub use reachability::{ExploreOptions, ReachabilityGraph, StateId};
-pub use reduce::{reduce, ReduceOptions, Reduction, ReductionMap, ReductionReport};
+pub use reduce::{
+    reduce, reduce_observed, Observed, ReduceOptions, Reduction, ReductionMap, ReductionReport,
+};
 pub use siphons::{
     empty_places_siphon, is_siphon, is_trap, max_trap_within, minimal_siphons,
     siphon_trap_certificate,

@@ -166,6 +166,80 @@ impl ReduceOptions {
     }
 }
 
+/// The nodes a property observes, by name: the reduction must keep them
+/// intact so the property still compiles against — and evaluates
+/// faithfully on — the reduced net.
+///
+/// Place protection extends to the pre-places of every observed
+/// transition (a `fireable(t)` atom reads exactly those markings), and
+/// the fusion rules additionally refuse to merge *through* a protected
+/// place, so no intermediate marking a property could distinguish is
+/// erased (see DESIGN.md "Property-aware reduction guards").
+///
+/// Names that don't exist in the net are ignored here; the caller is
+/// expected to have validated the property against the net first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Observed {
+    /// Names of places whose marking the property reads (`m(p) ⋈ k`).
+    pub places: Vec<String>,
+    /// Names of transitions whose enabledness the property reads
+    /// (`fireable(t)`).
+    pub transitions: Vec<String>,
+}
+
+impl Observed {
+    /// Observes nothing: [`reduce_observed`] behaves exactly like
+    /// [`reduce`].
+    pub fn none() -> Self {
+        Observed::default()
+    }
+
+    /// `true` when no node is observed.
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty() && self.transitions.is_empty()
+    }
+}
+
+/// Id-resolved protection masks for one intermediate net. Recomputed
+/// after every surgery: names are stable across surgeries (surviving
+/// nodes keep theirs) but ids are not.
+struct Protected {
+    places: Vec<bool>,
+    transitions: Vec<bool>,
+}
+
+impl Protected {
+    fn resolve(net: &PetriNet, observed: &Observed) -> Self {
+        let mut places = vec![false; net.place_count()];
+        let mut transitions = vec![false; net.transition_count()];
+        for name in &observed.places {
+            if let Some(p) = net.place_by_name(name) {
+                places[p.index()] = true;
+            }
+        }
+        for name in &observed.transitions {
+            if let Some(t) = net.transition_by_name(name) {
+                transitions[t.index()] = true;
+                // fireable(t) is a function of t's pre-place markings
+                for p in net.pre_places(t) {
+                    places[p.index()] = true;
+                }
+            }
+        }
+        Protected {
+            places,
+            transitions,
+        }
+    }
+
+    fn touches_protected_place(&self, net: &PetriNet, t: TransitionId) -> bool {
+        net.pre_places(t)
+            .iter()
+            .chain(net.post_places(t))
+            .any(|p| self.places[p.index()])
+    }
+}
+
 /// What a reduction pass did: sizes before/after and per-rule counts.
 ///
 /// The `Display` impl renders the one-line summary used by the CLI:
@@ -494,6 +568,24 @@ pub struct Reduction {
 /// # Ok::<(), petri::NetError>(())
 /// ```
 pub fn reduce(net: &PetriNet, opts: &ReduceOptions) -> Result<Reduction, NetError> {
+    reduce_observed(net, opts, &Observed::none())
+}
+
+/// Like [`reduce`], but keeps every node in `observed` (and every
+/// pre-place of an observed transition) intact, so a property reading
+/// those nodes evaluates identically on the original and reduced nets.
+///
+/// With an empty `observed` this is exactly [`reduce`].
+///
+/// # Errors
+///
+/// Returns [`NetError`] only if rebuilding an intermediate net fails,
+/// which cannot happen for nets produced by [`NetBuilder`].
+pub fn reduce_observed(
+    net: &PetriNet,
+    opts: &ReduceOptions,
+    observed: &Observed,
+) -> Result<Reduction, NetError> {
     let start = Instant::now();
     let mut report = ReductionReport {
         places_before: net.place_count(),
@@ -531,47 +623,50 @@ pub fn reduce(net: &PetriNet, opts: &ReduceOptions) -> Result<Reduction, NetErro
     let mut stale = false;
 
     loop {
+        // ids shift with every surgery, so the protection masks are
+        // re-resolved from the stable names each round
+        let prot = Protected::resolve(&current, observed);
         // rp runs last: removing a sink place can destroy the P-invariants
         // that guard sp/st, so the fusions get their chance first.
-        let find_guarded = |current: &PetriNet, invariants: &[Vec<i64>]| {
+        let find_guarded = |current: &PetriNet, invariants: &[Vec<i64>], prot: &Protected| {
             if opts.dead_transitions {
-                find_dead_transitions(current, invariants)
+                find_dead_transitions(current, invariants, prot)
             } else {
                 None
             }
             .or_else(|| {
                 if opts.identity_transitions {
-                    find_identity_transition(current)
+                    find_identity_transition(current, prot)
                 } else {
                     None
                 }
             })
             .or_else(|| {
                 if opts.series_transitions {
-                    find_series_transition(current, invariants)
+                    find_series_transition(current, invariants, prot)
                 } else {
                     None
                 }
             })
             .or_else(|| {
                 if opts.series_places {
-                    find_series_place(current, invariants)
+                    find_series_place(current, invariants, prot)
                 } else {
                     None
                 }
             })
         };
 
-        let mut application = find_guarded(&current, &invariants);
+        let mut application = find_guarded(&current, &invariants, &prot);
         if application.is_none() && stale {
             // the carried set can miss invariants of the smaller net:
             // refresh it before conceding priority to rp, which would
             // destroy exactly the invariants the fusions are waiting for
             invariants = compute_invariants(&current);
-            application = find_guarded(&current, &invariants);
+            application = find_guarded(&current, &invariants, &prot);
         }
         if application.is_none() && opts.redundant_places {
-            application = find_redundant_places(&current);
+            application = find_redundant_places(&current, &prot);
         }
 
         let Some(app) = application else { break };
@@ -766,7 +861,11 @@ fn apply_surgery(
 /// `dt`: transitions that can never fire — an input place is never
 /// markable (least-fixpoint over the flow relation), or a P-invariant
 /// caps the tokens their input places can ever hold simultaneously.
-fn find_dead_transitions(net: &PetriNet, invariants: &[Vec<i64>]) -> Option<Application> {
+fn find_dead_transitions(
+    net: &PetriNet,
+    invariants: &[Vec<i64>],
+    prot: &Protected,
+) -> Option<Application> {
     let place_count = net.place_count();
     let mut markable: Vec<bool> = (0..place_count)
         .map(|p| net.initial_marking().is_marked(PlaceId::new(p)))
@@ -797,6 +896,11 @@ fn find_dead_transitions(net: &PetriNet, invariants: &[Vec<i64>]) -> Option<Appl
 
     let mut dead = Vec::new();
     for t in net.transitions() {
+        // an observed transition must survive so `fireable(t)` still
+        // compiles (a dead one just evaluates to constant false)
+        if prot.transitions[t.index()] {
+            continue;
+        }
         let unmarkable = net.pre_places(t).iter().any(|p| !markable[p.index()]);
         let over_capacity = !unmarkable
             && invariants.iter().any(|x| {
@@ -820,10 +924,13 @@ fn find_dead_transitions(net: &PetriNet, invariants: &[Vec<i64>]) -> Option<Appl
 }
 
 /// `rp`: duplicate, constantly-marked self-loop-only, and sink places.
-fn find_redundant_places(net: &PetriNet) -> Option<Application> {
+fn find_redundant_places(net: &PetriNet, prot: &Protected) -> Option<Application> {
     let mut restores: Vec<(PlaceId, PlaceRestore)> = Vec::new();
     let mut dropped = vec![false; net.place_count()];
     for p in net.places() {
+        if prot.places[p.index()] {
+            continue;
+        }
         let marked0 = net.initial_marking().is_marked(p);
         let pre = sorted(net.pre_transitions(p));
         let post = sorted(net.post_transitions(p));
@@ -846,7 +953,7 @@ fn find_redundant_places(net: &PetriNet) -> Option<Application> {
     }
     // duplicates: keep the smallest surviving sibling
     for q in net.places() {
-        if dropped[q.index()] {
+        if dropped[q.index()] || prot.places[q.index()] {
             continue;
         }
         for p in net.places().take_while(|p| p.index() < q.index()) {
@@ -877,8 +984,13 @@ fn find_redundant_places(net: &PetriNet) -> Option<Application> {
 
 /// `it`: one no-op transition (`•t = t•`) with a justifier `u ≠ t` enabled
 /// whenever `t` is, so the removal cannot create a dead marking.
-fn find_identity_transition(net: &PetriNet) -> Option<Application> {
+fn find_identity_transition(net: &PetriNet, prot: &Protected) -> Option<Application> {
     for t in net.transitions() {
+        // firing t never changes the marking, so only t's own
+        // observability matters
+        if prot.transitions[t.index()] {
+            continue;
+        }
         if net.pre_place_set(t) != net.post_place_set(t) {
             continue;
         }
@@ -904,9 +1016,13 @@ fn find_identity_transition(net: &PetriNet) -> Option<Application> {
 /// tokens, a P-invariant must pin `p` and all of `t2•` to a single shared
 /// token, which makes firing `t2` immediately after `t1` always possible
 /// and safe (see DESIGN.md).
-fn find_series_transition(net: &PetriNet, invariants: &[Vec<i64>]) -> Option<Application> {
+fn find_series_transition(
+    net: &PetriNet,
+    invariants: &[Vec<i64>],
+    prot: &Protected,
+) -> Option<Application> {
     for p in net.places() {
-        if net.initial_marking().is_marked(p) {
+        if net.initial_marking().is_marked(p) || prot.places[p.index()] {
             continue;
         }
         let [t1] = net.pre_transitions(p) else {
@@ -916,6 +1032,15 @@ fn find_series_transition(net: &PetriNet, invariants: &[Vec<i64>]) -> Option<App
             continue;
         };
         let (t1, t2) = (*t1, *t2);
+        // fusing t1;t2 erases the marking between the two firings — refuse
+        // whenever a property could tell that intermediate state apart
+        if prot.transitions[t1.index()]
+            || prot.transitions[t2.index()]
+            || prot.touches_protected_place(net, t1)
+            || prot.touches_protected_place(net, t2)
+        {
+            continue;
+        }
         if t1 == t2
             || net.pre_places(t2) != std::slice::from_ref(&p)
             || net.pre_place_set(t1).contains(p.index())
@@ -968,11 +1093,20 @@ fn find_series_transition(net: &PetriNet, invariants: &[Vec<i64>]) -> Option<App
 /// consumer merges `p` into `q`, guarded by a P-invariant proving
 /// `m(p) + m(q) ≤ 1` (so the merged place stays safe and the verdict is
 /// preserved by firing `t` eagerly; see DESIGN.md).
-fn find_series_place(net: &PetriNet, invariants: &[Vec<i64>]) -> Option<Application> {
+fn find_series_place(
+    net: &PetriNet,
+    invariants: &[Vec<i64>],
+    prot: &Protected,
+) -> Option<Application> {
     for t in net.transitions() {
         let [p] = net.pre_places(t) else { continue };
         let [q] = net.post_places(t) else { continue };
         let (p, q) = (*p, *q);
+        // merging p into q conflates `m(p)` with `m(q)`; a property
+        // reading either place (or firing of t itself) must see them apart
+        if prot.transitions[t.index()] || prot.places[p.index()] || prot.places[q.index()] {
+            continue;
+        }
         if p == q || net.post_transitions(p) != std::slice::from_ref(&t) {
             continue;
         }
@@ -1092,6 +1226,74 @@ mod tests {
             .unwrap();
         assert_eq!(lifted.len(), 6, "all six original steps reappear");
     }
+
+    #[test]
+    fn observed_place_survives_a_collapsing_reduction() {
+        // unobserved, the pipeline collapses to (almost) nothing …
+        let net = pipeline(6);
+        let plain = reduce(&net, &all()).unwrap();
+        assert!(
+            plain.net.place_by_name("p3").is_none(),
+            "baseline collapses p3"
+        );
+        // … observing p3 pins it, and the verdict still matches
+        let obs = Observed {
+            places: vec!["p3".into()],
+            transitions: vec![],
+        };
+        let red = reduce_observed(&net, &all(), &obs).unwrap();
+        assert!(red.net.place_by_name("p3").is_some(), "observed place kept");
+        let orig = verify(&net).unwrap();
+        let reduced = verify(&red.net).unwrap();
+        assert_eq!(orig.has_deadlock, reduced.has_deadlock);
+        // the observed marking is still expressible: some reachable
+        // reduced marking marks p3, as in the original
+        let p3 = red.net.place_by_name("p3").unwrap();
+        let rg = crate::ReachabilityGraph::explore(&red.net).unwrap();
+        assert!(
+            rg.states().any(|s| rg.marking(s).is_marked(p3)),
+            "p3 is still reachably marked after reduction"
+        );
+    }
+
+    #[test]
+    fn observed_transition_keeps_itself_and_its_pre_places() {
+        let net = pipeline(6);
+        let obs = Observed {
+            places: vec![],
+            transitions: vec!["t4".into()],
+        };
+        let red = reduce_observed(&net, &all(), &obs).unwrap();
+        let t4 = red
+            .net
+            .transition_by_name("t4")
+            .expect("observed transition kept");
+        // fireable(t4) reads exactly t4's pre-places: they survive too
+        assert!(
+            !red.net.pre_places(t4).is_empty(),
+            "pre-places of an observed transition survive"
+        );
+        assert!(
+            red.net.place_by_name("p3").is_some(),
+            "t4's pre-place p3 kept"
+        );
+    }
+
+    #[test]
+    fn empty_observed_set_reduces_byte_identically_to_reduce() {
+        for net in [pipeline(6), crate::parse_net(SCHEDULER_LIKE).unwrap()] {
+            let plain = reduce(&net, &all()).unwrap();
+            let observed = reduce_observed(&net, &all(), &Observed::none()).unwrap();
+            assert_eq!(crate::to_text(&plain.net), crate::to_text(&observed.net));
+            // the Display summary covers sizes and per-rule counts
+            // (the report itself differs in its wall-clock field)
+            assert_eq!(plain.report.to_string(), observed.report.to_string());
+        }
+    }
+
+    /// A small branching net for the empty-observed identity check.
+    const SCHEDULER_LIKE: &str = "net branchy\npl a *\npl b\npl c\npl d\n\
+        tr go1 : a -> b\ntr go2 : a -> c\ntr j1 : b -> d\ntr j2 : c -> d\n";
 
     #[test]
     fn reduction_is_a_fixpoint() {

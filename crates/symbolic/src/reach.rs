@@ -13,6 +13,7 @@
 
 use std::time::{Duration, Instant};
 
+use petri::property::{CompiledAtom, CompiledFormula, CompiledProperty};
 use petri::{Budget, CoverageStats, Marking, Outcome, PetriNet, PlaceId};
 
 use crate::bdd::{Bdd, BddRef, BDD_FALSE, BDD_TRUE};
@@ -185,6 +186,72 @@ impl Encoding {
         let next_only = self.bdd.and_exists(rel, from, &cur_vars);
         self.bdd.rename(next_only, &self.rename_map)
     }
+
+    /// Characteristic function of "no transition enabled" over the
+    /// current-state variables.
+    fn no_enabled_bdd(&mut self, net: &PetriNet) -> BddRef {
+        let mut no_enabled = BDD_TRUE;
+        for t in net.transitions() {
+            let mut en = BDD_TRUE;
+            for &pl in net.pre_places(t) {
+                let v = self.bdd.var(self.cur[pl.index()]);
+                en = self.bdd.and(en, v);
+            }
+            let nen = self.bdd.not(en);
+            no_enabled = self.bdd.and(no_enabled, nen);
+        }
+        no_enabled
+    }
+
+    /// Characteristic function of a compiled property formula over the
+    /// current-state variables. On a safe net every `m(p) <op> k` atom
+    /// collapses to a constant or a (negated) place literal, since a
+    /// place holds zero or one tokens.
+    fn formula_bdd(&mut self, net: &PetriNet, f: &CompiledFormula) -> BddRef {
+        match f {
+            CompiledFormula::Atom(CompiledAtom::Deadlock) => self.no_enabled_bdd(net),
+            CompiledFormula::Atom(CompiledAtom::Fireable(t)) => {
+                let mut en = BDD_TRUE;
+                for &pl in net.pre_places(*t) {
+                    let v = self.bdd.var(self.cur[pl.index()]);
+                    en = self.bdd.and(en, v);
+                }
+                en
+            }
+            CompiledFormula::Atom(CompiledAtom::Count { place, op, k }) => {
+                match (op.eval(0, *k), op.eval(1, *k)) {
+                    (true, true) => BDD_TRUE,
+                    (false, false) => BDD_FALSE,
+                    (false, true) => self.bdd.var(self.cur[place.index()]),
+                    (true, false) => self.bdd.nvar(self.cur[place.index()]),
+                }
+            }
+            CompiledFormula::Not(x) => {
+                let g = self.formula_bdd(net, x);
+                self.bdd.not(g)
+            }
+            CompiledFormula::And(a, b) => {
+                let fa = self.formula_bdd(net, a);
+                let fb = self.formula_bdd(net, b);
+                self.bdd.and(fa, fb)
+            }
+            CompiledFormula::Or(a, b) => {
+                let fa = self.formula_bdd(net, a);
+                let fb = self.formula_bdd(net, b);
+                self.bdd.or(fa, fb)
+            }
+        }
+    }
+
+    /// Characteristic function of the **goal predicate** of `property`
+    /// (φ under `EF`, ¬φ under `AG`) over the current-state variables.
+    fn goal_bdd(&mut self, net: &PetriNet, property: &CompiledProperty) -> BddRef {
+        let phi = self.formula_bdd(net, &property.formula);
+        match property.quantifier {
+            petri::property::Quantifier::Ef => phi,
+            petri::property::Quantifier::Ag => self.bdd.not(phi),
+        }
+    }
 }
 
 /// Converts a satisfying-assignment count to a `usize` for budget
@@ -227,6 +294,32 @@ impl SymbolicReachability {
         opts: &SymbolicOptions,
         budget: &Budget,
     ) -> Outcome<Self> {
+        Self::explore_inner(net, opts, budget, None)
+    }
+
+    /// Like [`SymbolicReachability::explore_bounded`], but searches for
+    /// markings satisfying the **goal predicate** of `property` (φ under
+    /// `EF`, ¬φ under `AG`) instead of dead markings. The deadlock-named
+    /// accessors ([`has_deadlock`](Self::has_deadlock),
+    /// [`deadlock_count`](Self::deadlock_count),
+    /// [`deadlock_witness`](Self::deadlock_witness)) then describe goal
+    /// markings. With the default property (`EF deadlock`) this is exactly
+    /// [`SymbolicReachability::explore_bounded`].
+    pub fn explore_goal_bounded(
+        net: &PetriNet,
+        opts: &SymbolicOptions,
+        budget: &Budget,
+        property: &CompiledProperty,
+    ) -> Outcome<Self> {
+        Self::explore_inner(net, opts, budget, Some(property))
+    }
+
+    fn explore_inner(
+        net: &PetriNet,
+        opts: &SymbolicOptions,
+        budget: &Budget,
+        goal: Option<&CompiledProperty>,
+    ) -> Outcome<Self> {
         let start = Instant::now();
         let mut enc = Encoding::new(net, opts.order);
         let p = net.place_count();
@@ -266,18 +359,13 @@ impl SymbolicReachability {
             peak = peak.max(rel_nodes + enc.bdd.size(reached) + enc.bdd.size(frontier));
         }
 
-        // dead states: reached ∧ no transition enabled
-        let mut no_enabled = BDD_TRUE;
-        for t in net.transitions() {
-            let mut en = BDD_TRUE;
-            for &pl in net.pre_places(t) {
-                let v = enc.bdd.var(enc.cur[pl.index()]);
-                en = enc.bdd.and(en, v);
-            }
-            let nen = enc.bdd.not(en);
-            no_enabled = enc.bdd.and(no_enabled, nen);
-        }
-        let dead = enc.bdd.and(reached, no_enabled);
+        // goal states: reached ∧ goal predicate (default: no transition
+        // enabled, i.e. dead)
+        let target = match goal {
+            None => enc.no_enabled_bdd(net),
+            Some(property) => enc.goal_bdd(net, property),
+        };
+        let dead = enc.bdd.and(reached, target);
         let deadlock_witness = enc.witness_marking(dead, net);
 
         let elapsed = start.elapsed();
@@ -484,6 +572,60 @@ mod tests {
             &budget,
         );
         assert_eq!(outcome.reason(), Some(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn goal_search_matches_explicit_evaluation() {
+        use petri::Property;
+        let net = strands(3);
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        for text in [
+            "EF m(q0) >= 1 and m(q1) >= 1",
+            "AG m(q2) = 0",
+            "EF fireable(t1)",
+            "AG not (m(q0) >= 1 and m(q1) >= 1 and m(q2) >= 1)",
+            "EF deadlock",
+        ] {
+            let compiled = Property::parse(text).unwrap().compile(&net).unwrap();
+            let sym = SymbolicReachability::explore_goal_bounded(
+                &net,
+                &SymbolicOptions::default(),
+                &Budget::default(),
+                &compiled,
+            )
+            .into_value();
+            let expected: Vec<_> = rg
+                .states()
+                .filter(|&s| compiled.goal(&net, rg.marking(s)))
+                .collect();
+            assert_eq!(sym.has_deadlock(), !expected.is_empty(), "{text}");
+            assert_eq!(sym.deadlock_count(), expected.len() as f64, "{text}");
+            match sym.deadlock_witness() {
+                Some(w) => {
+                    assert!(compiled.goal(&net, w), "{text}");
+                    assert!(rg.contains(w), "{text}");
+                }
+                None => assert!(expected.is_empty(), "{text}"),
+            }
+        }
+    }
+
+    #[test]
+    fn default_goal_is_plain_deadlock_search() {
+        use petri::Property;
+        let net = strands(4);
+        let compiled = Property::deadlock().compile(&net).unwrap();
+        let plain = SymbolicReachability::explore(&net);
+        let goal = SymbolicReachability::explore_goal_bounded(
+            &net,
+            &SymbolicOptions::default(),
+            &Budget::default(),
+            &compiled,
+        )
+        .into_value();
+        assert_eq!(goal.state_count(), plain.state_count());
+        assert_eq!(goal.deadlock_count(), plain.deadlock_count());
+        assert_eq!(goal.deadlock_witness(), plain.deadlock_witness());
     }
 
     #[test]

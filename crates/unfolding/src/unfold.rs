@@ -452,6 +452,22 @@ impl Unfolding {
     pub fn has_deadlock(&self, net: &PetriNet) -> bool {
         self.reachable_markings(net).iter().any(|m| net.is_dead(m))
     }
+
+    /// The smallest reachable marking (by [`Marking`]'s order) satisfying
+    /// the **goal predicate** of `property` (φ under `EF`, ¬φ under `AG`),
+    /// or `None` if the prefix reaches no goal marking. On a complete
+    /// prefix `None` settles the property; on a partial one a found
+    /// marking is still genuinely reachable, so the witness is real.
+    pub fn goal_marking(
+        &self,
+        net: &PetriNet,
+        property: &petri::CompiledProperty,
+    ) -> Option<Marking> {
+        self.reachable_markings(net)
+            .into_iter()
+            .filter(|m| property.goal(net, m))
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -592,6 +608,24 @@ mod tests {
                 assert!(marks.contains(rg.marking(s)), "{}", net.name());
             }
             assert_eq!(unf.has_deadlock(&net), rg.has_deadlock(), "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn goal_marking_agrees_with_explicit_search() {
+        use petri::Property;
+        let net = models::readers_writers(3);
+        let unf = Unfolding::build(&net).unwrap();
+        let rg = ReachabilityGraph::explore(&net).unwrap();
+        for text in ["EF deadlock", "EF m(writing0) >= 1", "AG m(writing0) = 0"] {
+            let compiled = Property::parse(text).unwrap().compile(&net).unwrap();
+            let expected = rg
+                .states()
+                .map(|s| rg.marking(s))
+                .filter(|m| compiled.goal(&net, m))
+                .min()
+                .cloned();
+            assert_eq!(unf.goal_marking(&net, &compiled), expected, "{text}");
         }
     }
 

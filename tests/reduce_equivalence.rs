@@ -57,6 +57,7 @@ fn run_engine(engine: &str, net: &PetriNet, threads: usize) -> EngineRun {
                 strategy: SeedStrategy::BestOfEnabled,
                 max_states: usize::MAX,
                 threads,
+                ..Default::default()
             };
             let red = ReducedReachability::explore_with(net, &opts).unwrap();
             EngineRun {
