@@ -395,7 +395,9 @@ fn run<F: SetFamily>(
             coverage.elapsed = report.elapsed;
             Outcome::Partial {
                 result: report,
-                reason,
+                // re-classify at the stop: a cancel raised while the
+                // reason was latched must win deterministically
+                reason: real_budget.stop_reason(reason),
                 coverage,
             }
         }

@@ -36,9 +36,11 @@ pub struct RunSpec {
 }
 
 impl RunSpec {
-    /// Whether this engine supports `--checkpoint`/`--resume`.
+    /// Whether this engine supports `--checkpoint`/`--resume`. `auto`
+    /// qualifies: the portfolio designates one checkpoint-capable leg to
+    /// snapshot under an engine stamp.
     pub fn supports_checkpoint(&self) -> bool {
-        matches!(self.engine.as_str(), "full" | "po" | "gpo")
+        matches!(self.engine.as_str(), "full" | "po" | "gpo" | "auto")
     }
 }
 
@@ -144,6 +146,7 @@ pub fn run_engine(
         witnesses: Vec::new(),
         reduction: summary.clone(),
         property: spec.property.clone(),
+        legs: Vec::new(),
     };
 
     match (spec.engine.as_str(), default) {

@@ -49,6 +49,14 @@ impl Json {
         }
     }
 
+    /// Indexes into an array value.
+    pub fn get_index(&self, i: usize) -> Option<&Json> {
+        match self {
+            Json::Arr(items) => items.get(i),
+            _ => None,
+        }
+    }
+
     /// The string contents, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -9,7 +9,8 @@
 //! julie serve --data-dir=DIR       crash-safe verification service (HTTP/1.1)
 //!
 //! options:
-//!   --engine=full|po|gpo|bdd       verification engine (default: gpo)
+//!   --engine=full|po|gpo|bdd|auto  verification engine (default: gpo);
+//!                                  auto races engines, first sound verdict wins
 //!   --zdd                          ZDD-backed families for the gpo engine
 //!   --property=PROP                property to verify (default: `EF deadlock`)
 //!   --property-file=PATH           read the property from a file
@@ -37,12 +38,6 @@
 //! and SIGTERM trip the run's budget, so an interrupted `--checkpoint`
 //! run writes its final snapshot and exits 2 instead of dying mid-write.
 
-mod engine;
-mod json;
-mod report;
-mod serve;
-mod signals;
-
 use std::io::Read;
 use std::path::Path;
 use std::process::ExitCode;
@@ -57,7 +52,9 @@ use petri::{
 };
 use unfolding::{UnfoldOptions, Unfolding};
 
-use engine::RunSpec;
+use julie::engine::{self, RunSpec};
+use julie::portfolio::{self, PortfolioOptions};
+use julie::{flag, option, positional, serve, signals};
 
 /// Exit code for usage, I/O, parse and engine errors (0–2 are verdicts).
 const EXIT_ERROR: u8 = 3;
@@ -92,6 +89,9 @@ fn run(args: &[String]) -> Result<u8, String> {
             "property-file",
             "format",
             "json",
+            "legs",
+            "stage-delay-ms",
+            "watchdog-secs",
         ],
         "dot" => &["rg"],
         "unfold" => &["dot"],
@@ -169,8 +169,19 @@ usage:
                                --checkpoint-every, --drain-secs flags)
 
 options:
-  --engine=full|po|gpo|bdd|unfold|classes
-                               verification engine (default: gpo)
+  --engine=full|po|gpo|bdd|unfold|classes|auto
+                               verification engine (default: gpo).
+                               auto races several engines under the one
+                               shared budget: the first sound verdict
+                               wins, losers are cancelled, and the report
+                               gains a per-leg table
+  --legs=a,b/c/d               auto schedule: `/` separates escalation
+                               stages, `,` legs within a stage (default:
+                               po,gpo/bdd,unfold/full)
+  --stage-delay-ms=MS          delay before each later stage launches
+                               (default: 250)
+  --watchdog-secs=SECS         cancel any single leg running longer than
+                               SECS (its partial result still competes)
   --zdd                        ZDD-backed families for the gpo engine
   --property=PROP              property to verify (default: EF deadlock).
                                PROP is (EF|AG) over atoms m(place) >= k,
@@ -223,22 +234,6 @@ exit codes (julie check):
 
 <net> is a file in the .net text format or PNML, or `-` for stdin.
 ";
-
-fn positional(args: &[String]) -> Vec<&String> {
-    args.iter()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        .collect()
-}
-
-fn option<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
-    let prefix = format!("--{key}=");
-    args.iter().find_map(|a| a.strip_prefix(&prefix))
-}
-
-fn flag(args: &[String], key: &str) -> bool {
-    args.iter().any(|a| a == &format!("--{key}"))
-}
 
 fn load_net(args: &[String]) -> Result<PetriNet, String> {
     let pos = positional(args);
@@ -474,6 +469,40 @@ fn check_resume_stamp(
     }
 }
 
+/// Parses the portfolio flags (`--legs`, `--stage-delay-ms`,
+/// `--watchdog-secs`) plus the fault-injection environment hooks
+/// (`JULIE_PORTFOLIO_PANIC_LEG`, `JULIE_PORTFOLIO_FLIP_LEG`) used by the
+/// CI fault steps to exercise leg isolation in release binaries.
+fn portfolio_options_from_args(args: &[String]) -> Result<PortfolioOptions, String> {
+    let mut opts = PortfolioOptions::default();
+    if let Some(spec) = option(args, "legs") {
+        opts.stages =
+            PortfolioOptions::parse_stages(spec).map_err(|e| format!("bad --legs: {e}"))?;
+    }
+    if let Some(s) = option(args, "stage-delay-ms") {
+        let ms: u64 = s
+            .parse()
+            .map_err(|_| format!("bad --stage-delay-ms `{s}`"))?;
+        opts.stage_delay = Duration::from_millis(ms);
+    }
+    if let Some(s) = option(args, "watchdog-secs") {
+        let secs: u64 = s
+            .parse()
+            .map_err(|_| format!("bad --watchdog-secs `{s}`"))?;
+        if secs == 0 {
+            return Err("bad --watchdog-secs `0` (must be at least 1)".into());
+        }
+        opts.watchdog = Some(Duration::from_secs(secs));
+    }
+    opts.inject_panic = std::env::var("JULIE_PORTFOLIO_PANIC_LEG")
+        .ok()
+        .filter(|s| !s.is_empty());
+    opts.inject_flip = std::env::var("JULIE_PORTFOLIO_FLIP_LEG")
+        .ok()
+        .filter(|s| !s.is_empty());
+    Ok(opts)
+}
+
 fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
     let engine = option(args, "engine").unwrap_or("gpo");
     let json_mode = flag(args, "json");
@@ -502,8 +531,20 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
     };
     if !spec.supports_checkpoint() && (!ckpt.is_disabled() || resume.is_some()) {
         return Err(format!(
-            "engine `{engine}` does not support --checkpoint/--resume (use full, po, or gpo)"
+            "engine `{engine}` does not support --checkpoint/--resume (use full, po, gpo, or auto)"
         ));
+    }
+    if engine != "auto" {
+        for f in ["legs", "stage-delay-ms", "watchdog-secs"] {
+            if option(args, f).is_some() {
+                return Err(format!("--{f} requires --engine=auto"));
+            }
+        }
+    }
+    // engine-stamp direction check: a solo run must not resume a
+    // portfolio snapshot, and --engine=auto must not resume a solo one
+    if let Some(snap) = &resume {
+        portfolio::check_resume_engine(snap, engine == "auto")?;
     }
 
     // Structural reduction pre-pass: every engine below explores `target`
@@ -572,15 +613,32 @@ fn check(net: &PetriNet, args: &[String]) -> Result<u8, String> {
     // the run exits 2 (inconclusive) instead of dying mid-write
     signals::cancel_on_termination(budget.cancel.clone());
 
-    let report = engine::run_engine(
-        original,
-        reduction.as_ref(),
-        &rules,
-        &spec,
-        &budget,
-        &ckpt,
-        resume.as_ref(),
-    )?;
+    let report = if engine == "auto" {
+        let opts = portfolio_options_from_args(args)?;
+        let outcome = portfolio::run_portfolio(
+            original,
+            reduction.as_ref(),
+            &rules,
+            &spec,
+            &budget,
+            &ckpt,
+            resume.as_ref(),
+            &opts,
+        )?;
+        let mut report = outcome.report;
+        report.legs = outcome.legs;
+        report
+    } else {
+        engine::run_engine(
+            original,
+            reduction.as_ref(),
+            &rules,
+            &spec,
+            &budget,
+            &ckpt,
+            resume.as_ref(),
+        )?
+    };
     if json_mode {
         println!("{}", report.to_json().render());
     } else {

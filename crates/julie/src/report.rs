@@ -55,6 +55,24 @@ impl ReductionSummary {
     }
 }
 
+/// One row of the `--engine=auto` per-leg table: how a portfolio leg left
+/// the race.
+#[derive(Debug, Clone)]
+pub struct LegReport {
+    /// Leg engine name (`full`, `po`, `gpo`, `bdd`, `unfold`).
+    pub engine: String,
+    /// `won`, `lost`, `partial`, `panicked`, `error`, or `not-launched`.
+    pub outcome: String,
+    /// States the leg stored before it stopped (0 when it never reported).
+    pub states: usize,
+    /// Wall time the leg ran.
+    pub wall: std::time::Duration,
+    /// Why the leg lost (empty for the winner).
+    pub why: String,
+    /// Launch attempts (2 when the leg was retried after a panic/error).
+    pub attempts: u32,
+}
+
 /// The unified result of one verification run.
 ///
 /// `states_line` and `detail_lines` carry the *exact* prose lines the CLI
@@ -91,6 +109,10 @@ pub struct CheckReport {
     /// re-aims the verdict, witness labels, and a `property:` line at
     /// goal markings (φ under `EF`, ¬φ under `AG`).
     pub property: Property,
+    /// The `--engine=auto` per-leg table. Empty for solo runs — and then
+    /// absent from both renderings, so solo reports stay byte-identical
+    /// to what they were before the portfolio existed.
+    pub legs: Vec<LegReport>,
 }
 
 /// The canonical JSON spelling of a verdict (default-property runs).
@@ -138,6 +160,20 @@ impl CheckReport {
         for line in &self.detail_lines {
             out.push_str(line);
             out.push('\n');
+        }
+        if !self.legs.is_empty() {
+            out.push_str("legs:\n");
+            for l in &self.legs {
+                out.push_str(&format!(
+                    "  {:<7} {:<12} states={:<10} {:>8.3}s{}{}\n",
+                    l.engine,
+                    l.outcome,
+                    l.states,
+                    l.wall.as_secs_f64(),
+                    if l.why.is_empty() { "" } else { "  " },
+                    l.why
+                ));
+            }
         }
         out.push_str(&format!("verdict: {}\n", self.verdict_line()));
         let label = if default {
@@ -217,7 +253,7 @@ impl CheckReport {
             ]),
             None => Json::Null,
         };
-        Json::Obj(vec![
+        let mut doc = Json::Obj(vec![
             ("net".into(), Json::str(&self.net)),
             ("engine".into(), Json::str(&self.engine)),
             ("engine_desc".into(), Json::str(self.engine_desc)),
@@ -244,7 +280,31 @@ impl CheckReport {
             ),
             ("witnesses".into(), witnesses),
             ("reduction".into(), reduction),
-        ])
+        ]);
+        let Json::Obj(fields) = &mut doc else {
+            unreachable!("doc is an object")
+        };
+        if !self.legs.is_empty() {
+            fields.push((
+                "legs".into(),
+                Json::Arr(
+                    self.legs
+                        .iter()
+                        .map(|l| {
+                            Json::Obj(vec![
+                                ("engine".into(), Json::str(&l.engine)),
+                                ("outcome".into(), Json::str(&l.outcome)),
+                                ("states".into(), Json::num(l.states)),
+                                ("wall_secs".into(), Json::Num(l.wall.as_secs_f64())),
+                                ("why".into(), Json::str(&l.why)),
+                                ("attempts".into(), Json::num(l.attempts as usize)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        doc
     }
 }
 
@@ -278,6 +338,7 @@ mod tests {
             }],
             reduction: None,
             property: Property::deadlock(),
+            legs: Vec::new(),
         }
     }
 
@@ -336,6 +397,50 @@ mod tests {
         let j = r.to_json();
         assert_eq!(j.get("property").unwrap().as_str(), Some("EF deadlock"));
         assert_eq!(j.get("verdict").unwrap().as_str(), Some("deadlock"));
+    }
+
+    #[test]
+    fn legs_table_renders_only_for_portfolio_runs() {
+        let solo = sample();
+        assert!(!solo.render_text().contains("legs:"));
+        assert!(solo.to_json().get("legs").is_none());
+        let mut auto = sample();
+        auto.legs = vec![
+            LegReport {
+                engine: "gpo".into(),
+                outcome: "won".into(),
+                states: 3,
+                wall: Duration::from_millis(2),
+                why: String::new(),
+                attempts: 1,
+            },
+            LegReport {
+                engine: "full".into(),
+                outcome: "partial".into(),
+                states: 2,
+                wall: Duration::from_millis(3),
+                why: "cancelled (race resolved)".into(),
+                attempts: 1,
+            },
+        ];
+        let text = auto.render_text();
+        assert!(text.contains("legs:"), "{text}");
+        assert!(text.contains("gpo"), "{text}");
+        assert!(text.contains("cancelled (race resolved)"), "{text}");
+        let j = auto.to_json();
+        let legs = j.get("legs").expect("legs array present");
+        assert_eq!(
+            legs.get_index(0)
+                .and_then(|l| l.get("outcome"))
+                .and_then(Json::as_str),
+            Some("won")
+        );
+        assert_eq!(
+            legs.get_index(1)
+                .and_then(|l| l.get("why"))
+                .and_then(Json::as_str),
+            Some("cancelled (race resolved)")
+        );
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl JobSpec {
             .unwrap_or_else(|| "gpo".to_string());
         if !matches!(
             engine.as_str(),
-            "full" | "po" | "gpo" | "bdd" | "unfold" | "classes"
+            "full" | "po" | "gpo" | "bdd" | "unfold" | "classes" | "auto"
         ) {
             return Err(format!("unknown engine `{engine}`"));
         }
@@ -171,13 +171,21 @@ impl JobSpec {
     /// Results-cache key, or `None` when the job must not be cached: a
     /// wall-clock budget makes the outcome timing-dependent.
     pub fn cache_key(&self) -> Option<String> {
+        self.cache_key_as(&self.engine)
+    }
+
+    /// The cache key this job would have under another engine selector.
+    /// An `engine=auto` job stores its winner's solo-shaped report under
+    /// *both* the auto key and the winner's key, so a later solo
+    /// submission of the resolved engine is a cache hit too.
+    pub fn cache_key_as(&self, engine: &str) -> Option<String> {
         if self.timeout_secs > 0 {
             return None;
         }
         Some(format!(
             "{:016x}/{}/zdd={}/s={}/m={}/t={}/w={}/p={}",
             self.fingerprint,
-            self.engine,
+            engine,
             self.zdd,
             self.max_states,
             self.mem_limit_mb,
@@ -305,27 +313,35 @@ pub struct JobResult {
     pub report_json: Option<String>,
     /// The failure / cancellation message, when there is one.
     pub error: Option<String>,
+    /// For `engine=auto` jobs: the solo engine that won the race. The
+    /// journaled report is the winner's solo-shaped report, so replaying
+    /// the journal reproduces it byte-for-byte.
+    pub winner: Option<String>,
 }
 
 impl JobResult {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("state".into(), Json::str(self.state.as_str())),
+        let mut fields = vec![
+            ("state".to_string(), Json::str(self.state.as_str())),
             (
-                "report".into(),
+                "report".to_string(),
                 match &self.report_json {
                     Some(r) => Json::Raw(r.clone()),
                     None => Json::Null,
                 },
             ),
             (
-                "error".into(),
+                "error".to_string(),
                 match &self.error {
                     Some(e) => Json::str(e),
                     None => Json::Null,
                 },
             ),
-        ])
+        ];
+        if let Some(w) = &self.winner {
+            fields.push(("winner".to_string(), Json::str(w)));
+        }
+        Json::Obj(fields)
     }
 
     fn from_json(j: &Json) -> Result<JobResult, String> {
@@ -339,10 +355,13 @@ impl JobResult {
             Some(r) => Some(r.render()),
         };
         let error = j.get("error").and_then(Json::as_str).map(str::to_string);
+        // journals written before the portfolio existed have no winner
+        let winner = j.get("winner").and_then(Json::as_str).map(str::to_string);
         Ok(JobResult {
             state,
             report_json,
             error,
+            winner,
         })
     }
 }
@@ -367,8 +386,28 @@ pub fn result_path(dir: &Path) -> PathBuf {
     dir.join("result.job")
 }
 
+/// How many times a journal write is attempted before the failure is
+/// surfaced to admission / the worker.
+const JOURNAL_ATTEMPTS: u32 = 3;
+
+/// Deterministic jitter in milliseconds for retry `attempt` on `path`,
+/// derived from a hash so concurrent writers don't retry in lockstep
+/// (the tree has no `rand` dependency).
+fn retry_jitter_ms(path: &Path, attempt: u32) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    path.hash(&mut h);
+    attempt.hash(&mut h);
+    h.finish() % 8
+}
+
 /// Wraps a JSON document into a one-section snapshot file. The envelope's
 /// engine tag is irrelevant for journal files; `Full` is used throughout.
+///
+/// Transient filesystem failures (a full tmpfs flushing, an interrupted
+/// rename, an injected fault) are retried with exponential backoff and
+/// jitter before the admission / worker path sees an error: journal
+/// durability is the one thing the server cannot degrade around.
 fn journal_write(path: &Path, fingerprint: u64, tag: u32, doc: &Json) -> Result<(), String> {
     let mut snap = Snapshot {
         engine: EngineKind::Full,
@@ -376,7 +415,23 @@ fn journal_write(path: &Path, fingerprint: u64, tag: u32, doc: &Json) -> Result<
         sections: Vec::new(),
     };
     snap.push_section(tag, doc.render().into_bytes());
-    write_checkpoint(path, &snap).map_err(|e| format!("cannot journal `{}`: {e}", path.display()))
+    let mut last_err = String::new();
+    for attempt in 0..JOURNAL_ATTEMPTS {
+        if attempt > 0 {
+            let backoff = 10u64 << (attempt - 1);
+            std::thread::sleep(std::time::Duration::from_millis(
+                backoff + retry_jitter_ms(path, attempt),
+            ));
+        }
+        match write_checkpoint(path, &snap) {
+            Ok(()) => return Ok(()),
+            Err(e) => last_err = e.to_string(),
+        }
+    }
+    Err(format!(
+        "cannot journal `{}` after {JOURNAL_ATTEMPTS} attempts: {last_err}",
+        path.display()
+    ))
 }
 
 fn journal_read(path: &Path, tag: u32) -> Result<Json, String> {

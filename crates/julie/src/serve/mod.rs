@@ -11,13 +11,15 @@
 //!
 //! * `POST /jobs` — submit `{"net": "...", "engine": "gpo", ...}`.
 //!   `202` with `{"id","state","cached"}`; `400` on a bad submission;
-//!   `503 + Retry-After: 1` when over capacity or draining.
+//!   `503` when over capacity (`Retry-After` estimates the queue drain
+//!   from recent job wall times) or draining.
 //! * `GET /jobs` — list all jobs.
 //! * `GET /jobs/{id}` — one job's status document.
 //! * `GET /jobs/{id}/wait` — chunked stream of status documents until the
 //!   job is terminal; a client disconnect cancels the job.
 //! * `DELETE /jobs/{id}` — cancel; `409` once terminal.
-//! * `GET /healthz` — liveness.
+//! * `GET /healthz` — liveness plus load counters (`queue_depth`,
+//!   `active_workers`, `cache_hits`, `cache_misses`, `draining`).
 //!
 //! Robustness model: submissions are journaled (atomic rename + CRC)
 //! before they are acknowledged; engines checkpoint periodically under a
@@ -79,7 +81,11 @@ pub fn serve(args: &[String]) -> Result<u8, String> {
     let cfg = config_from_args(args)?;
     std::fs::create_dir_all(cfg.data_dir.join("jobs"))
         .map_err(|e| format!("cannot create `{}`: {e}", cfg.data_dir.display()))?;
-    let store = Arc::new(Store::new(cfg.data_dir.clone(), cfg.queue_bound));
+    let store = Arc::new(Store::new(
+        cfg.data_dir.clone(),
+        cfg.queue_bound,
+        cfg.workers,
+    ));
     let (terminal, requeued) = store.recover()?;
     println!("recovered {terminal} finished and {requeued} in-flight jobs from the journal");
 
@@ -185,12 +191,7 @@ fn route(
 ) -> io::Result<()> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => respond_json(
-            stream,
-            200,
-            &[],
-            &Json::Obj(vec![("ok".into(), Json::Bool(true))]),
-        ),
+        ("GET", ["healthz"]) => respond_json(stream, 200, &[], &store.healthz_json()),
         ("POST", ["jobs"]) => submit(req, stream, store, max_job_states),
         ("GET", ["jobs"]) => respond_json(stream, 200, &[], &store.list_json()),
         ("GET", ["jobs", id]) => match store.status_json(id) {
@@ -252,12 +253,16 @@ fn submit(
                 ]),
             )
         }
-        Ok(Admission::OverCapacity) => respond_json(
-            stream,
-            503,
-            &[("Retry-After", "1")],
-            &error_json("queue is full, retry later"),
-        ),
+        Ok(Admission::OverCapacity) => {
+            // estimate when a queue slot frees up from recent wall times
+            let retry_after = store.retry_after_secs().to_string();
+            respond_json(
+                stream,
+                503,
+                &[("Retry-After", retry_after.as_str())],
+                &error_json("queue is full, retry later"),
+            )
+        }
         Ok(Admission::Draining) => respond_json(
             stream,
             503,

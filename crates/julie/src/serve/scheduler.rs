@@ -12,6 +12,7 @@ use petri::checkpoint::read_checkpoint_with_fallback;
 use petri::{CheckpointConfig, ExhaustionReason, JobStamp, Snapshot};
 
 use crate::engine::{run_engine, RunSpec};
+use crate::portfolio::{run_portfolio, PortfolioOptions};
 
 use super::job::{self, JobResult, JobSpec, JobState};
 use super::store::Store;
@@ -52,6 +53,7 @@ pub fn worker_loop(store: Arc<Store>, checkpoint_every: usize) {
                         state: JobState::Failed,
                         report_json: None,
                         error: Some(format!("worker panicked: {msg}")),
+                        winner: None,
                     },
                 );
             }
@@ -87,6 +89,7 @@ fn run_job(
             state: JobState::Failed,
             report_json: None,
             error: Some(msg),
+            winner: None,
         })
     };
     let net = match spec.parse_net() {
@@ -113,7 +116,33 @@ fn run_job(
         (CheckpointConfig::default(), None)
     };
     let budget = spec.budget(cancel);
-    match run_engine(&net, None, "", &run, &budget, &ckpt, resume.as_ref()) {
+    // engine=auto races the default portfolio schedule; the outcome's
+    // report is the winner's solo-shaped report, journaled exactly as a
+    // solo run of that engine would have been — recovery after a crash or
+    // a cache replay reproduces it byte-for-byte
+    let (ran, winner) = if spec.engine == "auto" {
+        let opts = PortfolioOptions::default();
+        match run_portfolio(&net, None, "", &run, &budget, &ckpt, resume.as_ref(), &opts) {
+            Ok(outcome) => {
+                // only a sound verdict is attributable to the winning
+                // engine; a degraded best-coverage partial is not what a
+                // solo run would have produced, so it seeds no solo key
+                let winner = if outcome.report.verdict.is_sound() {
+                    Some(outcome.report.engine.clone())
+                } else {
+                    None
+                };
+                (Ok(outcome.report), winner)
+            }
+            Err(e) => (Err(e), None),
+        }
+    } else {
+        (
+            run_engine(&net, None, "", &run, &budget, &ckpt, resume.as_ref()),
+            None,
+        )
+    };
+    match ran {
         Ok(report) => {
             if report.exhausted == Some(ExhaustionReason::Cancelled) {
                 if store.user_cancelled(id) {
@@ -121,6 +150,7 @@ fn run_job(
                         state: JobState::Cancelled,
                         report_json: Some(report.to_json().render()),
                         error: Some("cancelled".into()),
+                        winner: None,
                     });
                 }
                 // a drain tripped the budget: the engine already wrote its
@@ -131,6 +161,7 @@ fn run_job(
                 state: JobState::Done,
                 report_json: Some(report.to_json().render()),
                 error: None,
+                winner,
             })
         }
         Err(e) => fail(e),

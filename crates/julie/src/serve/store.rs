@@ -63,6 +63,9 @@ pub enum CancelOutcome {
     NotFound,
 }
 
+/// How many recent job wall times feed the queue-drain estimate.
+const WALL_WINDOW: usize = 32;
+
 struct Inner {
     jobs: BTreeMap<String, Job>,
     queue: VecDeque<String>,
@@ -70,6 +73,13 @@ struct Inner {
     next_id: u64,
     cache: HashMap<String, String>,
     draining: bool,
+    /// Wall times of recently finished jobs (bounded rolling window);
+    /// their mean drives the `Retry-After` estimate on 503s.
+    recent_walls: VecDeque<std::time::Duration>,
+    /// When each currently running job was claimed.
+    started: HashMap<String, std::time::Instant>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// The shared job store.
@@ -77,16 +87,19 @@ pub struct Store {
     /// Root data directory (jobs live in `<data_dir>/jobs/<id>/`).
     pub data_dir: PathBuf,
     queue_bound: usize,
+    workers: usize,
     inner: Mutex<Inner>,
     work: Condvar,
 }
 
 impl Store {
-    /// An empty store over `data_dir`.
-    pub fn new(data_dir: PathBuf, queue_bound: usize) -> Store {
+    /// An empty store over `data_dir`, drained by `workers` worker
+    /// threads (the worker count scales the queue-drain estimate).
+    pub fn new(data_dir: PathBuf, queue_bound: usize, workers: usize) -> Store {
         Store {
             data_dir,
             queue_bound,
+            workers: workers.max(1),
             inner: Mutex::new(Inner {
                 jobs: BTreeMap::new(),
                 queue: VecDeque::new(),
@@ -94,6 +107,10 @@ impl Store {
                 next_id: 1,
                 cache: HashMap::new(),
                 draining: false,
+                recent_walls: VecDeque::new(),
+                started: HashMap::new(),
+                cache_hits: 0,
+                cache_misses: 0,
             }),
             work: Condvar::new(),
         }
@@ -179,7 +196,7 @@ impl Store {
     pub fn submit(&self, spec: JobSpec) -> Result<Admission, String> {
         let dir = job::job_dir(&self.data_dir, &spec.id);
         let (cached_report, key) = {
-            let inner = self.lock();
+            let mut inner = self.lock();
             if inner.draining {
                 return Ok(Admission::Draining);
             }
@@ -188,6 +205,11 @@ impl Store {
             }
             let key = spec.cache_key();
             let hit = key.as_ref().and_then(|k| inner.cache.get(k).cloned());
+            if hit.is_some() {
+                inner.cache_hits += 1;
+            } else {
+                inner.cache_misses += 1;
+            }
             (hit, key)
         };
         // journal outside the lock — fsync is slow
@@ -198,6 +220,7 @@ impl Store {
                 state: JobState::Done,
                 report_json: Some(report.clone()),
                 error: None,
+                winner: None,
             };
             job::write_result(&dir, spec.fingerprint, &result)?;
             let mut inner = self.lock();
@@ -252,6 +275,7 @@ impl Store {
                 let spec = jb.spec.clone();
                 let cancel = jb.cancel.clone();
                 inner.running += 1;
+                inner.started.insert(id.clone(), std::time::Instant::now());
                 return Some((id, spec, cancel));
             }
             inner = self
@@ -279,10 +303,24 @@ impl Store {
         }
         let mut inner = self.lock();
         inner.running = inner.running.saturating_sub(1);
+        if let Some(started) = inner.started.remove(id) {
+            if inner.recent_walls.len() == WALL_WINDOW {
+                inner.recent_walls.pop_front();
+            }
+            inner.recent_walls.push_back(started.elapsed());
+        }
         if result.state == JobState::Done {
-            if let Some(key) = inner.jobs[id].spec.cache_key() {
-                if let Some(report) = &result.report_json {
+            if let Some(report) = &result.report_json {
+                if let Some(key) = inner.jobs[id].spec.cache_key() {
                     inner.cache.insert(key, report.clone());
+                }
+                // an auto job's report is the winner's solo-shaped report,
+                // so it also satisfies a later solo submission of that
+                // engine — seed the winner's key too
+                if let Some(winner) = &result.winner {
+                    if let Some(key) = inner.jobs[id].spec.cache_key_as(winner) {
+                        inner.cache.insert(key, report.clone());
+                    }
                 }
             }
         }
@@ -300,6 +338,7 @@ impl Store {
     pub fn interrupt(&self, id: &str) {
         let mut inner = self.lock();
         inner.running = inner.running.saturating_sub(1);
+        inner.started.remove(id);
         if let Some(jb) = inner.jobs.get_mut(id) {
             jb.state = JobState::Queued;
         }
@@ -337,6 +376,7 @@ impl Store {
                     state: JobState::Cancelled,
                     report_json: None,
                     error: Some("cancelled before running".into()),
+                    winner: None,
                 },
             )?;
         }
@@ -366,6 +406,40 @@ impl Store {
     /// Number of jobs currently claimed by workers.
     pub fn running_count(&self) -> usize {
         self.lock().running
+    }
+
+    /// How long a rejected client should wait before resubmitting:
+    /// `ceil(backlog × mean recent wall time / workers)`, clamped to
+    /// `1..=60` seconds. With no history yet the floor (1s) applies —
+    /// an empty window means nothing has finished, not that jobs are
+    /// instant, so clients poll quickly until real data arrives.
+    pub fn retry_after_secs(&self) -> u64 {
+        let inner = self.lock();
+        let backlog = inner.queue.len() + inner.running;
+        if inner.recent_walls.is_empty() || backlog == 0 {
+            return 1;
+        }
+        let total: std::time::Duration = inner.recent_walls.iter().sum();
+        let mean_secs = total.as_secs_f64() / inner.recent_walls.len() as f64;
+        let estimate = (backlog as f64 * mean_secs / self.workers as f64).ceil();
+        (estimate as u64).clamp(1, 60)
+    }
+
+    /// The `GET /healthz` document: liveness plus the load counters an
+    /// operator (or load balancer) needs to steer traffic.
+    pub fn healthz_json(&self) -> Json {
+        let inner = self.lock();
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("queue_depth".into(), Json::num(inner.queue.len())),
+            ("active_workers".into(), Json::num(inner.running)),
+            ("cache_hits".into(), Json::num(inner.cache_hits as usize)),
+            (
+                "cache_misses".into(),
+                Json::num(inner.cache_misses as usize),
+            ),
+            ("draining".into(), Json::Bool(inner.draining)),
+        ])
     }
 
     /// The job's current state, if it exists.

@@ -1174,3 +1174,53 @@ fn pnml_works_with_properties_and_other_subcommands() {
     assert_eq!(info.status.code(), Some(0), "{}", stderr(&info));
     assert!(stdout(&info).contains("fork-join"), "{}", stdout(&info));
 }
+
+// ---------------------------------------------------------------------
+// the --engine=auto portfolio
+// ---------------------------------------------------------------------
+
+/// `--engine=auto` races the portfolio, prints the per-leg table, and
+/// exits with the winner's verdict code.
+#[test]
+fn auto_engine_prints_the_leg_table() {
+    let out = julie_stdin(
+        &["check", "-", "--engine=auto", "--stage-delay-ms=0"],
+        STUCK,
+    );
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("legs:"), "{text}");
+    assert!(text.contains("won"), "{text}");
+    // every raceable engine has a row
+    for leg in ["po", "gpo", "bdd", "unfold", "full"] {
+        assert!(text.contains(leg), "missing leg {leg}: {text}");
+    }
+}
+
+/// Portfolio-only flags are rejected on solo engines with a diagnostic.
+#[test]
+fn portfolio_flags_require_engine_auto() {
+    for flag in ["--legs=po/full", "--stage-delay-ms=10", "--watchdog-secs=5"] {
+        let out = julie_rejected(&["check", "-", "--engine=po", flag]);
+        assert_eq!(out.status.code(), Some(3), "{flag}");
+        assert!(
+            stderr(&out).contains("--engine=auto"),
+            "{flag}: {}",
+            stderr(&out)
+        );
+    }
+}
+
+/// A malformed `--legs` schedule is rejected with the parser's message.
+#[test]
+fn bad_legs_schedules_are_rejected() {
+    for (legs, why) in [
+        ("--legs=warp", "unknown leg"),
+        ("--legs=po,po", "twice"),
+        ("--legs=po//full", "empty stage"),
+    ] {
+        let out = julie_rejected(&["check", "-", "--engine=auto", legs]);
+        assert_eq!(out.status.code(), Some(3), "{legs}");
+        assert!(stderr(&out).contains(why), "{legs}: {}", stderr(&out));
+    }
+}

@@ -653,3 +653,151 @@ fn failed_jobs_do_not_poison_the_pool() {
     assert!(doc.contains("\"verdict\":\"deadlock\""), "{doc}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// the engine portfolio behind engine=auto
+// ---------------------------------------------------------------------
+
+/// An `engine=auto` job resolves to some winning leg and journals that
+/// leg's solo-shaped report: the stored report is byte-identical to an
+/// uninterrupted `julie check --engine=<winner>` run, and the result
+/// seeds the cache under *both* the auto key and the winner's solo key.
+#[test]
+fn auto_job_resolves_to_a_solo_shaped_cached_report() {
+    let dir = temp_dir("auto");
+    let net = models::nsdp(4);
+    let text = petri::to_text(&net);
+    let net_path = write_net(&dir, "auto4.net", &net);
+    let server = Server::start(&dir, &[]);
+    let id = submit(server.port, &text, ",\"engine\":\"auto\"");
+    let doc = poll_until(server.port, &id, Duration::from_secs(120), |d| {
+        state_of(d) == "done"
+    });
+    let report = report_of(&doc);
+    let winner = field_str(&report, "engine").expect("report names the winning engine");
+    assert_ne!(
+        winner, "auto",
+        "the stored report is the winner's, not the portfolio's"
+    );
+    let reference = solo_report(&net_path, &[&format!("--engine={winner}")]);
+    assert_eq!(
+        strip_elapsed(&report),
+        strip_elapsed(&reference),
+        "auto report equals an uninterrupted solo {winner} run"
+    );
+
+    // same submission again: the auto cache key hits
+    let body = format!("{{\"net\":\"{}\",\"engine\":\"auto\"}}", json_escape(&text));
+    let (status, _, payload) = request(server.port, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 202);
+    assert!(payload.contains("\"cached\":true"), "{payload}");
+
+    // a solo submission of the resolved winner also hits (dual insert)
+    let body = format!(
+        "{{\"net\":\"{}\",\"engine\":\"{winner}\"}}",
+        json_escape(&text)
+    );
+    let (status, _, payload) = request(server.port, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 202);
+    assert!(
+        payload.contains("\"cached\":true"),
+        "winner's solo key was seeded: {payload}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGKILL the server while an `engine=auto` job is in flight, restart
+/// over the same data dir, and the recovered job still resolves to a
+/// report byte-identical to an uninterrupted solo run of whichever leg
+/// won — crash recovery is engine-transparent.
+#[test]
+fn sigkill_restart_recovers_an_auto_job_to_a_solo_identical_report() {
+    let dir = temp_dir("auto-sigkill");
+    let net = models::nsdp(8);
+    let text = petri::to_text(&net);
+    let net_path = write_net(&dir, "auto8.net", &net);
+
+    let mut server = Server::start(&dir, &["--checkpoint-every=200"]);
+    let id = submit(server.port, &text, ",\"engine\":\"auto\"");
+    // kill while the race is (very likely) still running; if it already
+    // finished, the test degenerates to recovery of a terminal job,
+    // which must also hold
+    std::thread::sleep(Duration::from_millis(150));
+    server.kill();
+
+    let server = Server::start(&dir, &[]);
+    let doc = poll_until(server.port, &id, Duration::from_secs(120), |d| {
+        state_of(d) == "done"
+    });
+    let report = report_of(&doc);
+    let winner = field_str(&report, "engine").expect("report names the winning engine");
+    let reference = solo_report(&net_path, &[&format!("--engine={winner}")]);
+    assert_eq!(
+        strip_elapsed(&report),
+        strip_elapsed(&reference),
+        "recovered auto report equals an uninterrupted solo {winner} run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// healthz counters and the Retry-After estimate
+// ---------------------------------------------------------------------
+
+/// `GET /healthz` exposes queue depth, active workers, and cache
+/// hit/miss counters; an over-capacity 503 carries a Retry-After header
+/// whose value is the clamped queue-drain estimate.
+#[test]
+fn healthz_counters_and_retry_after_estimate() {
+    let dir = temp_dir("healthz");
+    let net = models::nsdp(4);
+    let text = petri::to_text(&net);
+    let server = Server::start(&dir, &["--workers=1", "--queue-bound=2"]);
+
+    let (status, _, payload) = request(server.port, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    for key in [
+        "\"ok\":true",
+        "\"queue_depth\":",
+        "\"active_workers\":",
+        "\"cache_hits\":0",
+        "\"cache_misses\":0",
+        "\"draining\":false",
+    ] {
+        assert!(payload.contains(key), "healthz missing {key}: {payload}");
+    }
+
+    // one miss (the run) + one hit (the replay) show up in the counters
+    let id = submit(server.port, &text, ",\"engine\":\"po\"");
+    poll_until(server.port, &id, Duration::from_secs(60), |d| {
+        state_of(d) == "done"
+    });
+    submit(server.port, &text, ",\"engine\":\"po\"");
+    let (_, _, payload) = request(server.port, "GET", "/healthz", None);
+    assert!(payload.contains("\"cache_hits\":1"), "{payload}");
+    assert!(payload.contains("\"cache_misses\":1"), "{payload}");
+
+    // saturate the pool with slow jobs, then parse the 503's estimate
+    let slow = petri::to_text(&models::nsdp(10));
+    submit(server.port, &slow, ",\"engine\":\"full\"");
+    submit(server.port, &slow, ",\"engine\":\"full\"");
+    let body = format!("{{\"net\":\"{}\",\"engine\":\"full\"}}", json_escape(&slow));
+    let (status, head, _) = request(server.port, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 503);
+    let retry_after: u64 = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("retry-after:")
+                .map(str::trim)
+                .map(String::from)
+        })
+        .expect("503 carries Retry-After")
+        .parse()
+        .expect("Retry-After is an integer");
+    assert!(
+        (1..=60).contains(&retry_after),
+        "estimate is clamped: {retry_after}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -368,7 +368,9 @@ impl ReducedReachability {
             None => Outcome::Complete(red),
             Some(reason) => Outcome::Partial {
                 result: red,
-                reason,
+                // re-classify at the stop: a cancel raised while the
+                // reason was latched must win deterministically
+                reason: budget.stop_reason(reason),
                 coverage: CoverageStats {
                     states_stored: stored,
                     states_expanded: expanded_count,

@@ -139,6 +139,37 @@ impl Budget {
             && !self.cancel.load(Ordering::Relaxed)
     }
 
+    /// A clone of this budget with its *own* fresh cancellation flag.
+    ///
+    /// A supervisor racing several engines against one shared budget gives
+    /// each leg this derived budget: the limits and deadline stay shared,
+    /// but the supervisor can stop one leg (a lost race, a watchdog trip)
+    /// without stopping the others.
+    #[must_use]
+    pub fn with_fresh_cancel(&self) -> Self {
+        Budget {
+            cancel: Arc::new(AtomicBool::new(false)),
+            ..self.clone()
+        }
+    }
+
+    /// The reason an engine should *report* for a stop it observed as
+    /// `observed`.
+    ///
+    /// Cancellation has the highest priority in [`Budget::exceeded`], but
+    /// an engine may latch a reason (say [`ExhaustionReason::Time`] from a
+    /// shared deadline) in the instant before a supervisor raises the
+    /// cancel flag. Re-classifying at the point the partial outcome is
+    /// built makes the report deterministic: a cancelled run always says
+    /// `Cancelled`, never whichever axis it happened to notice first.
+    pub fn stop_reason(&self, observed: ExhaustionReason) -> ExhaustionReason {
+        if self.cancel.load(Ordering::Relaxed) {
+            ExhaustionReason::Cancelled
+        } else {
+            observed
+        }
+    }
+
     /// Checks the budget against the current resource usage.
     ///
     /// Returns the first exceeded axis, in the fixed priority order
@@ -299,6 +330,13 @@ impl Verdict {
         }
     }
 
+    /// Whether this verdict settles the question: `HasDeadlock` is sound
+    /// even from a partial exploration, `DeadlockFree` is only produced
+    /// by a complete one, and `Inconclusive` settles nothing.
+    pub fn is_sound(self) -> bool {
+        !matches!(self, Verdict::Inconclusive { .. })
+    }
+
     /// The process exit code convention of the `julie` CLI:
     /// 0 = verified (deadlock-free), 1 = property violated (deadlock),
     /// 2 = inconclusive. (3 is reserved for errors.)
@@ -377,6 +415,40 @@ mod tests {
         assert_eq!(b.exceeded(0, 0), None);
         h.store(true, Ordering::Relaxed);
         assert_eq!(b.exceeded(0, 0), Some(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn fresh_cancel_keeps_limits_but_detaches_the_flag() {
+        let b = Budget::default()
+            .cap_states(7)
+            .cap_bytes(9)
+            .with_timeout(Duration::from_secs(3600));
+        let leg = b.with_fresh_cancel();
+        assert_eq!(leg.max_states, 7);
+        assert_eq!(leg.max_bytes, 9);
+        assert_eq!(leg.deadline, b.deadline);
+        b.cancel();
+        assert_eq!(leg.exceeded(0, 0), None, "leg flag is independent");
+        leg.cancel();
+        assert_eq!(leg.exceeded(0, 0), Some(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn stop_reason_upgrades_to_cancelled_once_the_flag_is_raised() {
+        let b = Budget::default();
+        assert_eq!(
+            b.stop_reason(ExhaustionReason::Time),
+            ExhaustionReason::Time
+        );
+        b.cancel();
+        for observed in [
+            ExhaustionReason::States,
+            ExhaustionReason::Memory,
+            ExhaustionReason::Time,
+            ExhaustionReason::Cancelled,
+        ] {
+            assert_eq!(b.stop_reason(observed), ExhaustionReason::Cancelled);
+        }
     }
 
     #[test]

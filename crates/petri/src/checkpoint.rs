@@ -800,6 +800,94 @@ impl JobStamp {
 }
 
 // ---------------------------------------------------------------------
+// Engine stamp
+// ---------------------------------------------------------------------
+
+/// Section tag reserved across *all* engines for the engine stamp written
+/// by a portfolio (`--engine=auto`) run. Like [`REDUCTION_SECTION`], far
+/// outside the per-engine tag ranges.
+pub const ENGINE_SECTION: u32 = 0x454E_4749; // "ENGI"
+
+/// Records which engine leg produced a snapshot and whether it was taken
+/// inside a portfolio race.
+///
+/// A portfolio run designates one leg to checkpoint; on `--resume` the
+/// supervisor reads the stamp to re-enter the race with the stamped leg
+/// continuing from the snapshot while fresh legs start over. The stamp
+/// also lets `julie check` fail closed when a solo-engine run is pointed
+/// at a portfolio snapshot (or vice versa) instead of silently resuming
+/// under different racing semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStamp {
+    /// CLI name of the leg that wrote the snapshot (`"full"`, `"po"`, ...).
+    pub engine: String,
+    /// `true` when the snapshot was taken by a leg racing inside a
+    /// portfolio (`--engine=auto`), `false` for a solo run.
+    pub portfolio: bool,
+}
+
+impl EngineStamp {
+    /// Serializes the stamp to a section payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(1); // stamp layout version
+        w.u8(u8::from(self.portfolio));
+        w.usize(self.engine.len());
+        for b in self.engine.bytes() {
+            w.u8(b);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a stamp payload written by [`EngineStamp::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] on truncation or an unknown
+    /// layout version.
+    pub fn decode(payload: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(payload, ENGINE_SECTION);
+        let version = r.u8()?;
+        if version != 1 {
+            return Err(r.malformed(format!("unknown engine stamp version {version}")));
+        }
+        let portfolio = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(r.malformed(format!("bad portfolio flag {other}"))),
+        };
+        let len = r.usize()?;
+        if len > 64 {
+            return Err(r.malformed("implausible engine name length"));
+        }
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(r.u8()?);
+        }
+        let engine = String::from_utf8(bytes).map_err(|_| CheckpointError::Malformed {
+            section: ENGINE_SECTION,
+            detail: "engine name is not UTF-8".into(),
+        })?;
+        r.finish()?;
+        Ok(EngineStamp { engine, portfolio })
+    }
+
+    /// Extracts and parses the stamp of a snapshot, if one was written.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Option<Result<Self, CheckpointError>> {
+        snapshot.section(ENGINE_SECTION).map(Self::decode)
+    }
+
+    /// The stamp as a ready-to-append [`Section`] (for
+    /// [`CheckpointConfig::annotations`]).
+    pub fn section(&self) -> Section {
+        Section {
+            tag: ENGINE_SECTION,
+            payload: self.encode(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Checksums and fingerprints
 // ---------------------------------------------------------------------
 
@@ -1378,6 +1466,41 @@ mod tests {
             PropertyStamp::from_snapshot(&reread).unwrap().unwrap(),
             stamp
         );
+    }
+
+    #[test]
+    fn engine_stamp_round_trips_through_a_snapshot() {
+        let stamp = EngineStamp {
+            engine: "gpo".into(),
+            portfolio: true,
+        };
+        let mut snap = sample_snapshot();
+        assert!(EngineStamp::from_snapshot(&snap).is_none());
+        let cfg = CheckpointConfig {
+            annotations: vec![stamp.section()],
+            ..CheckpointConfig::at("unused")
+        };
+        cfg.annotate(&mut snap);
+        assert_eq!(EngineStamp::from_snapshot(&snap).unwrap().unwrap(), stamp);
+        let reread = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(EngineStamp::from_snapshot(&reread).unwrap().unwrap(), stamp);
+    }
+
+    #[test]
+    fn engine_stamp_rejects_garbage() {
+        assert!(EngineStamp::decode(&[]).is_err());
+        assert!(EngineStamp::decode(&[9]).is_err(), "unknown version");
+        assert!(
+            EngineStamp::decode(&[1, 2]).is_err(),
+            "portfolio flag must be 0 or 1"
+        );
+        let mut good = EngineStamp {
+            engine: "full".into(),
+            portfolio: false,
+        }
+        .encode();
+        good.push(0); // trailing byte
+        assert!(EngineStamp::decode(&good).is_err());
     }
 
     #[test]

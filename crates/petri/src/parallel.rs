@@ -480,7 +480,9 @@ where
             let expanded = shared.expanded.load(Ordering::Relaxed);
             Outcome::Partial {
                 result,
-                reason,
+                // re-classify at the stop: a cancel raised while the
+                // reason was latched must win deterministically
+                reason: shared.budget.stop_reason(reason),
                 coverage: CoverageStats {
                     states_stored: state_count,
                     states_expanded: expanded,

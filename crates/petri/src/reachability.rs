@@ -379,9 +379,11 @@ impl ReachabilityGraph {
         };
         Ok(match exhausted {
             None => Outcome::Complete(graph),
+            // re-classify at the stop: a cancel raised while the reason
+            // was latched must win deterministically (supervisor races)
             Some(reason) => Outcome::Partial {
                 result: graph,
-                reason,
+                reason: budget.stop_reason(reason),
                 coverage: CoverageStats {
                     states_stored: stored,
                     states_expanded: expanded_count,

@@ -394,7 +394,9 @@ impl SymbolicReachability {
                 };
                 Outcome::Partial {
                     result,
-                    reason,
+                    // re-classify at the stop: a cancel raised while the
+                    // reason was latched must win deterministically
+                    reason: budget.stop_reason(reason),
                     coverage,
                 }
             }

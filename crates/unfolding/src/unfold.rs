@@ -391,7 +391,9 @@ impl Unfolding {
             None => Outcome::Complete(unf),
             Some(reason) => Outcome::Partial {
                 result: unf,
-                reason,
+                // re-classify at the stop: a cancel raised while the
+                // reason was latched must win deterministically
+                reason: budget.stop_reason(reason),
                 coverage: CoverageStats {
                     states_stored: events,
                     states_expanded: events,

@@ -1,0 +1,115 @@
+//! Cancellation soundness across the engine portfolio (README §resource
+//! budgets): tripping a budget's cancel flag must always surface as an
+//! honest partial outcome — `exhausted = Cancelled`, never a fabricated
+//! `DeadlockFree`, and never misattributed to a deadline that also
+//! expired. This is the contract the portfolio supervisor's cancel storm
+//! and `julie serve`'s drain are built on.
+
+use std::time::Duration;
+
+use gpo_suite::prelude::*;
+use julie::engine::{run_engine, RunSpec};
+use models::random::{random_safe_net, RandomNetConfig};
+use petri::{CheckpointConfig, Property};
+use proptest::prelude::*;
+
+/// Every engine the portfolio can race.
+const ENGINES: [&str; 5] = ["full", "po", "gpo", "bdd", "unfold"];
+const THREADS: [usize; 2] = [1, 8];
+
+fn cfg() -> RandomNetConfig {
+    RandomNetConfig {
+        components: 3,
+        places_per_component: 4,
+        resources: 2,
+        resource_use_prob: 0.4,
+        choice_prob: 0.5,
+        max_states: 4_000,
+    }
+}
+
+fn spec(engine: &str, threads: usize) -> RunSpec {
+    RunSpec {
+        engine: engine.to_string(),
+        zdd: false,
+        witnesses: 1,
+        threads,
+        property: Property::deadlock(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A cancelled run reports `Cancelled` on every engine at every
+    /// thread count, never claims `DeadlockFree`, and carries coverage
+    /// stats (the explicit engines' stats stay internally consistent).
+    #[test]
+    fn cancelled_runs_are_honest_partials(seed in 0u64..100_000) {
+        let Some(net) = random_safe_net(seed, &cfg()) else { return Ok(()); };
+        for engine in ENGINES {
+            for threads in THREADS {
+                let budget = Budget::default();
+                budget.cancel();
+                let report = run_engine(
+                    &net,
+                    None,
+                    "",
+                    &spec(engine, threads),
+                    &budget,
+                    &CheckpointConfig::default(),
+                    None,
+                )
+                .expect("cancellation is not an error");
+                prop_assert_eq!(
+                    report.exhausted,
+                    Some(ExhaustionReason::Cancelled),
+                    "{} x{}: wrong exhaustion reason", engine, threads
+                );
+                prop_assert_ne!(
+                    report.verdict,
+                    Verdict::DeadlockFree,
+                    "{} x{}: a cancelled run claimed completeness", engine, threads
+                );
+                let coverage = report.coverage.as_ref().unwrap_or_else(|| {
+                    panic!("{engine} x{threads}: partial run without coverage")
+                });
+                if matches!(engine, "full" | "po") {
+                    prop_assert_eq!(
+                        coverage.states_expanded + coverage.frontier_len,
+                        coverage.states_stored,
+                        "{} x{}: inconsistent coverage", engine, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cancellation outranks an expired deadline: a supervisor-tripped
+    /// leg whose wall clock also ran out must still say `Cancelled`, so
+    /// the per-leg table (and the serve drain) can tell "we stopped it"
+    /// from "it timed out" deterministically.
+    #[test]
+    fn cancel_outranks_an_expired_deadline(seed in 0u64..100_000) {
+        let Some(net) = random_safe_net(seed, &cfg()) else { return Ok(()); };
+        for engine in ENGINES {
+            let budget = Budget::default().with_timeout(Duration::ZERO);
+            budget.cancel();
+            let report = run_engine(
+                &net,
+                None,
+                "",
+                &spec(engine, 1),
+                &budget,
+                &CheckpointConfig::default(),
+                None,
+            )
+            .expect("cancellation is not an error");
+            prop_assert_eq!(
+                report.exhausted,
+                Some(ExhaustionReason::Cancelled),
+                "{}: deadline masked the cancellation", engine
+            );
+        }
+    }
+}
