@@ -1,4 +1,4 @@
-//! The shared engine runner: one entry point that drives any of the six
+//! The shared engine runner: one entry point that drives any of the seven
 //! verification engines and returns a [`CheckReport`]. `julie check`
 //! renders the report as prose or `--json`; `julie serve` workers store
 //! its JSON rendering as the job result, so both paths agree byte-for-byte
@@ -20,7 +20,8 @@ use crate::report::{CheckReport, ReductionSummary, Witness};
 /// Engine-independent knobs of one verification run.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
-    /// Engine selector: `full`, `po`, `gpo`, `bdd`, `unfold`, `classes`.
+    /// Engine selector: `full`, `po`, `gpo`, `pdr`, `bdd`, `unfold`,
+    /// `classes`.
     pub engine: String,
     /// ZDD-backed families for the gpo engine.
     pub zdd: bool,
@@ -144,6 +145,7 @@ pub fn run_engine(
         detail_lines: Vec::new(),
         details: Vec::new(),
         witnesses: Vec::new(),
+        certificate: Vec::new(),
         reduction: summary.clone(),
         property: spec.property.clone(),
         legs: Vec::new(),
@@ -374,9 +376,73 @@ pub fn run_engine(
             }
             Ok(report)
         }
+        ("pdr", _) => {
+            let outcome = pdr::check_bounded(net, &compiled, budget)?;
+            let mut report = base("inductive safety proving (IC3/PDR over invariant frames)");
+            (report.exhausted, report.coverage) = partial_info(&outcome);
+            let complete = report.exhausted.is_none();
+            let frontier = report.coverage.as_ref().map_or(0, |c| c.frontier_len);
+            let res = outcome.into_value();
+            report.states = res.stats.lemmas;
+            report.states_line =
+                format!("frames: {}, lemmas: {}", res.stats.frames, res.stats.lemmas);
+            report.detail_lines.push(format!(
+                "sat: {} queries, {} conflicts; seeded invariant clauses: {}",
+                res.stats.sat_calls, res.stats.conflicts, res.stats.seeded_clauses
+            ));
+            report.details.push(("frames", res.stats.frames as u64));
+            report.details.push(("lemmas", res.stats.lemmas as u64));
+            report.details.push(("sat_calls", res.stats.sat_calls));
+            report.details.push(("conflicts", res.stats.conflicts));
+            report
+                .details
+                .push(("seeded_clauses", res.stats.seeded_clauses as u64));
+            report.verdict =
+                Verdict::from_observation(res.reachable == Some(true), complete, frontier);
+            if spec.witnesses > 0 {
+                if let Some(m) = &res.goal_marking {
+                    report.witnesses.push(lift_witness(
+                        original,
+                        reduction,
+                        m,
+                        res.trace.as_deref(),
+                    )?);
+                }
+            }
+            if let Some(cert) = &res.certificate {
+                // `check_bounded` already re-validated the certificate by
+                // independent incidence arithmetic; render its clauses
+                // against the net the engine actually proved them on
+                report.detail_lines.push(format!(
+                    "certificate: {} clauses, independently re-validated",
+                    cert.clauses.len()
+                ));
+                report
+                    .details
+                    .push(("certificate_clauses", cert.clauses.len() as u64));
+                report.certificate = cert
+                    .clauses
+                    .iter()
+                    .map(|c| {
+                        c.iter()
+                            .map(|&(p, pos)| {
+                                let name = net.place_name(p);
+                                if pos {
+                                    name.to_string()
+                                } else {
+                                    format!("!{name}")
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" | ")
+                    })
+                    .collect();
+            }
+            Ok(report)
+        }
         ("classes", false) => Err(format!(
             "engine `classes` supports only the default property `EF deadlock` \
-             (got `{}`); use full, po, gpo, bdd, or unfold",
+             (got `{}`); use full, po, gpo, pdr, bdd, or unfold",
             spec.property
         )),
         ("classes", true) => {

@@ -9,7 +9,7 @@
 //! julie serve --data-dir=DIR       crash-safe verification service (HTTP/1.1)
 //!
 //! options:
-//!   --engine=full|po|gpo|bdd|auto  verification engine (default: gpo);
+//!   --engine=full|po|gpo|pdr|auto  verification engine (default: gpo);
 //!                                  auto races engines, first sound verdict wins
 //!   --zdd                          ZDD-backed families for the gpo engine
 //!   --property=PROP                property to verify (default: `EF deadlock`)
@@ -169,7 +169,7 @@ usage:
                                --checkpoint-every, --drain-secs flags)
 
 options:
-  --engine=full|po|gpo|bdd|unfold|classes|auto
+  --engine=full|po|gpo|pdr|bdd|unfold|classes|auto
                                verification engine (default: gpo).
                                auto races several engines under the one
                                shared budget: the first sound verdict
@@ -177,7 +177,7 @@ options:
                                gains a per-leg table
   --legs=a,b/c/d               auto schedule: `/` separates escalation
                                stages, `,` legs within a stage (default:
-                               po,gpo/bdd,unfold/full)
+                               po,gpo,pdr/bdd,unfold/full)
   --stage-delay-ms=MS          delay before each later stage launches
                                (default: 250)
   --watchdog-secs=SECS         cancel any single leg running longer than

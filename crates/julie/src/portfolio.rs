@@ -40,7 +40,7 @@ use crate::report::{CheckReport, LegReport};
 /// Engines the portfolio may race (in escalation order of the default
 /// schedule). `classes` is excluded: it has no budget hooks, so it cannot
 /// be cancelled when it loses.
-pub const RACEABLE: [&str; 5] = ["po", "gpo", "bdd", "unfold", "full"];
+pub const RACEABLE: [&str; 6] = ["po", "gpo", "pdr", "bdd", "unfold", "full"];
 
 /// Supervisor knobs of one `--engine=auto` run.
 #[derive(Debug, Clone)]
@@ -73,7 +73,7 @@ impl Default for PortfolioOptions {
     fn default() -> Self {
         PortfolioOptions {
             stages: vec![
-                vec!["po".into(), "gpo".into()],
+                vec!["po".into(), "gpo".into(), "pdr".into()],
                 vec!["bdd".into(), "unfold".into()],
                 vec!["full".into()],
             ],

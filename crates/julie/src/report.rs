@@ -102,6 +102,10 @@ pub struct CheckReport {
     pub details: Vec<(&'static str, u64)>,
     /// Deadlock witnesses, lifted and rendered.
     pub witnesses: Vec<Witness>,
+    /// Rendered clauses of an inductive-invariant certificate (pdr HOLDS
+    /// verdicts only). Empty for every other engine/verdict — and then
+    /// absent from both renderings, like `legs`.
+    pub certificate: Vec<String>,
     /// The reduction pre-pass, when one ran.
     pub reduction: Option<ReductionSummary>,
     /// The property this run answered. With the default (`EF deadlock`)
@@ -176,6 +180,24 @@ impl CheckReport {
             }
         }
         out.push_str(&format!("verdict: {}\n", self.verdict_line()));
+        if !self.certificate.is_empty() {
+            // prose shows a prefix so big certificates don't drown the
+            // report; the JSON rendering always carries every clause
+            const SHOWN: usize = 16;
+            out.push_str(&format!(
+                "certificate: inductive invariant, {} clauses\n",
+                self.certificate.len()
+            ));
+            for c in self.certificate.iter().take(SHOWN) {
+                out.push_str(&format!("  {c}\n"));
+            }
+            if self.certificate.len() > SHOWN {
+                out.push_str(&format!(
+                    "  ... ({} more clauses; --json carries the full list)\n",
+                    self.certificate.len() - SHOWN
+                ));
+            }
+        }
         let label = if default {
             "dead marking"
         } else {
@@ -284,6 +306,12 @@ impl CheckReport {
         let Json::Obj(fields) = &mut doc else {
             unreachable!("doc is an object")
         };
+        if !self.certificate.is_empty() {
+            fields.push((
+                "certificate".into(),
+                Json::Arr(self.certificate.iter().map(Json::str).collect()),
+            ));
+        }
         if !self.legs.is_empty() {
             fields.push((
                 "legs".into(),
@@ -338,6 +366,7 @@ mod tests {
             }],
             reduction: None,
             property: Property::deadlock(),
+            certificate: Vec::new(),
             legs: Vec::new(),
         }
     }
@@ -397,6 +426,36 @@ mod tests {
         let j = r.to_json();
         assert_eq!(j.get("property").unwrap().as_str(), Some("EF deadlock"));
         assert_eq!(j.get("verdict").unwrap().as_str(), Some("deadlock"));
+    }
+
+    #[test]
+    fn certificate_renders_only_when_present() {
+        let plain = sample();
+        assert!(!plain.render_text().contains("certificate:"));
+        assert!(plain.to_json().get("certificate").is_none());
+        let mut proved = sample();
+        proved.verdict = Verdict::DeadlockFree;
+        proved.witnesses.clear();
+        proved.certificate = vec!["p0 | !p1".into(), "!q".into()];
+        let text = proved.render_text();
+        assert!(
+            text.contains("certificate: inductive invariant, 2 clauses\n"),
+            "{text}"
+        );
+        assert!(text.contains("  p0 | !p1\n"), "{text}");
+        let j = proved.to_json();
+        let cert = j.get("certificate").expect("certificate array");
+        assert_eq!(cert.get_index(1).and_then(Json::as_str), Some("!q"));
+
+        // big certificates truncate in prose but not in JSON
+        proved.certificate = (0..40).map(|i| format!("c{i}")).collect();
+        let text = proved.render_text();
+        assert!(text.contains("  c15\n"), "{text}");
+        assert!(!text.contains("  c16\n"), "{text}");
+        assert!(text.contains("(24 more clauses"), "{text}");
+        let j = proved.to_json();
+        let cert = j.get("certificate").expect("certificate array");
+        assert_eq!(cert.get_index(39).and_then(Json::as_str), Some("c39"));
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub struct JobSpec {
     pub net_name: String,
     /// Net fingerprint — results-cache key and snapshot validation.
     pub fingerprint: u64,
-    /// Engine selector (`full`, `po`, `gpo`, `bdd`, `unfold`, `classes`).
+    /// Engine selector (`full`, `po`, `gpo`, `pdr`, `bdd`, `unfold`,
+    /// `classes`).
     pub engine: String,
     /// ZDD-backed families for the gpo engine.
     pub zdd: bool,
@@ -83,7 +84,7 @@ impl JobSpec {
             .unwrap_or_else(|| "gpo".to_string());
         if !matches!(
             engine.as_str(),
-            "full" | "po" | "gpo" | "bdd" | "unfold" | "classes" | "auto"
+            "full" | "po" | "gpo" | "pdr" | "bdd" | "unfold" | "classes" | "auto"
         ) {
             return Err(format!("unknown engine `{engine}`"));
         }

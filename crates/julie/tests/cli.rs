@@ -109,7 +109,7 @@ fn info_reports_structure() {
 
 #[test]
 fn check_all_engines_agree_via_cli() {
-    for engine in ["full", "po", "bdd", "gpo"] {
+    for engine in ["full", "po", "bdd", "gpo", "pdr"] {
         let out = julie_stdin(&["check", "-", &format!("--engine={engine}")], STUCK);
         assert_eq!(
             out.status.code(),
@@ -167,6 +167,45 @@ fn check_gpo_threads_flag_works() {
 }
 
 #[test]
+fn check_pdr_proves_with_a_certificate() {
+    // a deadlock-free net: pdr must prove it and print the re-validated
+    // inductive invariant
+    let out = julie_stdin(&["check", "-", "--engine=pdr"], CYCLE);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("engine: inductive safety proving"), "{text}");
+    assert!(text.contains("frames: "), "{text}");
+    assert!(text.contains("certificate: inductive invariant"), "{text}");
+
+    // the same run as JSON: verdict, details, and certificate clauses
+    let json = julie_stdin(&["check", "-", "--engine=pdr", "--json"], CYCLE);
+    assert_eq!(json.status.code(), Some(0));
+    let text = stdout(&json);
+    assert!(text.contains("\"verdict\":\"deadlock-free\""), "{text}");
+    assert!(text.contains("\"certificate\""), "{text}");
+    assert!(text.contains("\"sat_calls\""), "{text}");
+
+    // a deadlocking net under an AG property: witness + trace, exit 1
+    let viol = julie_stdin(
+        &["check", "-", "--engine=pdr", "--property=AG !deadlock"],
+        STUCK,
+    );
+    assert_eq!(viol.status.code(), Some(1), "{}", stderr(&viol));
+    let text = stdout(&viol);
+    assert!(text.contains("AG property VIOLATED"), "{text}");
+    assert!(text.contains("goal marking: {q}"), "{text}");
+    assert!(text.contains("witness trace: go"), "{text}");
+
+    // an AG property that holds: certificate again, exit 0
+    let holds = julie_stdin(
+        &["check", "-", "--engine=pdr", "--property=AG m(p) <= 1"],
+        CYCLE,
+    );
+    assert_eq!(holds.status.code(), Some(0), "{}", stderr(&holds));
+    assert!(stdout(&holds).contains("AG property holds"));
+}
+
+#[test]
 fn check_rejects_unknown_engine() {
     let out = julie_stdin(&["check", "-", "--engine=quantum"], CYCLE);
     assert_eq!(out.status.code(), Some(3), "errors exit 3");
@@ -191,7 +230,7 @@ fn check_respects_max_states() {
 #[test]
 fn check_budget_flags_yield_inconclusive() {
     // an already-expired deadline: every engine must degrade gracefully
-    for engine in ["full", "po", "bdd", "gpo", "unfold"] {
+    for engine in ["full", "po", "bdd", "gpo", "unfold", "pdr"] {
         let out = julie_stdin(
             &["check", "-", &format!("--engine={engine}"), "--timeout=0"],
             CYCLE,
@@ -418,6 +457,47 @@ fn checkpoint_flag_misuse_is_rejected() {
         "{}",
         stderr(&bdd)
     );
+
+    // pdr is deliberately non-resumable (its frames are not serialized):
+    // --checkpoint must fail closed before any work runs
+    let pdr = julie_stdin(
+        &["check", "-", "--engine=pdr", "--checkpoint=/tmp/x.ckpt"],
+        CYCLE,
+    );
+    assert_eq!(pdr.status.code(), Some(3));
+    assert!(
+        stderr(&pdr).contains("does not support"),
+        "{}",
+        stderr(&pdr)
+    );
+}
+
+#[test]
+fn pdr_fails_closed_on_resume() {
+    // a real snapshot written by a checkpoint-capable engine must not be
+    // resumable under --engine=pdr
+    let dir = temp_dir("pdr-resume");
+    let net_path = dir.join("nsdp4.net");
+    std::fs::write(&net_path, petri::to_text(&models::nsdp(4))).unwrap();
+    let net = net_path.to_str().unwrap();
+    let ckpt_path = dir.join("snap.ckpt");
+    let ckpt = ckpt_path.to_str().unwrap();
+    let partial = julie(&[
+        "check",
+        net,
+        "--engine=full",
+        "--max-states=2",
+        &format!("--checkpoint={ckpt}"),
+    ]);
+    assert_eq!(partial.status.code(), Some(2), "{}", stderr(&partial));
+    let resumed = julie(&["check", net, "--engine=pdr", &format!("--resume={ckpt}")]);
+    assert_eq!(resumed.status.code(), Some(3));
+    assert!(
+        stderr(&resumed).contains("does not support"),
+        "{}",
+        stderr(&resumed)
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

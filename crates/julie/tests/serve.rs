@@ -377,11 +377,12 @@ fn concurrent_jobs_with_different_budgets_match_their_solo_runs() {
     let nsdp6 = models::nsdp(6);
     let nsdp8 = models::nsdp(8);
     // (engine, net, file, max_states or 0 for default)
-    let cases: [(&str, &petri::PetriNet, &str, usize); 4] = [
+    let cases: [(&str, &petri::PetriNet, &str, usize); 5] = [
         ("full", &nsdp8, "i-full8.net", 3000),
         ("po", &nsdp8, "i-po8.net", 500),
         ("full", &nsdp6, "i-full6.net", 0),
         ("gpo", &nsdp6, "i-gpo6.net", 0),
+        ("pdr", &nsdp6, "i-pdr6.net", 0),
     ];
     // large checkpoint interval: no segmentation, so partial coverage is
     // comparable to the solo (checkpoint-less) runs

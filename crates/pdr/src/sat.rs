@@ -1,0 +1,840 @@
+//! A small incremental CDCL SAT solver, built from scratch on std only.
+//!
+//! Feature set is exactly what the IC3/PDR layer needs and nothing more:
+//! two-watched-literal unit propagation, first-UIP conflict analysis with
+//! backjumping, VSIDS-style decision activity, phase saving, geometric
+//! restarts, solving under assumptions, and a failed-assumption core
+//! (`failed_assumptions`) for lemma generalization. Clauses can only be
+//! added at decision level zero, which is always the case here: every
+//! `solve` call fully backtracks before returning, and incrementality is
+//! obtained with activation literals (a clause `¬a ∨ C` is retired by the
+//! unit clause `¬a`).
+//!
+//! Long-running searches poll a caller-supplied stop closure every few
+//! hundred conflicts so the engine's [`petri::Budget`] governor can cancel
+//! a solve cooperatively.
+
+/// A propositional literal: variable index shifted left once, low bit set
+/// for negation (MiniSat encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of variable `v`.
+    pub fn pos(v: u32) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// Negative literal of variable `v`.
+    pub fn neg(v: u32) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// Literal of `v` with the given polarity.
+    pub fn new(v: u32, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// `true` for a positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Undef,
+    True,
+    False,
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying total assignment was found; read it via
+    /// [`Solver::model_true`].
+    Sat,
+    /// Unsatisfiable under the given assumptions; the participating
+    /// assumptions are in [`Solver::failed_assumptions`].
+    Unsat,
+    /// The stop closure fired; no answer.
+    Stopped,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// Max-heap over variable activities with position tracking, so decision
+/// picking stays `O(log n)` as activation variables accumulate.
+#[derive(Default)]
+struct ActivityHeap {
+    heap: Vec<u32>,
+    pos: Vec<usize>, // var -> index in heap, or usize::MAX
+}
+
+impl ActivityHeap {
+    fn contains(&self, v: u32) -> bool {
+        self.pos.get(v as usize).is_some_and(|&p| p != usize::MAX)
+    }
+
+    fn push(&mut self, v: u32, act: &[f64]) {
+        if self.pos.len() <= v as usize {
+            self.pos.resize(v as usize + 1, usize::MAX);
+        }
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bumped(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v as usize], act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i] as usize] = i;
+        self.pos[self.heap[j] as usize] = j;
+    }
+}
+
+/// The solver. See the module docs for the supported workflow.
+pub struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<u32>>, // lit idx -> clause refs watching that literal
+    assign: Vec<Val>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: ActivityHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    failed: Vec<Lit>,
+    model: Vec<Val>,
+    ok: bool,
+    /// Total conflicts across all solves (exposed for engine stats).
+    pub conflicts: u64,
+    /// Total propagated literals across all solves.
+    pub propagations: u64,
+    /// Total decisions across all solves.
+    pub decisions: u64,
+    /// Total literals over all stored clauses (memory estimate input).
+    pub clause_lits: u64,
+}
+
+impl Solver {
+    /// An empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: ActivityHeap::default(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            failed: Vec::new(),
+            model: Vec::new(),
+            ok: true,
+            conflicts: 0,
+            propagations: 0,
+            decisions: 0,
+            clause_lits: 0,
+        }
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(Val::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    fn value(&self, l: Lit) -> Val {
+        match self.assign[l.var() as usize] {
+            Val::Undef => Val::Undef,
+            Val::True => {
+                if l.is_positive() {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+            Val::False => {
+                if l.is_positive() {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+        }
+    }
+
+    /// Adds a clause. Must be called with the trail fully backtracked
+    /// (which is guaranteed between `solve` calls). Returns `false` if the
+    /// clause makes the formula unsatisfiable outright.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "clauses only at level 0");
+        if !self.ok {
+            return false;
+        }
+        // simplify: drop duplicates and root-false literals, detect
+        // tautologies and root-true literals
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            if sorted.contains(&l.negated()) {
+                return true; // tautology
+            }
+            match self.value(l) {
+                Val::True => return true, // already satisfied at root
+                Val::False => {}          // root-false literal drops out
+                Val::Undef => c.push(l),
+            }
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(c);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, c: Vec<Lit>) -> u32 {
+        let cref = self.clauses.len() as u32;
+        self.clause_lits += c.len() as u64;
+        self.watches[c[0].idx()].push(cref);
+        self.watches[c[1].idx()].push(cref);
+        self.clauses.push(c);
+        cref
+    }
+
+    fn current_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.var() as usize;
+        debug_assert_eq!(self.assign[v], Val::Undef);
+        self.assign[v] = if l.is_positive() {
+            Val::True
+        } else {
+            Val::False
+        };
+        self.level[v] = self.current_level();
+        self.reason[v] = reason;
+        self.phase[v] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            self.propagations += 1;
+            let watch_idx = p.negated().idx();
+            let mut i = 0;
+            'clauses: while i < self.watches[watch_idx].len() {
+                let cref = self.watches[watch_idx][i];
+                let first = {
+                    let c = &mut self.clauses[cref as usize];
+                    if c[0] == p.negated() {
+                        c.swap(0, 1);
+                    }
+                    c[0]
+                };
+                if self.value(first) == Val::True {
+                    i += 1;
+                    continue;
+                }
+                let len = self.clauses[cref as usize].len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize][k];
+                    if self.value(lk) != Val::False {
+                        self.clauses[cref as usize].swap(1, k);
+                        self.watches[watch_idx].swap_remove(i);
+                        self.watches[lk.idx()].push(cref);
+                        continue 'clauses;
+                    }
+                }
+                // no replacement watch: unit or conflict on c[0]
+                if self.value(first) == Val::False {
+                    return Some(cref);
+                }
+                self.enqueue(first, cref);
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: u32) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut cref: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // slot 0 = UIP
+        let mut counter: u32 = 0;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut to_clear: Vec<u32> = Vec::new();
+        loop {
+            debug_assert_ne!(cref, NO_REASON);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[cref as usize].len() {
+                let q = self.clauses[cref as usize][k];
+                let v = q.var();
+                if !self.seen[v as usize] && self.level[v as usize] > 0 {
+                    self.seen[v as usize] = true;
+                    to_clear.push(v);
+                    self.bump(v);
+                    if self.level[v as usize] == self.current_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var() as usize] = false;
+            p = Some(pl);
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            cref = self.reason[pl.var() as usize];
+        }
+        learned[0] = p.expect("conflict has a UIP").negated();
+        for v in to_clear {
+            self.seen[v as usize] = false;
+        }
+        let bt = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // position 1 must hold a literal of the backjump level so the
+        // watches stay valid after backtracking
+        if learned.len() > 1 {
+            let k = learned[1..]
+                .iter()
+                .position(|l| self.level[l.var() as usize] == bt)
+                .expect("some literal at the backjump level")
+                + 1;
+            learned.swap(1, k);
+        }
+        (learned, bt)
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        while self.current_level() > target {
+            let lim = self.trail_lim.pop().expect("non-root level");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail entry");
+                let v = l.var();
+                self.assign[v as usize] = Val::Undef;
+                self.reason[v as usize] = NO_REASON;
+                self.heap.push(v, &self.activity);
+            }
+        }
+        self.prop_head = self.prop_head.min(self.trail.len());
+    }
+
+    /// Failed-assumption analysis (MiniSat's `analyze_final`): the subset
+    /// of assumptions whose conjunction the formula refutes, given the
+    /// assumption literal `p` that was found false.
+    fn analyze_final(&mut self, p: Lit) {
+        self.failed.clear();
+        self.failed.push(p);
+        if self.current_level() == 0 {
+            return;
+        }
+        self.seen[p.var() as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if !self.seen[v as usize] {
+                continue;
+            }
+            self.seen[v as usize] = false;
+            let r = self.reason[v as usize];
+            if r == NO_REASON {
+                // a decision in the assumption prefix is an assumption
+                if l != p {
+                    self.failed.push(l);
+                }
+            } else {
+                for k in 1..self.clauses[r as usize].len() {
+                    let q = self.clauses[r as usize][k];
+                    if self.level[q.var() as usize] > 0 {
+                        self.seen[q.var() as usize] = true;
+                    }
+                }
+            }
+        }
+        self.seen[p.var() as usize] = false;
+    }
+
+    /// The assumption literals participating in the last `Unsat` answer.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// Solves under the given assumption literals. `stop` is polled
+    /// periodically; returning `true` aborts with [`SolveResult::Stopped`].
+    pub fn solve(&mut self, assumptions: &[Lit], stop: &mut dyn FnMut() -> bool) -> SolveResult {
+        self.failed.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        debug_assert!(self.trail_lim.is_empty());
+        let mut conflicts_since_restart: u64 = 0;
+        let mut restart_limit: u64 = 100;
+        let mut since_stop_check: u32 = 0;
+        let result = loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                since_stop_check += 1;
+                if self.current_level() == 0 {
+                    self.ok = false;
+                    break SolveResult::Unsat;
+                }
+                if (self.current_level() as usize) <= assumptions.len() {
+                    // conflict entirely under the assumption prefix: the
+                    // assumptions themselves are refuted
+                    self.collect_conflicting_assumptions(confl, assumptions);
+                    break SolveResult::Unsat;
+                }
+                let (learned, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                if learned.len() == 1 {
+                    // asserting unit: only valid below the assumption
+                    // prefix if we backtrack to root
+                    self.backtrack(0);
+                    self.enqueue(learned[0], NO_REASON);
+                } else {
+                    let cref = self.attach_clause(learned.clone());
+                    self.enqueue(learned[0], cref);
+                }
+                self.var_inc *= 1.0 / 0.95;
+                if since_stop_check >= 128 {
+                    since_stop_check = 0;
+                    if stop() {
+                        break SolveResult::Stopped;
+                    }
+                }
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit * 3 / 2;
+                    self.backtrack(0);
+                }
+            } else if (self.current_level() as usize) < assumptions.len() {
+                // apply the next assumption as a pseudo-decision
+                let a = assumptions[self.current_level() as usize];
+                match self.value(a) {
+                    Val::True => self.trail_lim.push(self.trail.len()),
+                    Val::False => {
+                        self.analyze_final(a);
+                        break SolveResult::Unsat;
+                    }
+                    Val::Undef => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, NO_REASON);
+                    }
+                }
+            } else if let Some(v) = self.pick_branch_var() {
+                self.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.enqueue(Lit::new(v, self.phase[v as usize]), NO_REASON);
+            } else {
+                debug_assert!(self.model_satisfies_all_clauses());
+                break SolveResult::Sat;
+            }
+        };
+        if result == SolveResult::Sat {
+            // model is read before the next solve; values survive because
+            // backtracking happens lazily at the start of the next call
+            self.backtrack_keeping_model();
+        } else {
+            self.backtrack(0);
+        }
+        result
+    }
+
+    /// After an assumption-prefix conflict, gather the assumptions that are
+    /// (transitively) involved in the conflicting clause.
+    fn collect_conflicting_assumptions(&mut self, confl: u32, assumptions: &[Lit]) {
+        self.failed.clear();
+        let mut stack: Vec<u32> = self.clauses[confl as usize]
+            .iter()
+            .map(|l| l.var())
+            .collect();
+        let mut marked: Vec<u32> = Vec::new();
+        while let Some(v) = stack.pop() {
+            if self.seen[v as usize] || self.level[v as usize] == 0 {
+                continue;
+            }
+            self.seen[v as usize] = true;
+            marked.push(v);
+            let r = self.reason[v as usize];
+            if r == NO_REASON {
+                if let Some(&a) = assumptions.iter().find(|a| a.var() == v) {
+                    self.failed.push(a);
+                }
+            } else {
+                stack.extend(self.clauses[r as usize].iter().map(|l| l.var()));
+            }
+        }
+        for v in marked {
+            self.seen[v as usize] = false;
+        }
+    }
+
+    /// Backtracks the trail bookkeeping but leaves `assign` intact so the
+    /// model can be read; the next `solve`/`add_clause` resets it.
+    fn backtrack_keeping_model(&mut self) {
+        // Copy the model aside, then backtrack normally.
+        // (Simplicity over cleverness: V is small here.)
+        let model = self.assign.clone();
+        self.backtrack(0);
+        self.model = model;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<u32> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v as usize] == Val::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// `true` if `l` is true in the model of the last `Sat` answer.
+    pub fn model_true(&self, l: Lit) -> bool {
+        match self.model[l.var() as usize] {
+            Val::True => l.is_positive(),
+            Val::False => !l.is_positive(),
+            Val::Undef => false,
+        }
+    }
+
+    fn model_satisfies_all_clauses(&self) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|&l| self.value(l) == Val::True))
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn never() -> impl FnMut() -> bool {
+        || false
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::pos(b)]));
+        assert!(s.add_clause(&[Lit::neg(a)]));
+        assert_eq!(s.solve(&[], &mut never()), SolveResult::Sat);
+        assert!(!s.model_true(Lit::pos(a)));
+        assert!(s.model_true(Lit::pos(b)));
+        // b is forced at the root, so ¬b refutes the formula outright
+        assert!(!s.add_clause(&[Lit::neg(b)]));
+        assert_eq!(s.solve(&[], &mut never()), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_three_in_two_is_unsat() {
+        // pigeon i in hole j: var 2i+j
+        let mut s = Solver::new();
+        let v: Vec<Vec<u32>> = (0..3)
+            .map(|_| (0..2).map(|_| s.new_var()).collect())
+            .collect();
+        for pigeon in &v {
+            s.add_clause(&[Lit::pos(pigeon[0]), Lit::pos(pigeon[1])]);
+        }
+        for (i, pi) in v.iter().enumerate() {
+            for pk in &v[i + 1..] {
+                for (&a, &b) in pi.iter().zip(pk) {
+                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[], &mut never()), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_satisfiability() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        assert_eq!(s.solve(&[Lit::pos(a)], &mut never()), SolveResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&Lit::pos(a)), "{core:?}");
+        // the solver stays usable and the formula itself is satisfiable
+        assert_eq!(s.solve(&[], &mut never()), SolveResult::Sat);
+        assert_eq!(s.solve(&[Lit::neg(a)], &mut never()), SolveResult::Sat);
+    }
+
+    #[test]
+    fn failed_core_is_a_subset_that_still_fails() {
+        let mut s = Solver::new();
+        let vars: Vec<u32> = (0..6).map(|_| s.new_var()).collect();
+        // x0 ∧ x1 → ⊥ via chain; x2..x5 irrelevant
+        s.add_clause(&[Lit::neg(vars[0]), Lit::neg(vars[1])]);
+        let assumptions: Vec<Lit> = vars.iter().map(|&v| Lit::pos(v)).collect();
+        assert_eq!(s.solve(&assumptions, &mut never()), SolveResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.iter().all(|l| assumptions.contains(l)), "{core:?}");
+        assert!(
+            core.len() <= 2,
+            "core should not cite irrelevant vars: {core:?}"
+        );
+        assert_eq!(s.solve(&core, &mut never()), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn activation_literal_retires_a_clause() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let act = s.new_var();
+        s.add_clause(&[Lit::neg(act), Lit::neg(x)]);
+        s.add_clause(&[Lit::pos(x)]);
+        assert_eq!(s.solve(&[Lit::pos(act)], &mut never()), SolveResult::Unsat);
+        // retire the clause; the formula is satisfiable again
+        s.add_clause(&[Lit::neg(act)]);
+        assert_eq!(s.solve(&[], &mut never()), SolveResult::Sat);
+    }
+
+    #[test]
+    fn stop_closure_aborts() {
+        // a formula hard enough to generate conflicts: pigeonhole 5-in-4
+        let mut s = Solver::new();
+        let v: Vec<Vec<u32>> = (0..5)
+            .map(|_| (0..4).map(|_| s.new_var()).collect())
+            .collect();
+        for pigeon in &v {
+            let clause: Vec<Lit> = pigeon.iter().map(|&x| Lit::pos(x)).collect();
+            s.add_clause(&clause);
+        }
+        for (i, pi) in v.iter().enumerate() {
+            for pk in &v[i + 1..] {
+                for (&a, &b) in pi.iter().zip(pk) {
+                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+                }
+            }
+        }
+        let mut stop = || true;
+        let r = s.solve(&[], &mut stop);
+        assert!(
+            matches!(r, SolveResult::Stopped | SolveResult::Unsat),
+            "tiny instances may finish before the first poll: {r:?}"
+        );
+    }
+
+    /// Brute-force reference: try all assignments.
+    fn brute_force(nvars: u32, clauses: &[Vec<Lit>], assumptions: &[Lit]) -> bool {
+        'outer: for bits in 0..(1u32 << nvars) {
+            let val = |l: Lit| ((bits >> l.var()) & 1 == 1) == l.is_positive();
+            if !assumptions.iter().all(|&l| val(l)) {
+                continue;
+            }
+            for c in clauses {
+                if !c.iter().any(|&l| val(l)) {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_formulas() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nvars = rng.gen_range(1..9u32);
+            let nclauses = rng.gen_range(1..30usize);
+            let clauses: Vec<Vec<Lit>> = (0..nclauses)
+                .map(|_| {
+                    (0..rng.gen_range(1..4usize))
+                        .map(|_| Lit::new(rng.gen_range(0..nvars), rng.gen_bool(0.5)))
+                        .collect()
+                })
+                .collect();
+            let n_assumptions = rng.gen_range(0..3usize);
+            let assumptions: Vec<Lit> = (0..n_assumptions)
+                .map(|_| Lit::new(rng.gen_range(0..nvars), rng.gen_bool(0.5)))
+                .collect();
+            let mut s = Solver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            let mut ok = true;
+            for c in &clauses {
+                ok &= s.add_clause(c);
+            }
+            let expected = brute_force(nvars, &clauses, &assumptions);
+            let got = if ok {
+                s.solve(&assumptions, &mut never())
+            } else {
+                SolveResult::Unsat
+            };
+            match got {
+                SolveResult::Sat => {
+                    assert!(
+                        expected,
+                        "seed {seed}: solver said Sat, brute force disagrees"
+                    );
+                    // and the model is a genuine model
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|&l| s.model_true(l)),
+                            "seed {seed}: model falsifies {c:?}"
+                        );
+                    }
+                    assert!(
+                        assumptions.iter().all(|&l| s.model_true(l)),
+                        "seed {seed}: model breaks an assumption"
+                    );
+                }
+                SolveResult::Unsat => {
+                    assert!(
+                        !expected,
+                        "seed {seed}: solver said Unsat, brute force disagrees"
+                    );
+                }
+                SolveResult::Stopped => unreachable!(),
+            }
+        }
+    }
+}

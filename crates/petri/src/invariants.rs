@@ -87,23 +87,32 @@ fn farkas_capped(m: &[Vec<i64>], rows: usize, cols: usize, max_rows: usize) -> V
                     break 'combine;
                 }
                 let a = p.0[col];
-                let b = -n.0[col];
+                // Farkas coefficients blow up exponentially across
+                // elimination steps; every arithmetic step is checked and
+                // an overflowing combination is *dropped*, like a capped
+                // row — incomplete, never unsound (a wrapped product would
+                // fabricate a vector that is not an invariant)
+                let Some(b) = n.0[col].checked_neg() else {
+                    continue;
+                };
                 let g = gcd(a, b);
                 let (fp, fn_) = (b / g, a / g);
-                let mut vec_part: Vec<i64> =
-                    p.0.iter()
-                        .zip(&n.0)
-                        .map(|(x, y)| fp * x + fn_ * y)
-                        .collect();
-                let mut comb: Vec<i64> =
-                    p.1.iter()
-                        .zip(&n.1)
-                        .map(|(x, y)| fp * x + fn_ * y)
-                        .collect();
+                let combine = |xs: &[i64], ys: &[i64]| -> Option<Vec<i64>> {
+                    xs.iter()
+                        .zip(ys)
+                        .map(|(&x, &y)| fp.checked_mul(x)?.checked_add(fn_.checked_mul(y)?))
+                        .collect()
+                };
+                let Some(mut vec_part) = combine(&p.0, &n.0) else {
+                    continue;
+                };
+                let Some(mut comb) = combine(&p.1, &n.1) else {
+                    continue;
+                };
                 let g2 = vec_part
                     .iter()
                     .chain(comb.iter())
-                    .fold(0i64, |acc, &v| gcd(acc, v.abs()));
+                    .fold(0i64, |acc, &v| gcd(acc, v));
                 if g2 > 1 {
                     for v in vec_part.iter_mut().chain(comb.iter_mut()) {
                         *v /= g2;
@@ -174,15 +183,20 @@ fn minimal_support(rows: Vec<(Vec<i64>, Vec<i64>)>) -> Vec<(Vec<i64>, Vec<i64>)>
         .collect()
 }
 
+/// Total gcd: widens through `unsigned_abs`, so `i64::MIN` neither panics
+/// (debug) nor wraps (release). The result is always a positive divisor of
+/// both inputs; the one unrepresentable case — a true gcd of exactly 2⁶³ —
+/// degrades to 1, which is still a valid (if trivial) common divisor, so
+/// callers that divide by the result stay exact.
 fn gcd(a: i64, b: i64) -> i64 {
-    let (mut a, mut b) = (a.abs(), b.abs());
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
     while b != 0 {
         (a, b) = (b, a % b);
     }
     if a == 0 {
         1
     } else {
-        a
+        i64::try_from(a).unwrap_or(1)
     }
 }
 
@@ -210,6 +224,15 @@ pub fn place_invariants_capped(net: &PetriNet, max_rows: usize) -> Vec<Vec<i64>>
 ///
 /// Each returned vector has one weight per transition.
 pub fn transition_invariants(net: &PetriNet) -> Vec<Vec<i64>> {
+    transition_invariants_capped(net, usize::MAX)
+}
+
+/// Like [`transition_invariants`], but bounds the Farkas work matrix to
+/// `max_rows` rows between elimination steps — the same ASAT-style
+/// exponential-blowup guard [`place_invariants_capped`] provides for place
+/// invariants. Every returned vector is still a genuine T-invariant; the
+/// cap only makes the enumeration incomplete.
+pub fn transition_invariants_capped(net: &PetriNet, max_rows: usize) -> Vec<Vec<i64>> {
     let c = incidence_matrix(net);
     // transpose
     let rows = net.transition_count();
@@ -217,7 +240,7 @@ pub fn transition_invariants(net: &PetriNet) -> Vec<Vec<i64>> {
     let ct: Vec<Vec<i64>> = (0..rows)
         .map(|t| (0..cols).map(|p| c[p][t]).collect())
         .collect();
-    farkas(&ct, rows, cols)
+    farkas_capped(&ct, rows, cols, max_rows)
 }
 
 /// `true` if every place has a positive weight in some place invariant —
@@ -310,5 +333,110 @@ mod tests {
         assert_eq!(gcd(0, 5), 5);
         assert_eq!(gcd(0, 0), 1);
         assert_eq!(gcd(-6, 4), 2);
+    }
+
+    #[test]
+    fn gcd_is_total_at_i64_min() {
+        // i64::MIN.abs() panics in debug and wraps in release; the widened
+        // gcd must stay a positive divisor of both inputs instead.
+        assert_eq!(gcd(i64::MIN, 2), 2);
+        assert_eq!(gcd(i64::MIN, 3), 1);
+        assert_eq!(gcd(2, i64::MIN), 2);
+        assert_eq!(gcd(i64::MIN, i64::MAX), 1);
+        // true gcd 2⁶³ is unrepresentable; degrading to 1 keeps division
+        // by the result exact
+        assert_eq!(gcd(i64::MIN, 0), 1);
+        assert_eq!(gcd(i64::MIN, i64::MIN), 1);
+    }
+
+    /// Exact wide-arithmetic check that `comb · m = 0` for every returned
+    /// combination — the defining property of a Farkas row.
+    fn assert_exact_invariants(m: &[Vec<i64>], rows: usize, cols: usize, out: &[Vec<i64>]) {
+        for comb in out {
+            assert!(comb.iter().all(|&w| w >= 0), "negative weight: {comb:?}");
+            assert!(comb.iter().any(|&w| w > 0), "zero row returned");
+            let mut sums = vec![0i128; cols];
+            for (&w, row) in comb.iter().zip(&m[..rows]) {
+                for (s, &x) in sums.iter_mut().zip(row) {
+                    *s += i128::from(w) * i128::from(x);
+                }
+            }
+            for (c, s) in sums.iter().enumerate() {
+                assert_eq!(*s, 0, "x·M ≠ 0 at column {c} for {comb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn overflowing_combination_is_dropped_not_wrapped() {
+        // Combining rows 0 and 1 on column 0 sums the second column:
+        // MIN + MIN ≡ 0 (mod 2⁶⁴), so the pre-fix wrapping arithmetic
+        // fabricated a "zero" column and emitted x = (1, 1, 0), which is
+        // NOT an invariant (the true sum is −2⁶⁴). The third row forces
+        // column 0 to be eliminated first (it has the fewest pos×neg
+        // pairings). Post-fix the overflowing combination is dropped and
+        // nothing is returned.
+        let m = vec![vec![1, i64::MIN], vec![-1, i64::MIN], vec![0, 1]];
+        let out = farkas_capped(&m, 3, 2, usize::MAX);
+        assert_exact_invariants(&m, 3, 2, &out);
+        assert!(out.is_empty(), "no exact invariant exists: {out:?}");
+    }
+
+    #[test]
+    fn transition_invariants_capped_matches_uncapped_on_small_nets() {
+        let net = cycle_net();
+        assert_eq!(
+            transition_invariants(&net),
+            transition_invariants_capped(&net, 4)
+        );
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        /// Random matrix with entries large enough that Farkas
+        /// combinations overflow `i64` unless every step is checked.
+        fn random_matrix(seed: u64) -> (Vec<Vec<i64>>, usize, usize) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rows = rng.gen_range(1..6usize);
+            let cols = rng.gen_range(1..5usize);
+            let m = (0..rows)
+                .map(|_| {
+                    (0..cols)
+                        .map(|_| {
+                            let magnitude: i64 = if rng.gen_bool(0.3) {
+                                rng.gen_range(0..i64::MAX / 2)
+                            } else {
+                                rng.gen_range(0..8)
+                            };
+                            if rng.gen_bool(0.5) {
+                                -magnitude
+                            } else {
+                                magnitude
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            (m, rows, cols)
+        }
+
+        proptest! {
+            /// Every row Farkas returns — capped or not, huge entries or
+            /// not — is an exact non-negative solution of `x·M = 0` under
+            /// i128 arithmetic. Pins the checked-combination, total-gcd,
+            /// and capping fixes at once.
+            #[test]
+            fn farkas_rows_are_exact_solutions(seed in 0u64..1u64 << 48) {
+                let (m, rows, cols) = random_matrix(seed);
+                for cap in [usize::MAX, 8] {
+                    let out = farkas_capped(&m, rows, cols, cap);
+                    assert_exact_invariants(&m, rows, cols, &out);
+                }
+            }
+        }
     }
 }

@@ -81,7 +81,7 @@ pub use error::NetError;
 pub use ids::{PlaceId, TransitionId};
 pub use invariants::{
     covered_by_place_invariants, incidence_matrix, place_invariants, place_invariants_capped,
-    transition_invariants,
+    transition_invariants, transition_invariants_capped,
 };
 pub use marking::Marking;
 pub use net::{NetBuilder, PetriNet};

@@ -1,0 +1,92 @@
+//! Structural-invariant soundness on arbitrary nets: every vector the
+//! Farkas enumeration returns must be an *exact* solution of its defining
+//! linear system, re-checked here in 128-bit arithmetic so any silent
+//! wrap inside the elimination (the bug class fixed in the overflow
+//! sweep) shows up as a test failure rather than a bogus certificate.
+
+use gpo_suite::prelude::*;
+use models::random::{random_net, RandomNetConfig};
+use petri::{
+    incidence_matrix, place_invariants, place_invariants_capped, transition_invariants,
+    transition_invariants_capped,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Exact check of `x · C = 0` (one dot product per transition column).
+fn assert_place_invariant(c: &[Vec<i64>], x: &[i64], net_name: &str) {
+    assert_eq!(x.len(), c.len());
+    assert!(x.iter().all(|&w| w >= 0), "{net_name}: negative weight");
+    assert!(x.iter().any(|&w| w > 0), "{net_name}: zero vector");
+    let cols = c.first().map_or(0, Vec::len);
+    for t in 0..cols {
+        let dot: i128 = x
+            .iter()
+            .zip(c)
+            .map(|(&w, row)| i128::from(w) * i128::from(row[t]))
+            .sum();
+        assert_eq!(dot, 0, "{net_name}: x·C ≠ 0 at column {t}");
+    }
+}
+
+/// Exact check of `C · y = 0` (one dot product per place row).
+fn assert_transition_invariant(c: &[Vec<i64>], y: &[i64], net_name: &str) {
+    assert!(y.iter().all(|&w| w >= 0), "{net_name}: negative weight");
+    assert!(y.iter().any(|&w| w > 0), "{net_name}: zero vector");
+    for (p, row) in c.iter().enumerate() {
+        assert_eq!(y.len(), row.len());
+        let dot: i128 = row
+            .iter()
+            .zip(y)
+            .map(|(&cv, &w)| i128::from(cv) * i128::from(w))
+            .sum();
+        assert_eq!(dot, 0, "{net_name}: C·y ≠ 0 at row {p}");
+    }
+}
+
+fn check_net(net: &PetriNet) {
+    let c = incidence_matrix(net);
+    for x in place_invariants(net) {
+        assert_place_invariant(&c, &x, net.name());
+    }
+    for y in transition_invariants(net) {
+        assert_transition_invariant(&c, &y, net.name());
+    }
+    // capped enumeration returns a subset, but every row must still be
+    // an exact invariant
+    for x in place_invariants_capped(net, 4) {
+        assert_place_invariant(&c, &x, net.name());
+    }
+    for y in transition_invariants_capped(net, 4) {
+        assert_transition_invariant(&c, &y, net.name());
+    }
+}
+
+#[test]
+fn zoo_invariants_are_exact() {
+    for net in [
+        models::nsdp(5),
+        models::asat(8),
+        models::overtake(3),
+        models::readers_writers(3),
+        models::scheduler(4),
+    ] {
+        check_net(&net);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_net_invariants_are_exact(seed in 0u64..1u64 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RandomNetConfig {
+            components: rng.gen_range(1..4),
+            places_per_component: rng.gen_range(2..6),
+            resources: rng.gen_range(0..3),
+            ..RandomNetConfig::default()
+        };
+        check_net(&random_net(seed, &cfg));
+    }
+}
